@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness (imported by benches)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.experiments import full_scale
+from repro.workloads.spec import FIGURE_BENCHMARKS, SPEC_WORKLOADS
+
+
+def curve_benchmarks():
+    """Benchmarks used for figure reproductions at the current scale."""
+    if full_scale():
+        return tuple(SPEC_WORKLOADS)
+    return FIGURE_BENCHMARKS
+
+
+def table_benchmarks():
+    """Benchmarks included in the Table 5.1 reproduction."""
+    if full_scale():
+        return tuple(SPEC_WORKLOADS)
+    if os.environ.get("REPRO_BENCH_SMALL", "") == "1":
+        return ("mesa", "mcf")
+    return tuple(SPEC_WORKLOADS)
+
+
+def emit(text: str) -> None:
+    """Print an artifact so it lands in the bench log even under -q."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()

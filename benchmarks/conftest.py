@@ -1,0 +1,25 @@
+"""Benchmark-harness fixtures.
+
+Every bench regenerates one of the paper's tables or figures and prints
+the corresponding rows/series.  Heavy artifacts (learning curves, ground
+truth, profiles) are cached on disk by the library, so re-runs are cheap;
+set ``REPRO_FULL=1`` for the paper-scale grids (all 8 benchmarks, training
+sets 50..2000 in steps of 50) and ``REPRO_CACHE_DIR=""`` to disable
+caching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (experiments are long and
+    disk-cached; statistical repetition is meaningless for them)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return run

@@ -1,0 +1,33 @@
+"""Figure 5.1 / A.1: learning curves of the ANN models.
+
+Prints, per benchmark and study, the mean and standard deviation of
+percentage error over the full design space as the training set grows.
+Checks the paper's shape claims: error and SD decrease substantially as
+more of the space is sampled.
+"""
+
+from bench_utils import curve_benchmarks, emit
+
+from repro.experiments import (
+    check_learning_curve_shape,
+    learning_curves,
+    render_learning_curves,
+)
+
+
+def test_fig51_learning_curves(once):
+    curves = once(learning_curves, benchmarks=curve_benchmarks())
+    emit(render_learning_curves(curves))
+    for key, curve in curves.items():
+        checks = check_learning_curve_shape(curve)
+        assert checks["error_decreases"], (key, checks)
+        assert checks["large_improvement"], (key, checks)
+
+
+def test_fig51_error_reaches_papers_band(once):
+    """At the densest sampling the paper's models sit at a few percent
+    error; ours must land in the same band (<= 6% mean for every app)."""
+    curves = once(learning_curves, benchmarks=curve_benchmarks())
+    for key, curve in curves.items():
+        final = curve.points[-1]
+        assert final.true_mean <= 6.0, (key, final)

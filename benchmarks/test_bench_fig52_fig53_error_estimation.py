@@ -1,0 +1,27 @@
+"""Figures 5.2 / 5.3 (and A.2 / A.3): estimated vs true error.
+
+Prints estimated-vs-true mean and SD series for both studies and checks
+the paper's claims: estimates track truth closely once >1% of the space
+is sampled, and are conservative in the sparse regime.
+"""
+
+import numpy as np
+from bench_utils import curve_benchmarks, emit
+
+from repro.experiments import (
+    estimation_curves,
+    estimation_quality,
+    render_estimation_curves,
+)
+
+
+def test_fig52_fig53_estimation(once):
+    curves = once(estimation_curves, benchmarks=curve_benchmarks())
+    emit(render_estimation_curves(curves))
+    for key, curve in curves.items():
+        quality = estimation_quality(curve)
+        # dense regime: estimates within ~1% absolute of truth on average
+        if not np.isnan(quality["gap_above_1pct"]):
+            assert quality["gap_above_1pct"] <= 1.5, (key, quality)
+        # estimates rarely optimistic
+        assert quality["conservative_fraction"] >= 0.5, (key, quality)

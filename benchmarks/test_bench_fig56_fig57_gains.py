@@ -1,0 +1,34 @@
+"""Figures 5.6 / 5.7: reductions in simulated instructions.
+
+Prints the combined ANN+SimPoint reduction factors at three achievable
+error levels per benchmark, and the SimPoint/ANN split.  Checks the
+paper's headline: combined reductions reach three to four orders of
+magnitude, with SimPoint contributing ~10x per experiment and the ANN
+contributing tens-to-hundreds of x in experiment count.
+"""
+
+from bench_utils import emit
+
+from repro.experiments import gains_study, render_gain_split, render_gains
+
+
+def test_fig56_gains(once):
+    gains = once(gains_study)
+    emit(render_gains(gains))
+    for benchmark, rows in gains.items():
+        assert rows, f"no achievable error level for {benchmark}"
+        best = max(row.combined_factor for row in rows)
+        assert best >= 500, (benchmark, [r.combined_factor for r in rows])
+
+
+def test_fig57_gain_split(once):
+    gains = once(gains_study)
+    emit(render_gain_split(gains))
+    for benchmark, rows in gains.items():
+        for row in rows:
+            # the factors multiply (Section 5.3's accounting)
+            assert row.combined_factor == row.ann_factor * row.simpoint_factor
+            # SimPoint's per-experiment factor lands in the paper's 8-62x
+            # band (scaled by our MinneSPEC-style instruction counts)
+            assert 5 <= row.simpoint_factor <= 100, row
+            assert row.ann_factor > 10, row

@@ -1,0 +1,32 @@
+"""Figure 5.8: ANN training time vs training-set size.
+
+Measures wall-clock ensemble training time at increasing fractions of
+each design space and prints the series.  Checks the paper's claims:
+training time scales linearly with training-set size and is negligible
+compared to architectural simulation (the paper's full-space studies
+represent cluster-months; model training takes minutes).
+"""
+
+from bench_utils import emit
+
+from repro.experiments import (
+    is_roughly_linear,
+    measure_training_times,
+    render_training_times,
+)
+
+
+def test_fig58_training_times(once):
+    points = once(measure_training_times)
+    emit(render_training_times(points))
+    assert is_roughly_linear(points), points
+    # "training times are negligible compared to even individual
+    # architectural simulations": minutes at most, per round
+    assert all(p.seconds < 30 * 60 for p in points)
+    # and they grow with data
+    for study in {p.study for p in points}:
+        series = sorted(
+            (p for p in points if p.study == study),
+            key=lambda p: p.n_samples,
+        )
+        assert series[-1].seconds >= series[0].seconds

@@ -1,0 +1,64 @@
+"""Section 4's setup validation: Plackett-Burman parameter ranking.
+
+The paper validates its choice of varied parameters with Plackett-Burman
+fractional factorial designs with foldover (after Yi et al.).  This bench
+runs the PB design over both studies' parameters for every benchmark and
+prints the effect ranking.
+"""
+
+from bench_utils import curve_benchmarks, emit
+
+from repro.cpu import get_interval_simulator
+from repro.doe import PlackettBurmanStudy
+from repro.experiments import get_study
+from repro.experiments.reporting import format_table
+
+
+def rank_study(study_name):
+    study = get_study(study_name)
+    levels = {
+        p.name: (p.values[0], p.values[-1]) for p in study.space.parameters
+    }
+    rows = []
+    for benchmark in curve_benchmarks():
+        evaluator = get_interval_simulator(benchmark)
+        pb = PlackettBurmanStudy(levels)
+        effects = pb.rank_parameters(
+            lambda config: evaluator.evaluate_ipc(study.to_machine(config))
+        )
+        for effect in effects:
+            rows.append(
+                [benchmark, effect.rank, effect.name, f"{effect.effect:.4f}"]
+            )
+    return pb.n_runs, rows
+
+
+def test_plackett_burman_memory_system(once):
+    n_runs, rows = once(rank_study, "memory-system")
+    emit(
+        format_table(
+            ["Benchmark", "Rank", "Parameter", "|Effect| (IPC)"],
+            rows,
+            title=f"PB ranking, memory-system study ({n_runs} runs/benchmark)",
+        )
+    )
+    # every varied parameter must show a nonzero effect for some benchmark
+    by_parameter = {}
+    for _, _, name, effect in rows:
+        by_parameter[name] = max(by_parameter.get(name, 0.0), float(effect))
+    assert all(v > 0 for v in by_parameter.values()), by_parameter
+
+
+def test_plackett_burman_processor(once):
+    n_runs, rows = once(rank_study, "processor")
+    emit(
+        format_table(
+            ["Benchmark", "Rank", "Parameter", "|Effect| (IPC)"],
+            rows,
+            title=f"PB ranking, processor study ({n_runs} runs/benchmark)",
+        )
+    )
+    by_parameter = {}
+    for _, _, name, effect in rows:
+        by_parameter[name] = max(by_parameter.get(name, 0.0), float(effect))
+    assert all(v > 0 for v in by_parameter.values()), by_parameter

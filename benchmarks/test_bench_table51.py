@@ -1,0 +1,36 @@
+"""Table 5.1: true vs estimated mean/SD of percentage error.
+
+Regenerates both halves of Table 5.1 (memory-system and processor
+studies) at training sets of ~1%, 2% and 4% of each design space and
+prints the rows in the paper's layout.
+"""
+
+from bench_utils import emit, table_benchmarks
+
+from repro.experiments import (
+    build_table51,
+    check_table51_claims,
+    render_table51,
+)
+
+
+def test_table51_memory_system(once):
+    table = once(
+        build_table51, "memory-system", benchmarks=table_benchmarks()
+    )
+    emit(render_table51(table))
+    checks = check_table51_claims(table)
+    assert checks["errors_shrink_with_data"], checks
+    assert checks["estimates_track_truth"], checks
+
+
+def test_table51_processor(once):
+    table = once(build_table51, "processor", benchmarks=table_benchmarks())
+    emit(render_table51(table))
+    checks = check_table51_claims(table)
+    assert checks["errors_shrink_with_data"], checks
+    assert checks["estimates_track_truth"], checks
+    # "twolf is hardest" reproduces only partially on our synthetic
+    # workloads (EXPERIMENTS.md / DESIGN.md section 6); reported, not
+    # asserted:
+    emit(f"twolf-among-hardest check: {checks['twolf_is_hardest']}")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Active learning and multi-task learning (Chapter 7's future work).
+
+Two extensions the paper proposes, implemented here:
+
+* **Active learning** — rather than sampling the design space uniformly,
+  let the model pick the points it is least sure about
+  (query-by-committee over the cross-validation ensemble).
+* **Multi-task learning** — train one network that predicts IPC *and*
+  auxiliary simulator statistics (cache miss rates, misprediction rate),
+  sharing hidden-layer features across the correlated metrics.
+
+Run:  python examples/active_learning.py [benchmark]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import get_study
+from repro.core import (
+    DesignSpaceExplorer,
+    MultiTaskNetwork,
+    ParameterEncoder,
+    QueryByCommitteeSampler,
+    TrainingConfig,
+    percentage_errors,
+)
+from repro.cpu import get_interval_simulator
+from repro.experiments import encoded_space, full_space_ground_truth
+
+BUDGET = 300
+BATCH = 50
+
+
+def run_strategy(study, simulate, sampler, seed):
+    explorer = DesignSpaceExplorer(
+        study.space,
+        simulate,
+        batch_size=BATCH,
+        rng=np.random.default_rng(seed),
+        sampler=sampler,
+    )
+    return explorer.explore(target_error=0.1, max_simulations=BUDGET)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    study = get_study("memory-system")
+    evaluator = get_interval_simulator(benchmark)
+    truth = full_space_ground_truth(study, benchmark)
+    x_full = encoded_space(study)
+
+    def simulate(point):
+        return evaluator.evaluate_ipc(study.to_machine(point))
+
+    # --- active vs random sampling --------------------------------------
+    print(f"{benchmark}: {BUDGET} simulations "
+          f"({100 * BUDGET / len(study.space):.2f}% of the space)\n")
+    print("strategy        estimated      true (full space)")
+    for label, sampler in (
+        ("random", None),
+        ("active (QBC)", QueryByCommitteeSampler(ParameterEncoder(study.space))),
+    ):
+        result = run_strategy(study, simulate, sampler, seed=5)
+        heldout = np.ones(len(truth), dtype=bool)
+        heldout[result.sampled_indices] = False
+        errors = percentage_errors(
+            result.predict_space()[heldout], truth[heldout]
+        )
+        print(f"{label:<14}  {result.final_estimate.mean:5.2f}%        "
+              f"{errors.mean():5.2f}% +/- {errors.std():.2f}%")
+
+    # --- multi-task learning ---------------------------------------------
+    print("\nmulti-task learning (IPC + L1/L2 miss rates + mispredictions):")
+    rng = np.random.default_rng(9)
+    indices = study.space.sample_indices(BUDGET, rng)
+    metrics = [evaluator.evaluate(study.machine_at(i)) for i in indices]
+    y = np.array(
+        [
+            [
+                m["ipc"],
+                m["l1d_misses_per_instruction"] + 1e-6,
+                m["l2_misses_per_instruction"] + 1e-6,
+                m["branch_mispredict_rate"] + 1e-6,
+            ]
+            for m in metrics
+        ]
+    )
+    split = int(0.85 * BUDGET)
+    model = MultiTaskNetwork(
+        x_full.shape[1], y.shape[1], training=TrainingConfig(), rng=rng
+    )
+    model.fit(x_full[indices[:split]], y[:split],
+              x_full[indices[split:]], y[split:])
+    heldout = np.ones(len(truth), dtype=bool)
+    heldout[indices] = False
+    errors = percentage_errors(
+        model.predict_primary(x_full[heldout]), truth[heldout]
+    )
+    print(f"  IPC error with shared auxiliary heads: "
+          f"{errors.mean():.2f}% +/- {errors.std():.2f}%")
+    predictions = model.predict_all(x_full[:3])
+    print("  sample predictions (ipc, l1_mpi, l2_mpi, mispredict):")
+    for row in predictions:
+        print("   ", " ".join(f"{v:.4f}" for v in row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Cross-application modeling (Chapter 7's first future-work item).
+
+When benchmarks share functional structure, one large model with the
+application encoded as an input can cut per-application sampling
+requirements.  This example trains:
+
+* one single-application model per benchmark on N samples each, and
+* one joint model on the same pooled budget with application one-hots,
+
+then compares full-space accuracy per benchmark — including a transfer
+scenario where one application contributes only a handful of samples and
+leans on its siblings' data.
+
+Run:  python examples/cross_application.py
+"""
+
+import numpy as np
+
+from repro import CrossApplicationModel, get_study
+from repro.core import CrossValidationEnsemble, ParameterEncoder, percentage_errors
+from repro.experiments import encoded_space, full_space_ground_truth
+
+BENCHMARKS = ("gzip", "mesa", "crafty")
+PER_APP_SAMPLES = 200
+TRANSFER_SAMPLES = 40  # the data-poor application's budget
+
+
+def single_app_error(study, benchmark, indices, x_full):
+    truth = full_space_ground_truth(study, benchmark)
+    ensemble = CrossValidationEnsemble(rng=np.random.default_rng(3))
+    ensemble.fit(x_full[indices], truth[indices])
+    heldout = np.ones(len(truth), dtype=bool)
+    heldout[indices] = False
+    return percentage_errors(
+        ensemble.predict(x_full[heldout]), truth[heldout]
+    ).mean()
+
+
+def main() -> None:
+    study = get_study("memory-system")
+    x_full = encoded_space(study)
+    rng = np.random.default_rng(1)
+
+    # --- equal budgets: separate vs joint --------------------------------
+    samples = {}
+    separate_errors = {}
+    for benchmark in BENCHMARKS:
+        indices = study.space.sample_indices(PER_APP_SAMPLES, rng)
+        truth = full_space_ground_truth(study, benchmark)
+        samples[benchmark] = (indices, truth[indices])
+        separate_errors[benchmark] = single_app_error(
+            study, benchmark, np.asarray(indices), x_full
+        )
+
+    joint = CrossApplicationModel(
+        study.space, BENCHMARKS, rng=np.random.default_rng(5)
+    )
+    joint.fit(samples)
+
+    print(f"{PER_APP_SAMPLES} samples per application "
+          f"({100 * PER_APP_SAMPLES / len(study.space):.1f}% of the space):\n")
+    print("benchmark   separate model   joint model")
+    for benchmark in BENCHMARKS:
+        truth = full_space_ground_truth(study, benchmark)
+        joint_errors = percentage_errors(
+            joint.predict_space(benchmark), truth
+        )
+        print(f"{benchmark:>9}   {separate_errors[benchmark]:6.2f}%"
+              f"          {joint_errors.mean():6.2f}%")
+
+    # --- transfer: one app is data-poor ----------------------------------
+    poor = "crafty"
+    print(f"\ntransfer scenario: {poor} has only {TRANSFER_SAMPLES} samples, "
+          f"siblings keep {PER_APP_SAMPLES}:")
+    poor_truth = full_space_ground_truth(study, poor)
+    poor_indices = study.space.sample_indices(TRANSFER_SAMPLES, rng)
+
+    solo_error = single_app_error(
+        study, poor, np.asarray(poor_indices), x_full
+    )
+
+    transfer_samples = dict(samples)
+    transfer_samples[poor] = (poor_indices, poor_truth[poor_indices])
+    transfer = CrossApplicationModel(
+        study.space, BENCHMARKS, rng=np.random.default_rng(7)
+    )
+    transfer.fit(transfer_samples)
+    transfer_errors = percentage_errors(
+        transfer.predict_space(poor), poor_truth
+    )
+    print(f"  solo model from {TRANSFER_SAMPLES} samples:  {solo_error:.2f}%")
+    print(f"  joint model (shared features):   {transfer_errors.mean():.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Processor sensitivity study (the paper's Table 4.2 scenario).
+
+Uses a trained surrogate to answer the questions architects actually run
+sensitivity studies for:
+
+* Is a novel feature's gain an artifact of one baseline configuration?
+  (Here: does widening the pipeline from 4 to 8 help across the space,
+  or only when the window resources are large?)
+* Where is the energy-free performance knee of the ROB size?
+* How do frequency and cache capacity trade off?
+
+Every answer is read from the model after ~2% of the space is simulated;
+the script then spot-checks a few model answers against the simulator.
+
+Run:  python examples/processor_study.py [benchmark]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import get_study, make_simulate_fn
+from repro.core import CrossValidationEnsemble, ParameterEncoder
+
+SAMPLES = 400
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "crafty"
+    study = get_study("processor")
+    simulate = make_simulate_fn(study, benchmark)
+    encoder = ParameterEncoder(study.space)
+
+    rng = np.random.default_rng(23)
+    indices = study.space.sample_indices(SAMPLES, rng)
+    configs = [study.space.config_at(i) for i in indices]
+    x = encoder.encode_many(configs)
+    y = np.array([simulate(c) for c in configs])
+
+    ensemble = CrossValidationEnsemble(rng=rng)
+    estimate = ensemble.fit(x, y)
+    print(f"{benchmark}: trained on {SAMPLES} of {len(study.space):,} "
+          f"configurations; CV estimate {estimate.mean:.2f}% "
+          f"+/- {estimate.std:.2f}%\n")
+
+    def predict(overrides):
+        """Model prediction for the space's median config + overrides."""
+        base = study.space.config_at(len(study.space) // 2)
+        base.update(overrides)
+        study.space.validate(base)
+        return float(ensemble.predict(encoder.encode(base)[None, :])[0])
+
+    # 1. pipeline width sensitivity at small vs large windows
+    print("1. does width help, and when?  (predicted IPC)")
+    for rob, regs in ((96, 80), (160, 112)):
+        row = []
+        for width in (4, 6, 8):
+            ipc = predict(
+                {"width": width, "rob_size": rob, "register_file": regs}
+            )
+            row.append(f"width={width}: {ipc:.3f}")
+        print(f"   ROB={rob:<4} {'  '.join(row)}")
+
+    # 2. ROB knee
+    print("\n2. ROB-size knee (predicted IPC at width=8):")
+    for rob, regs in ((96, 80), (128, 96), (160, 112)):
+        ipc = predict(
+            {"width": 8, "rob_size": rob, "register_file": regs}
+        )
+        print(f"   ROB={rob:<4} IPC={ipc:.3f}")
+
+    # 3. frequency vs cache tradeoff
+    print("\n3. frequency vs L2 capacity (predicted performance, BIPS):")
+    for freq in (2.0, 4.0):
+        for l2 in (256, 1024):
+            ipc = predict({"frequency_ghz": freq, "l2_size_kb": l2})
+            print(f"   {freq:.0f}GHz, L2={l2:>4}KB: IPC={ipc:.3f}  "
+                  f"perf={ipc * freq:.2f} BIPS")
+
+    # 4. spot-check a few model answers against the simulator
+    print("\n4. spot checks (model vs simulator):")
+    check_rng = np.random.default_rng(99)
+    worst = 0.0
+    for index in study.space.sample_indices(5, check_rng, exclude=indices):
+        config = study.space.config_at(index)
+        model_ipc = float(
+            ensemble.predict(encoder.encode(config)[None, :])[0]
+        )
+        sim_ipc = simulate(config)
+        error = 100 * abs(model_ipc - sim_ipc) / sim_ipc
+        worst = max(worst, error)
+        print(f"   model {model_ipc:.3f}  sim {sim_ipc:.3f}  "
+              f"err {error:.2f}%")
+    print(f"   worst spot-check error: {worst:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

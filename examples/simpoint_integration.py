@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""ANN + SimPoint: training surrogate models from reduced simulations.
+
+The Section 5.3 scenario: the architect cannot afford full runs even for
+the *training* samples, so each training simulation itself is reduced
+with SimPoint — and the model learns from noisy estimates.  This example
+shows the whole pipeline for one benchmark:
+
+* pick simulation points (BBVs -> k-means/BIC -> representatives),
+* build the noisy SimPoint evaluator,
+* train the ensemble on SimPoint-estimated IPCs,
+* compare its accuracy (against exhaustive truth) with a model trained
+  on full simulations,
+* and account the multiplicative instruction savings (Figures 5.6/5.7).
+
+Run:  python examples/simpoint_integration.py [benchmark]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SimPointSimulator, get_study
+from repro.core import CrossValidationEnsemble, ParameterEncoder, percentage_errors
+from repro.experiments import full_space_ground_truth
+from repro.workloads import generate_trace, get_workload
+
+SAMPLES = 400  # ~1.9% of the processor space
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mesa"
+    study = get_study("processor")
+    workload = get_workload(benchmark)
+
+    # --- SimPoint selection --------------------------------------------
+    simpoint = SimPointSimulator(benchmark)
+    selection = simpoint.selection
+    print(f"{benchmark}: {len(generate_trace(benchmark)):,}-instruction "
+          f"trace split into {len(selection.intervals)} intervals")
+    print(f"SimPoint chose {selection.k} simulation points "
+          f"(weights {[round(w, 2) for w in selection.weights]})")
+    print(f"per-experiment instruction reduction at MinneSPEC scale: "
+          f"{selection.instruction_reduction_factor():.0f}x "
+          f"({workload.total_dynamic_instructions / 1e6:.0f}M instrs -> "
+          f"{selection.k} x 10M)\n")
+
+    # --- train on noisy vs clean targets -------------------------------
+    truth = full_space_ground_truth(study, benchmark)
+    encoder = ParameterEncoder(study.space)
+    rng = np.random.default_rng(11)
+    indices = study.space.sample_indices(SAMPLES, rng)
+    configs = [study.space.config_at(i) for i in indices]
+    x = encoder.encode_many(configs)
+
+    noisy_targets = np.array(
+        [simpoint.simulate_ipc(study.to_machine(c)) for c in configs]
+    )
+    clean_targets = truth[indices]
+    noise = percentage_errors(noisy_targets, clean_targets)
+    print(f"SimPoint noise on the {SAMPLES} training targets: "
+          f"{noise.mean():.2f}% +/- {noise.std():.2f}%")
+
+    heldout = np.ones(len(truth), dtype=bool)
+    heldout[indices] = False
+    x_heldout = encoder.encode_space()[heldout]
+
+    for label, targets in (("full-sim", clean_targets),
+                           ("ANN+SimPoint", noisy_targets)):
+        ensemble = CrossValidationEnsemble(rng=np.random.default_rng(13))
+        estimate = ensemble.fit(x, targets)
+        errors = percentage_errors(
+            ensemble.predict(x_heldout), truth[heldout]
+        )
+        print(f"{label:>13}: estimated {estimate.mean:.2f}%  "
+              f"true {errors.mean():.2f}% +/- {errors.std():.2f}%")
+
+    # --- combined accounting (Figure 5.7 style) -------------------------
+    ann_factor = len(study.space) / SAMPLES
+    sp_factor = selection.instruction_reduction_factor()
+    print(f"\ninstruction accounting for a full sensitivity study:")
+    print(f"  ANN:          {ann_factor:.0f}x fewer experiments")
+    print(f"  SimPoint:     {sp_factor:.0f}x fewer instructions/experiment")
+    print(f"  combined:     {ann_factor * sp_factor:,.0f}x fewer simulated "
+          f"instructions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""repro: predictive modeling of architectural design spaces.
+
+A from-scratch reproduction of Ipek et al., "Efficiently Exploring
+Architectural Design Spaces via Predictive Modeling" (ASPLOS 2006):
+ANN-ensemble surrogate models of simulator design spaces with
+cross-validation-based error estimation and incremental sampling, plus
+every substrate the paper depends on (out-of-order processor and memory
+hierarchy simulation, synthetic SPEC-like workloads, SimPoint,
+Plackett-Burman designs).
+
+Quick start::
+
+    from repro import DesignSpaceExplorer, get_study, make_simulate_fn
+
+    study = get_study("memory-system")
+    explorer = DesignSpaceExplorer(
+        study.space, make_simulate_fn(study, "mcf"))
+    result = explorer.explore(target_error=2.0, max_simulations=1000)
+    print(result.final_estimate)
+"""
+
+from .core import (
+    CrossApplicationModel,
+    CrossValidationEnsemble,
+    DesignSpaceExplorer,
+    EnsemblePredictor,
+    ErrorEstimate,
+    ErrorStatistics,
+    ExplorationResult,
+    FeedForwardNetwork,
+    MultiTaskNetwork,
+    ParameterEncoder,
+    QueryByCommitteeSampler,
+    TargetScaler,
+    TrainingConfig,
+    percentage_errors,
+)
+from .cpu import (
+    CycleSimulator,
+    IntervalSimulator,
+    MachineConfig,
+    SimulationResult,
+    Simulator,
+    get_application_profile,
+    get_interval_simulator,
+)
+from .designspace import (
+    BooleanParameter,
+    CardinalParameter,
+    ContinuousParameter,
+    DependentChoices,
+    DesignSpace,
+    NominalParameter,
+    PredicateConstraint,
+)
+from .doe import PlackettBurmanStudy
+from .experiments import (
+    STUDY_NAMES,
+    Study,
+    full_space_ground_truth,
+    get_study,
+    make_simulate_fn,
+    run_learning_curve,
+)
+from .simpoint import SimPointSelection, SimPointSimulator, select_simpoints
+from .workloads import SPEC_WORKLOADS, Trace, generate_trace, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanParameter",
+    "CardinalParameter",
+    "ContinuousParameter",
+    "CrossApplicationModel",
+    "CrossValidationEnsemble",
+    "CycleSimulator",
+    "DependentChoices",
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "EnsemblePredictor",
+    "ErrorEstimate",
+    "ErrorStatistics",
+    "ExplorationResult",
+    "FeedForwardNetwork",
+    "IntervalSimulator",
+    "MachineConfig",
+    "MultiTaskNetwork",
+    "NominalParameter",
+    "ParameterEncoder",
+    "PlackettBurmanStudy",
+    "PredicateConstraint",
+    "QueryByCommitteeSampler",
+    "SPEC_WORKLOADS",
+    "STUDY_NAMES",
+    "SimPointSelection",
+    "SimPointSimulator",
+    "SimulationResult",
+    "Simulator",
+    "Study",
+    "TargetScaler",
+    "Trace",
+    "TrainingConfig",
+    "full_space_ground_truth",
+    "generate_trace",
+    "get_application_profile",
+    "get_interval_simulator",
+    "get_study",
+    "get_workload",
+    "make_simulate_fn",
+    "percentage_errors",
+    "run_learning_curve",
+    "select_simpoints",
+    "__version__",
+]

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+``repro <command> ...`` exposes the library's main workflows without
+writing Python:
+
+* ``explore``  — run the incremental modeling loop on one benchmark;
+* ``simulate`` — evaluate a single design point (either engine);
+* ``rank``     — Plackett-Burman parameter ranking for a study;
+* ``table51``  — regenerate Table 5.1;
+* ``figure``   — regenerate one of the evaluation figures (5.1, 5.2/5.3,
+  5.4/5.5, 5.6, 5.7, 5.8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import DesignSpaceExplorer, TrainingConfig
+from .cpu import Simulator, get_interval_simulator
+from .doe import PlackettBurmanStudy
+from .experiments import (
+    build_table51,
+    estimation_curves,
+    gains_study,
+    get_study,
+    learning_curves,
+    make_simulate_fn,
+    measure_training_times,
+    render_estimation_curves,
+    render_gain_split,
+    render_gains,
+    render_learning_curves,
+    render_simpoint_curves,
+    render_table51,
+    render_training_times,
+    simpoint_curves,
+)
+from .experiments.reporting import format_table
+from .experiments.summary import generate_experiments_md
+from .experiments.studies import STUDY_NAMES
+from .workloads.spec import SPEC_WORKLOADS
+
+
+def _parse_benchmarks(raw: Optional[str]) -> Optional[List[str]]:
+    if not raw:
+        return None
+    names = [b.strip() for b in raw.split(",") if b.strip()]
+    unknown = set(names) - set(SPEC_WORKLOADS)
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmarks {sorted(unknown)}; "
+            f"available: {sorted(SPEC_WORKLOADS)}"
+        )
+    return names
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run the incremental modeling loop and report the best point."""
+    study = get_study(args.study)
+    explorer = DesignSpaceExplorer(
+        study.space,
+        make_simulate_fn(study, args.benchmark),
+        batch_size=args.batch_size,
+        training=TrainingConfig(),
+        rng=np.random.default_rng(args.seed),
+    )
+    result = explorer.explore(
+        target_error=args.target_error, max_simulations=args.max_simulations
+    )
+    for i, round_ in enumerate(result.rounds, 1):
+        print(
+            f"round {i:>2}: {round_.n_samples:>5} sims -> estimated "
+            f"{round_.estimate.mean:.2f}% +/- {round_.estimate.std:.2f}%"
+        )
+    status = "converged" if result.converged else "budget exhausted"
+    print(f"{status} after {result.n_simulations} simulations")
+    predictions = result.predict_space()
+    best = int(np.argmax(predictions))
+    print(f"predicted-best IPC {predictions[best]:.3f} at point {best}:")
+    for key, value in study.space.config_at(best).items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Evaluate one design point with the chosen engine."""
+    study = get_study(args.study)
+    config = study.space.config_at(args.index)
+    machine = study.to_machine(config)
+    print(f"design point {args.index} of {study.name}:")
+    for key, value in config.items():
+        print(f"  {key} = {value}")
+    simulator = Simulator(args.engine)
+    ipc = simulator.simulate_ipc(machine, args.benchmark)
+    print(f"{args.engine} engine IPC({args.benchmark}) = {ipc:.4f}")
+    return 0
+
+
+def cmd_rank(args: argparse.Namespace) -> int:
+    """Print the Plackett-Burman parameter ranking for one benchmark."""
+    study = get_study(args.study)
+    evaluator = get_interval_simulator(args.benchmark)
+    levels = {
+        p.name: (p.values[0], p.values[-1]) for p in study.space.parameters
+    }
+    pb = PlackettBurmanStudy(levels)
+    effects = pb.rank_parameters(
+        lambda config: evaluator.evaluate_ipc(study.to_machine(config))
+    )
+    print(
+        format_table(
+            ["Rank", "Parameter", "|Effect| (IPC)"],
+            [[e.rank, e.name, f"{e.effect:.4f}"] for e in effects],
+            title=(
+                f"Plackett-Burman ranking, {study.name} study, "
+                f"{args.benchmark} ({pb.n_runs} runs)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_table51(args: argparse.Namespace) -> int:
+    """Regenerate Table 5.1 for one or both studies."""
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    studies = STUDY_NAMES if args.study == "both" else (args.study,)
+    for study_name in studies:
+        table = build_table51(study_name, benchmarks=benchmarks, seed=args.seed)
+        print(render_table51(table))
+        print()
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one of the evaluation figures as text series."""
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    figure = args.number
+    if figure in ("5.1", "A.1"):
+        print(render_learning_curves(learning_curves(benchmarks, seed=args.seed)))
+    elif figure in ("5.2", "5.3", "A.2", "A.3"):
+        print(
+            render_estimation_curves(estimation_curves(benchmarks, seed=args.seed))
+        )
+    elif figure in ("5.4", "5.5"):
+        print(render_simpoint_curves(simpoint_curves(benchmarks, seed=args.seed)))
+    elif figure == "5.6":
+        print(render_gains(gains_study(seed=args.seed)))
+    elif figure == "5.7":
+        print(render_gain_split(gains_study(seed=args.seed)))
+    elif figure == "5.8":
+        print(render_training_times(measure_training_times(seed=args.seed)))
+    else:
+        raise SystemExit(
+            f"unknown figure {figure!r}; choices: 5.1 5.2 5.3 5.4 5.5 5.6 "
+            f"5.7 5.8 A.1 A.2 A.3"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Write the paper-vs-measured EXPERIMENTS.md report."""
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    generate_experiments_md(args.output, benchmarks=benchmarks, seed=args.seed)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Predictive modeling of architectural design spaces "
+            "(ASPLOS 2006 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    explore = sub.add_parser("explore", help="run the incremental loop")
+    explore.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
+    explore.add_argument("--benchmark", default="mcf")
+    explore.add_argument("--target-error", type=float, default=2.0)
+    explore.add_argument("--max-simulations", type=int, default=1000)
+    explore.add_argument("--batch-size", type=int, default=50)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.set_defaults(func=cmd_explore)
+
+    simulate = sub.add_parser("simulate", help="evaluate one design point")
+    simulate.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
+    simulate.add_argument("--benchmark", default="mcf")
+    simulate.add_argument("--index", type=int, required=True)
+    simulate.add_argument("--engine", choices=("interval", "cycle"),
+                          default="interval")
+    simulate.set_defaults(func=cmd_simulate)
+
+    rank = sub.add_parser("rank", help="Plackett-Burman parameter ranking")
+    rank.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
+    rank.add_argument("--benchmark", default="gzip")
+    rank.set_defaults(func=cmd_rank)
+
+    table = sub.add_parser("table51", help="regenerate Table 5.1")
+    table.add_argument("--study", choices=STUDY_NAMES + ("both",),
+                       default="both")
+    table.add_argument("--benchmarks", default="")
+    table.add_argument("--seed", type=int, default=0)
+    table.set_defaults(func=cmd_table51)
+
+    figure = sub.add_parser("figure", help="regenerate an evaluation figure")
+    figure.add_argument("number", help="e.g. 5.1, 5.4, 5.6, 5.8")
+    figure.add_argument("--benchmarks", default="")
+    figure.add_argument("--seed", type=int, default=0)
+    figure.set_defaults(func=cmd_figure)
+
+    report = sub.add_parser(
+        "report", help="write EXPERIMENTS.md (paper vs measured)"
+    )
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--benchmarks", default="")
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The paper's contribution: ANN ensembles for design-space modeling."""
+
+from .activation import Activation, Identity, Sigmoid, Tanh, get_activation
+from .active import QueryByCommitteeSampler
+from .baselines import KNNRegressor, LinearRegression, PolynomialRegression
+from .crossapp import CrossApplicationModel
+from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble, make_folds
+from .encoding import MultiTargetScaler, ParameterEncoder, TargetScaler
+from .ensemble import EnsemblePredictor
+from .error import ErrorEstimate, ErrorStatistics, percentage_errors
+from .explorer import (
+    DEFAULT_BATCH_SIZE,
+    DesignSpaceExplorer,
+    ExplorationResult,
+    ExplorationRound,
+)
+from .multitask import MultiTaskNetwork, auxiliary_target_names
+from .persistence import FORMAT_VERSION, load_predictor, save_predictor
+from .network import (
+    DEFAULT_HIDDEN_UNITS,
+    DEFAULT_INIT_RANGE,
+    DEFAULT_LEARNING_RATE,
+    DEFAULT_MOMENTUM,
+    FeedForwardNetwork,
+)
+from .training import EarlyStoppingTrainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "Activation",
+    "CrossApplicationModel",
+    "CrossValidationEnsemble",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_FOLDS",
+    "DEFAULT_HIDDEN_UNITS",
+    "DEFAULT_INIT_RANGE",
+    "DEFAULT_LEARNING_RATE",
+    "DEFAULT_MOMENTUM",
+    "DesignSpaceExplorer",
+    "EarlyStoppingTrainer",
+    "EnsemblePredictor",
+    "FORMAT_VERSION",
+    "ErrorEstimate",
+    "ErrorStatistics",
+    "ExplorationResult",
+    "ExplorationRound",
+    "FeedForwardNetwork",
+    "Identity",
+    "KNNRegressor",
+    "LinearRegression",
+    "MultiTargetScaler",
+    "MultiTaskNetwork",
+    "ParameterEncoder",
+    "PolynomialRegression",
+    "QueryByCommitteeSampler",
+    "Sigmoid",
+    "Tanh",
+    "TargetScaler",
+    "TrainingConfig",
+    "TrainingHistory",
+    "auxiliary_target_names",
+    "get_activation",
+    "load_predictor",
+    "make_folds",
+    "percentage_errors",
+    "save_predictor",
+]

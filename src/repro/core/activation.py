@@ -1,0 +1,82 @@
+"""Activation functions for feed-forward networks.
+
+The paper's hidden units use the sigmoid (Figure 3.2); any non-linear,
+monotonic, differentiable function qualifies, so tanh is provided as an
+alternative and the identity serves as the regression output unit.
+Derivatives are expressed in terms of the activation *output*, which is
+what backpropagation has in hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Activation:
+    """Interface: elementwise forward pass and derivative-from-output."""
+
+    name = "abstract"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Elementwise activation of ``x``."""
+        raise NotImplementedError
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        """d activation / d input, expressed via the output ``y``."""
+        raise NotImplementedError
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid: sigma(x) = 1 / (1 + e^-x); sigma' = y (1 - y)."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logistic function, numerically clipped."""
+        # clip to keep exp() finite; gradients there are ~0 anyway
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        """sigma' = y (1 - y)."""
+        return y * (1.0 - y)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent; tanh' = 1 - y^2."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Hyperbolic tangent."""
+        return np.tanh(x)
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        """tanh' = 1 - y^2."""
+        return 1.0 - y * y
+
+
+class Identity(Activation):
+    """Linear unit, used at the output layer for regression."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Identity."""
+        return x
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        """Constant derivative of 1."""
+        return np.ones_like(y)
+
+
+_ACTIVATIONS = {cls.name: cls for cls in (Sigmoid, Tanh, Identity)}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name (``sigmoid``, ``tanh``, ``identity``)."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choices: {sorted(_ACTIVATIONS)}"
+        ) from None

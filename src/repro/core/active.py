@@ -1,0 +1,82 @@
+"""Active learning (a future-work direction of Chapter 7).
+
+Instead of drawing new simulation points uniformly at random, the model
+identifies the points it would benefit most from: query-by-committee uses
+the disagreement (variance) among the cross-validation ensemble's members
+as the acquisition signal, picking the highest-variance unsampled points
+from a random candidate pool.  Plugs into
+:class:`repro.core.explorer.DesignSpaceExplorer` via its ``sampler`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..designspace.space import DesignSpace
+from .encoding import ParameterEncoder
+from .ensemble import EnsemblePredictor
+
+
+class QueryByCommitteeSampler:
+    """Variance-maximizing batch sampler over a random candidate pool.
+
+    Parameters
+    ----------
+    encoder:
+        Feature encoder of the explored space.
+    pool_size:
+        Candidate points scored per batch (scoring the entire space every
+        round would be wasteful; a random pool preserves exploration).
+    exploration_fraction:
+        Fraction of each batch still drawn uniformly at random, guarding
+        against the committee's blind spots.
+    """
+
+    def __init__(
+        self,
+        encoder: ParameterEncoder,
+        pool_size: int = 2000,
+        exploration_fraction: float = 0.25,
+    ):
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        if not 0.0 <= exploration_fraction <= 1.0:
+            raise ValueError("exploration_fraction must be in [0, 1]")
+        self.encoder = encoder
+        self.pool_size = pool_size
+        self.exploration_fraction = exploration_fraction
+
+    def __call__(
+        self,
+        space: DesignSpace,
+        n: int,
+        rng: np.random.Generator,
+        exclude: List[int],
+        predictor: Optional[EnsemblePredictor],
+    ) -> List[int]:
+        """Sampler hook: returns ``n`` new design-space indices."""
+        if predictor is None:
+            # first round: no committee yet, fall back to random
+            return space.sample_indices(n, rng, exclude)
+
+        n_random = int(round(n * self.exploration_fraction))
+        n_active = n - n_random
+        chosen: List[int] = []
+        if n_random:
+            chosen.extend(space.sample_indices(n_random, rng, exclude))
+
+        if n_active:
+            excluded = set(exclude) | set(chosen)
+            pool_want = min(
+                self.pool_size + n_active, len(space) - len(excluded)
+            )
+            pool = space.sample_indices(pool_want, rng, excluded)
+            configs = [space.config_at(i) for i in pool]
+            variance = predictor.prediction_variance(
+                self.encoder.encode_many(configs)
+            )
+            ranked = np.argsort(variance)[::-1]
+            chosen.extend(pool[int(i)] for i in ranked[:n_active])
+        return chosen

@@ -1,0 +1,100 @@
+"""Baseline regressors the paper's Chapter 3 weighs ANNs against.
+
+Linear regression, polynomial regression (degree-2 interaction expansion)
+and k-nearest-neighbour, all from scratch on numpy.  They share a minimal
+``fit``/``predict`` interface with the ANN ensemble so the benchmark
+harness can compare them head-to-head on the same design spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearRegression:
+    """Ordinary least squares via the normal equations (ridge-stabilized)."""
+
+    def __init__(self, regularization: float = 1e-8):
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.regularization = regularization
+        self.coefficients: Optional[np.ndarray] = None
+
+    def _design_matrix(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.hstack([np.ones((len(x), 1)), x])
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Solve the (ridge-stabilized) normal equations."""
+        design = self._design_matrix(x)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if len(design) != len(y):
+            raise ValueError("x and y must have equal length")
+        gram = design.T @ design
+        gram += self.regularization * np.eye(len(gram))
+        self.coefficients = np.linalg.solve(gram, design.T @ y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``x``."""
+        if self.coefficients is None:
+            raise RuntimeError("fit() must be called before predict()")
+        return self._design_matrix(x) @ self.coefficients
+
+
+class PolynomialRegression(LinearRegression):
+    """Least squares on a degree-2 expansion (squares + pairwise products).
+
+    Captures simple parameter interactions; still a fixed functional form,
+    which is exactly the limitation that motivates ANNs in the paper.
+    """
+
+    def _design_matrix(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n, f = x.shape
+        columns = [np.ones((n, 1)), x, x ** 2]
+        for i in range(f):
+            for j in range(i + 1, f):
+                columns.append((x[:, i] * x[:, j])[:, None])
+        return np.hstack(columns)
+
+
+class KNNRegressor:
+    """k-nearest-neighbour regression with inverse-distance weighting."""
+
+    def __init__(self, k: int = 5):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        """Memorize the training set."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if len(x) != len(y):
+            raise ValueError("x and y must have equal length")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._x = x
+        self._y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inverse-distance-weighted average of the k nearest points."""
+        if self._x is None or self._y is None:
+            raise RuntimeError("fit() must be called before predict()")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        k = min(self.k, len(self._x))
+        out = np.empty(len(x), dtype=np.float64)
+        for row, point in enumerate(x):
+            distances = np.linalg.norm(self._x - point, axis=1)
+            nearest = np.argpartition(distances, k - 1)[:k]
+            weights = 1.0 / (distances[nearest] + 1e-12)
+            out[row] = float(
+                np.average(self._y[nearest], weights=weights)
+            )
+        return out

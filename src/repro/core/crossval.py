@@ -1,0 +1,152 @@
+"""K-fold cross-validation ensembles (Section 3.2, Figure 3.3).
+
+The training sample is split into ``k`` folds.  Model ``i`` trains on
+``k-2`` folds, early-stops on one fold and is tested on another; rotating
+the roles gives ``k`` models, each fold serving exactly once as the
+early-stopping set and once as the test set.  The ``k`` models form an
+ensemble whose prediction is the average of the members' predictions, and
+whose accuracy on the full design space is estimated from the per-point
+percentage errors the members make on their held-out test folds.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .encoding import TargetScaler
+from .ensemble import EnsemblePredictor
+from .error import ErrorEstimate, percentage_errors
+from .network import FeedForwardNetwork
+from .training import EarlyStoppingTrainer, TrainingConfig
+
+#: the paper uses 10-fold cross validation throughout
+DEFAULT_FOLDS = 10
+
+
+def default_n_jobs() -> int:
+    """Worker processes for fold training: ``REPRO_N_JOBS`` env var, or 1.
+
+    The paper trains its 10 folds in parallel on a 10-node cluster
+    (Section 5.4); fold training here is embarrassingly parallel too.
+    """
+    env = os.environ.get("REPRO_N_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return 1
+
+
+def _train_one_fold(
+    args: Tuple,
+) -> Tuple[FeedForwardNetwork, np.ndarray]:
+    """Train one fold's network (module-level for multiprocessing)."""
+    (x, y, train_idx, es_idx, test_idx, training, scaler, seed) = args
+    rng = np.random.default_rng(seed)
+    network = FeedForwardNetwork(
+        n_inputs=x.shape[1],
+        hidden_layers=training.hidden_layers,
+        hidden_activation=training.hidden_activation,
+        rng=rng,
+        init_range=training.init_range,
+    )
+    trainer = EarlyStoppingTrainer(training, rng)
+    trainer.train(network, x[train_idx], y[train_idx], x[es_idx], y[es_idx], scaler)
+    test_predictions = scaler.inverse_transform(network.predict(x[test_idx])[:, 0])
+    return network, percentage_errors(test_predictions, y[test_idx])
+
+
+def make_folds(
+    n: int, k: int, rng: Optional[np.random.Generator] = None
+) -> List[np.ndarray]:
+    """Split ``range(n)`` into ``k`` near-equal shuffled folds."""
+    if k < 3:
+        raise ValueError(
+            f"cross validation needs k >= 3 (train/ES/test roles), got {k}"
+        )
+    if n < k:
+        raise ValueError(f"cannot split {n} points into {k} non-empty folds")
+    indices = np.arange(n)
+    if rng is not None:
+        rng.shuffle(indices)
+    return [fold.copy() for fold in np.array_split(indices, k)]
+
+
+class CrossValidationEnsemble:
+    """Train and hold a k-fold ANN ensemble.
+
+    Parameters
+    ----------
+    k:
+        Number of folds (and ensemble members).
+    training:
+        Hyperparameters shared by all members.
+    rng:
+        Drives fold shuffling, weight initialization and presentation
+        order; pass a seeded generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        k: int = DEFAULT_FOLDS,
+        training: Optional[TrainingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        n_jobs: Optional[int] = None,
+    ):
+        self.k = k
+        self.training = training or TrainingConfig()
+        self.rng = rng or np.random.default_rng()
+        self.n_jobs = n_jobs if n_jobs is not None else default_n_jobs()
+        self.predictor: Optional[EnsemblePredictor] = None
+        self.estimate: Optional[ErrorEstimate] = None
+
+    def _fold_tasks(self, x: np.ndarray, y: np.ndarray, scaler: TargetScaler):
+        folds = make_folds(len(x), self.k, self.rng)
+        seeds = self.rng.integers(0, 2**63 - 1, size=self.k)
+        tasks = []
+        for i in range(self.k):
+            # Figure 3.3 layout: model i early-stops on fold i+k-2 and is
+            # tested on fold i+k-1; every fold plays each role exactly once
+            es = (i + self.k - 2) % self.k
+            test = (i + self.k - 1) % self.k
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.k) if j not in (es, test)]
+            )
+            tasks.append(
+                (x, y, train_idx, folds[es], folds[test], self.training,
+                 scaler, int(seeds[i]))
+            )
+        return tasks
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> ErrorEstimate:
+        """Train the ensemble on raw targets; returns the CV error estimate.
+
+        Folds train in parallel when ``n_jobs > 1`` (the paper trains its
+        folds on a 10-node cluster)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if len(x) != len(y):
+            raise ValueError("x and y must have equal length")
+        n = len(x)
+        scaler = TargetScaler().fit(y)
+        tasks = self._fold_tasks(x, y, scaler)
+
+        if self.n_jobs > 1:
+            with ProcessPoolExecutor(max_workers=min(self.n_jobs, self.k)) as pool:
+                outcomes = list(pool.map(_train_one_fold, tasks))
+        else:
+            outcomes = [_train_one_fold(task) for task in tasks]
+
+        networks: List[FeedForwardNetwork] = [net for net, _ in outcomes]
+        fold_errors: List[np.ndarray] = [errors for _, errors in outcomes]
+        self.predictor = EnsemblePredictor(networks=networks, scaler=scaler)
+        self.estimate = ErrorEstimate.from_fold_errors(fold_errors, n_training=n)
+        return self.estimate
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble prediction (average of members, denormalized)."""
+        if self.predictor is None:
+            raise RuntimeError("fit() must be called before predict()")
+        return self.predictor.predict(x)

@@ -1,0 +1,51 @@
+"""Ensemble prediction: average the members' denormalized outputs.
+
+Averaging the k cross-validation networks usually beats any single member
+(Section 3.2) — the same reason cross validation's per-member error
+estimate is slightly conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .encoding import TargetScaler
+from .network import FeedForwardNetwork
+
+
+@dataclass
+class EnsemblePredictor:
+    """A trained ensemble: member networks plus the shared target scaler."""
+
+    networks: List[FeedForwardNetwork]
+    scaler: TargetScaler
+
+    def __post_init__(self) -> None:
+        if not self.networks:
+            raise ValueError("an ensemble needs at least one network")
+
+    @property
+    def size(self) -> int:
+        return len(self.networks)
+
+    def member_predictions(self, x: np.ndarray) -> np.ndarray:
+        """Denormalized predictions of every member; shape ``(k, n)``."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.vstack(
+            [
+                self.scaler.inverse_transform(network.predict(x)[:, 0])
+                for network in self.networks
+            ]
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble prediction: mean of member predictions; shape ``(n,)``."""
+        return self.member_predictions(x).mean(axis=0)
+
+    def prediction_variance(self, x: np.ndarray) -> np.ndarray:
+        """Disagreement among members; the active-learning extension uses
+        this as its query-by-committee acquisition signal."""
+        return self.member_predictions(x).var(axis=0, ddof=0)

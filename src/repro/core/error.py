@@ -1,0 +1,111 @@
+"""Error metrics and estimates.
+
+All error in the paper is *percentage* error on actual (denormalized)
+values: ``|prediction - truth| / truth``.  The cross-validation ensemble
+reports an :class:`ErrorEstimate` (mean and standard deviation of
+percentage error across the held-out test folds); the evaluation compares
+it against the :class:`ErrorStatistics` measured on the full design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def percentage_errors(predictions: np.ndarray, truths: np.ndarray) -> np.ndarray:
+    """Per-point percentage error ``100 |pred - truth| / truth``."""
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    truths = np.asarray(truths, dtype=np.float64).reshape(-1)
+    if predictions.shape != truths.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {truths.shape}"
+        )
+    if np.any(truths == 0):
+        raise ValueError("percentage error is undefined for zero truths")
+    return 100.0 * np.abs(predictions - truths) / np.abs(truths)
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Mean and standard deviation of percentage error over a point set."""
+
+    mean: float
+    std: float
+    n_points: int
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "ErrorStatistics":
+        """Summarize a vector of per-point percentage errors."""
+        errors = np.asarray(errors, dtype=np.float64).reshape(-1)
+        if errors.size == 0:
+            raise ValueError("cannot summarize zero errors")
+        return cls(
+            mean=float(errors.mean()),
+            std=float(errors.std(ddof=0)),
+            n_points=int(errors.size),
+        )
+
+    @classmethod
+    def from_predictions(
+        cls, predictions: np.ndarray, truths: np.ndarray
+    ) -> "ErrorStatistics":
+        """Compute percentage errors, then summarize."""
+        return cls.from_errors(percentage_errors(predictions, truths))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}% +/- {self.std:.2f}% (n={self.n_points})"
+
+
+@dataclass(frozen=True)
+class ErrorEstimate:
+    """Cross-validation estimate of model error on the *full* space.
+
+    Built by pooling the per-point percentage errors every fold's model
+    makes on its held-out test fold (Section 3.2).  ``n_training`` records
+    how many simulations backed the estimate.
+    """
+
+    mean: float
+    std: float
+    n_training: int
+
+    @classmethod
+    def from_fold_errors(
+        cls, fold_errors: "list[np.ndarray]", n_training: int
+    ) -> "ErrorEstimate":
+        """Pool per-fold test errors into one estimate."""
+        if not fold_errors:
+            raise ValueError("need at least one fold")
+        pooled = np.concatenate([np.asarray(e).reshape(-1) for e in fold_errors])
+        if pooled.size == 0:
+            raise ValueError("folds contain no errors")
+        return cls(
+            mean=float(pooled.mean()),
+            std=float(pooled.std(ddof=0)),
+            n_training=int(n_training),
+        )
+
+    def meets(self, target_mean_error: float) -> bool:
+        """Stopping rule of the incremental procedure (step 7)."""
+        return self.mean <= target_mean_error
+
+    def confidence_interval(self, z: float = 1.96) -> "tuple[float, float]":
+        """Normal-approximation CI for the *mean* error estimate.
+
+        The pooled test-fold errors behind the estimate number
+        ``n_training`` points, so the standard error of the mean is
+        ``std / sqrt(n_training)``.  Useful when deciding whether another
+        batch of simulations is worth running.
+        """
+        if self.n_training <= 0:
+            raise ValueError("estimate has no backing samples")
+        half_width = z * self.std / (self.n_training ** 0.5)
+        return (max(0.0, self.mean - half_width), self.mean + half_width)
+
+    def __str__(self) -> str:
+        return (
+            f"estimated {self.mean:.2f}% +/- {self.std:.2f}% "
+            f"from {self.n_training} simulations"
+        )

@@ -1,0 +1,234 @@
+"""The incremental design-space exploration loop (Section 3.3's procedure).
+
+1. identify the design parameters (a :class:`DesignSpace`);
+2. simulate N random parameter combinations;
+3. encode inputs/outputs;
+4-6. train a k-fold cross-validation ensemble and estimate its error;
+7. if the estimate is too high, simulate N more points and repeat;
+8. predict any point by averaging the ensemble.
+
+:class:`DesignSpaceExplorer` drives this loop against any simulator
+callable (interval engine, cycle engine, or a SimPoint-reduced engine),
+recording the error-estimate trajectory so learning curves and
+estimated-vs-true studies fall out of its history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..designspace.space import Config, DesignSpace
+from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble
+from .encoding import ParameterEncoder
+from .ensemble import EnsemblePredictor
+from .error import ErrorEstimate
+from .training import TrainingConfig
+
+#: the paper collects simulation results in batches of 50
+DEFAULT_BATCH_SIZE = 50
+
+SimulateFn = Callable[[Config], float]
+
+
+@dataclass
+class ExplorationRound:
+    """One iteration of the incremental loop."""
+
+    n_samples: int
+    estimate: ErrorEstimate
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the loop produced.
+
+    Attributes
+    ----------
+    space:
+        The explored design space.
+    sampled_indices:
+        Design-space indices of every simulated point, in sampling order.
+    targets:
+        Simulated results for those points.
+    rounds:
+        Error-estimate trajectory, one entry per training round.
+    predictor:
+        The final trained ensemble.
+    encoder:
+        Encoder used for all feature vectors.
+    converged:
+        Whether the stopping criterion was met (vs budget exhaustion).
+    """
+
+    space: DesignSpace
+    sampled_indices: List[int]
+    targets: List[float]
+    rounds: List[ExplorationRound]
+    predictor: EnsemblePredictor
+    encoder: ParameterEncoder
+    converged: bool
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_simulations(self) -> int:
+        return len(self.sampled_indices)
+
+    @property
+    def final_estimate(self) -> ErrorEstimate:
+        return self.rounds[-1].estimate
+
+    def predict_config(self, config: Config) -> float:
+        """Predict one design point (procedure step 8)."""
+        return float(self.predictor.predict(self.encoder.encode(config)[None, :])[0])
+
+    def predict_space(self) -> np.ndarray:
+        """Predict every point of the space, in enumeration order."""
+        return self.predictor.predict(self.encoder.encode_space())
+
+    def best_configs(
+        self,
+        n: int = 1,
+        constraint: Optional[Callable[[Config], bool]] = None,
+        maximize: bool = True,
+    ) -> List[tuple]:
+        """The model's top-``n`` design points, optionally constrained.
+
+        This is the payoff of the whole approach: once trained, questions
+        like "best IPC with an L2 of at most 512 KB" are answered from
+        predictions alone, without further simulation.
+
+        Returns ``(config, predicted_value)`` pairs, best first.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        predictions = self.predict_space()
+        order = np.argsort(predictions)
+        if maximize:
+            order = order[::-1]
+        out = []
+        for index in order:
+            config = self.space.config_at(int(index))
+            if constraint is not None and not constraint(config):
+                continue
+            out.append((config, float(predictions[index])))
+            if len(out) == n:
+                break
+        return out
+
+
+class DesignSpaceExplorer:
+    """Incremental sampling + modeling of one design space.
+
+    Parameters
+    ----------
+    space:
+        The parameter space under study.
+    simulate:
+        Callable evaluating one configuration (a cycle-by-cycle simulation
+        in the paper; any engine here).
+    batch_size:
+        Simulations added per round (the paper uses 50).
+    k:
+        Cross-validation folds.
+    training:
+        ANN hyperparameters.
+    rng:
+        Seeded generator for reproducible sampling and training.
+    sampler:
+        Optional replacement for uniform random sampling; called as
+        ``sampler(space, n, rng, exclude, state)`` and must return new
+        design-space indices.  Used by the active-learning extension.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        simulate: SimulateFn,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        k: int = DEFAULT_FOLDS,
+        training: Optional[TrainingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        sampler: Optional[Callable] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.space = space
+        self.simulate = simulate
+        self.batch_size = batch_size
+        self.k = k
+        self.training = training or TrainingConfig()
+        self.rng = rng or np.random.default_rng()
+        self.sampler = sampler
+        self.encoder = ParameterEncoder(space)
+
+    # ------------------------------------------------------------------
+    def _draw_batch(
+        self, n: int, exclude: List[int], state: Optional[EnsemblePredictor]
+    ) -> List[int]:
+        if self.sampler is not None:
+            return list(
+                self.sampler(self.space, n, self.rng, exclude, state)
+            )
+        return self.space.sample_indices(n, self.rng, exclude)
+
+    def explore(
+        self,
+        target_error: float,
+        max_simulations: int,
+        initial_samples: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Run the loop until the CV estimate reaches ``target_error`` (mean
+        percentage error) or ``max_simulations`` is exhausted."""
+        if target_error <= 0:
+            raise ValueError(f"target_error must be positive, got {target_error}")
+        if max_simulations < self.k:
+            raise ValueError(
+                f"max_simulations must allow at least k={self.k} points"
+            )
+        initial = initial_samples or self.batch_size
+
+        sampled: List[int] = []
+        targets: List[float] = []
+        rounds: List[ExplorationRound] = []
+        predictor: Optional[EnsemblePredictor] = None
+        converged = False
+
+        while True:
+            want = initial if not sampled else self.batch_size
+            want = min(want, max_simulations - len(sampled))
+            if want > 0:
+                new_indices = self._draw_batch(want, sampled, predictor)
+                for index in new_indices:
+                    sampled.append(index)
+                    targets.append(
+                        float(self.simulate(self.space.config_at(index)))
+                    )
+            x = self.encoder.encode_many(
+                [self.space.config_at(i) for i in sampled]
+            )
+            y = np.asarray(targets)
+            ensemble = CrossValidationEnsemble(
+                k=self.k, training=self.training, rng=self.rng
+            )
+            estimate = ensemble.fit(x, y)
+            predictor = ensemble.predictor
+            rounds.append(ExplorationRound(len(sampled), estimate))
+            if estimate.meets(target_error):
+                converged = True
+                break
+            if len(sampled) >= max_simulations:
+                break
+
+        assert predictor is not None
+        return ExplorationResult(
+            space=self.space,
+            sampled_indices=sampled,
+            targets=targets,
+            rounds=rounds,
+            predictor=predictor,
+            encoder=self.encoder,
+            converged=converged,
+        )

@@ -1,0 +1,132 @@
+"""Multi-task learning (a future-work direction of Chapter 7).
+
+Simulators emit several statistics besides IPC (cache miss rates, branch
+misprediction rate, bus occupancy).  Those metrics cannot be *inputs* — at
+prediction time no simulation has run — but a network with one output per
+metric shares its hidden layer across tasks, letting the correlations
+sharpen the main IPC output.  Only the IPC head is read at prediction
+time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .encoding import MultiTargetScaler
+from .error import percentage_errors
+from .network import FeedForwardNetwork
+from .training import TrainingConfig
+
+
+class MultiTaskNetwork:
+    """A shared-hidden-layer network with one output head per metric.
+
+    Parameters
+    ----------
+    n_inputs:
+        Feature width.
+    n_tasks:
+        Number of simultaneously learned metrics; task 0 is the metric of
+        interest (IPC).
+    training:
+        Hyperparameters (hidden layout, learning rate, momentum...).
+    rng:
+        Seeded generator.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_tasks: int,
+        training: Optional[TrainingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+        self.training = training or TrainingConfig()
+        self.rng = rng or np.random.default_rng()
+        self.n_tasks = n_tasks
+        self.network = FeedForwardNetwork(
+            n_inputs=n_inputs,
+            hidden_layers=self.training.hidden_layers,
+            n_outputs=n_tasks,
+            hidden_activation=self.training.hidden_activation,
+            rng=self.rng,
+            init_range=self.training.init_range,
+        )
+        self.scaler = MultiTargetScaler()
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_es: np.ndarray,
+        y_es: np.ndarray,
+    ) -> List[float]:
+        """Train on raw multi-column targets with early stopping on the
+        primary task's percentage error; returns the early-stopping trace."""
+        cfg = self.training
+        x = np.asarray(x, dtype=np.float64)
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        x_es = np.asarray(x_es, dtype=np.float64)
+        y_es = np.atleast_2d(np.asarray(y_es, dtype=np.float64))
+        if y.shape[1] != self.n_tasks or y_es.shape[1] != self.n_tasks:
+            raise ValueError(f"targets must have {self.n_tasks} columns")
+
+        self.scaler.fit(y)
+        y_norm = self.scaler.transform(y)
+        primary = y[:, 0]
+        if np.any(primary <= 0):
+            raise ValueError("primary targets must be positive")
+        inverse = 1.0 / primary
+        probabilities = inverse / inverse.sum()
+
+        n = len(x)
+        history: List[float] = []
+        best_error = float("inf")
+        best_weights = self.network.get_weights()
+        stale_checks = 0
+        for epoch in range(1, cfg.max_epochs + 1):
+            order = self.rng.choice(n, size=n, p=probabilities)
+            for start in range(0, n, cfg.batch_size):
+                batch = order[start : start + cfg.batch_size]
+                self.network.train_batch(
+                    x[batch],
+                    y_norm[batch],
+                    learning_rate=cfg.learning_rate,
+                    momentum=cfg.momentum,
+                )
+            if epoch % cfg.check_interval:
+                continue
+            error = float(
+                np.mean(percentage_errors(self.predict_primary(x_es), y_es[:, 0]))
+            )
+            history.append(error)
+            if error < best_error - 1e-12:
+                best_error = error
+                best_weights = self.network.get_weights()
+                stale_checks = 0
+            else:
+                stale_checks += 1
+                if stale_checks >= cfg.patience:
+                    break
+        self.network.set_weights(best_weights)
+        return history
+
+    def predict_all(self, x: np.ndarray) -> np.ndarray:
+        """Denormalized predictions for every task; shape ``(n, n_tasks)``."""
+        return self.scaler.inverse_transform(self.network.predict(x))
+
+    def predict_primary(self, x: np.ndarray) -> np.ndarray:
+        """Predictions of the main metric (IPC); shape ``(n,)``."""
+        return self.predict_all(x)[:, 0]
+
+
+def auxiliary_target_names(metrics: Sequence[str]) -> List[str]:
+    """Validate and normalize an auxiliary-metric list (task 0 is IPC)."""
+    names = ["ipc"] + [m for m in metrics if m != "ipc"]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate metric names in {metrics!r}")
+    return names

@@ -1,0 +1,200 @@
+"""Fully connected feed-forward neural networks trained by backpropagation.
+
+Implements the model of Chapter 3: one or more hidden layers of sigmoid
+units, weighted edges between consecutive layers, gradient descent on
+squared error with a momentum term (Equations 3.1/3.2), and near-zero
+uniform weight initialization so the network starts out as an almost-linear
+model and grows non-linear as weights grow.
+
+The implementation is batch-vectorized numpy; no ML library is used.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .activation import Activation, get_activation
+
+#: the paper's hyperparameters (Section 3.1)
+DEFAULT_HIDDEN_UNITS = 16
+DEFAULT_LEARNING_RATE = 0.001
+DEFAULT_MOMENTUM = 0.5
+DEFAULT_INIT_RANGE = 0.01
+
+
+class FeedForwardNetwork:
+    """A fully connected feed-forward ANN.
+
+    Parameters
+    ----------
+    n_inputs:
+        Width of the input layer.
+    hidden_layers:
+        Units per hidden layer; the paper uses a single layer of 16.
+    n_outputs:
+        Output units (1 for IPC; >1 for multi-task learning).
+    hidden_activation / output_activation:
+        Activation names; defaults are sigmoid hidden units and a linear
+        output (standard for regression on normalized targets).
+    rng:
+        Numpy generator used for weight initialization.
+    init_range:
+        Weights start uniform in ``[-init_range, +init_range]``.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        hidden_layers: Sequence[int] = (DEFAULT_HIDDEN_UNITS,),
+        n_outputs: int = 1,
+        hidden_activation: str = "sigmoid",
+        output_activation: str = "identity",
+        rng: Optional[np.random.Generator] = None,
+        init_range: float = DEFAULT_INIT_RANGE,
+    ):
+        if n_inputs <= 0 or n_outputs <= 0:
+            raise ValueError("n_inputs and n_outputs must be positive")
+        hidden_layers = tuple(int(h) for h in hidden_layers)
+        if not hidden_layers or any(h <= 0 for h in hidden_layers):
+            raise ValueError(
+                f"hidden_layers must be non-empty and positive, got {hidden_layers}"
+            )
+        if init_range <= 0:
+            raise ValueError(f"init_range must be positive, got {init_range}")
+        if rng is None:
+            rng = np.random.default_rng()
+
+        self.n_inputs = n_inputs
+        self.hidden_layers = hidden_layers
+        self.n_outputs = n_outputs
+        self.hidden_activation: Activation = get_activation(hidden_activation)
+        self.output_activation: Activation = get_activation(output_activation)
+
+        sizes = (n_inputs,) + hidden_layers + (n_outputs,)
+        # weights[l] has shape (sizes[l] + 1, sizes[l+1]); row 0 is the bias
+        self.weights: List[np.ndarray] = [
+            rng.uniform(-init_range, init_range, (fan_in + 1, fan_out))
+            for fan_in, fan_out in zip(sizes, sizes[1:])
+        ]
+        self._velocity = [np.zeros_like(w) for w in self.weights]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    def forward(self, x: np.ndarray) -> List[np.ndarray]:
+        """Run the network; returns the activations of every layer
+        (including the input as element 0)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input features, got {x.shape[1]}"
+            )
+        activations = [x]
+        for layer, weight in enumerate(self.weights):
+            previous = activations[-1]
+            net = previous @ weight[1:] + weight[0]
+            if layer == self.n_layers - 1:
+                activations.append(self.output_activation.forward(net))
+            else:
+                activations.append(self.hidden_activation.forward(net))
+        return activations
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Network outputs for ``x``; shape ``(n, n_outputs)``."""
+        return self.forward(x)[-1]
+
+    # ------------------------------------------------------------------
+    def gradients(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        """Backpropagation: gradients of (weighted) half squared error."""
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        if y.shape[1] != self.n_outputs:
+            raise ValueError(
+                f"expected {self.n_outputs} targets, got {y.shape[1]}"
+            )
+        activations = self.forward(x)
+        n = len(activations[0])
+        if y.shape[0] != n:
+            raise ValueError("x and y must have the same number of rows")
+
+        output = activations[-1]
+        delta = (output - y) * self.output_activation.derivative_from_output(
+            output
+        )
+        if sample_weights is not None:
+            sample_weights = np.asarray(sample_weights, dtype=np.float64)
+            if sample_weights.shape != (n,):
+                raise ValueError(
+                    f"sample_weights must have shape ({n},), got "
+                    f"{sample_weights.shape}"
+                )
+            delta = delta * sample_weights[:, None]
+
+        grads: List[np.ndarray] = [np.empty(0)] * self.n_layers
+        for layer in range(self.n_layers - 1, -1, -1):
+            previous = activations[layer]
+            grad = np.empty_like(self.weights[layer])
+            grad[0] = delta.sum(axis=0)
+            grad[1:] = previous.T @ delta
+            grads[layer] = grad / n
+            if layer > 0:
+                delta = (
+                    delta @ self.weights[layer][1:].T
+                ) * self.hidden_activation.derivative_from_output(previous)
+        return grads
+
+    def apply_gradients(
+        self,
+        grads: Sequence[np.ndarray],
+        learning_rate: float = DEFAULT_LEARNING_RATE,
+        momentum: float = DEFAULT_MOMENTUM,
+    ) -> None:
+        """One gradient-descent-with-momentum update (Equation 3.2)."""
+        for weight, velocity, grad in zip(self.weights, self._velocity, grads):
+            velocity *= momentum
+            velocity -= learning_rate * grad
+            weight += velocity
+
+    def train_batch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+        learning_rate: float = DEFAULT_LEARNING_RATE,
+        momentum: float = DEFAULT_MOMENTUM,
+    ) -> None:
+        """Compute gradients on a batch and take one update step."""
+        self.apply_gradients(
+            self.gradients(x, y, sample_weights), learning_rate, momentum
+        )
+
+    # ------------------------------------------------------------------
+    def get_weights(self) -> List[np.ndarray]:
+        """Deep copy of the weight matrices (for early-stopping snapshots)."""
+        return [w.copy() for w in self.weights]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Restore weights from :meth:`get_weights`."""
+        if len(weights) != self.n_layers:
+            raise ValueError(
+                f"expected {self.n_layers} weight matrices, got {len(weights)}"
+            )
+        for own, new in zip(self.weights, weights):
+            if own.shape != new.shape:
+                raise ValueError(
+                    f"weight shape mismatch: {own.shape} vs {new.shape}"
+                )
+            own[...] = new
+
+    def reset_momentum(self) -> None:
+        """Zero the momentum state (used after weight restores)."""
+        for velocity in self._velocity:
+            velocity[...] = 0.0

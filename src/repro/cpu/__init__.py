@@ -1,0 +1,53 @@
+"""Processor substrate: configuration, predictors, cycle and interval engines."""
+
+from .branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GSharePredictor,
+    LocalPredictor,
+    TournamentPredictor,
+    measure_btb_miss_rate,
+    measure_misprediction_rate,
+)
+from .config import (
+    MachineConfig,
+    dependent_l1_associativity,
+    dependent_l2_associativity,
+    mispredict_penalty_cycles,
+)
+from .interval import ApplicationProfile, IntervalSimulator
+from .ooo import CycleSimulator, SimulationResult, simulate_cycle_level
+from .resources import SlotScheduler, WindowResource
+from .simulator import (
+    ENGINES,
+    Simulator,
+    clear_simulator_caches,
+    get_application_profile,
+    get_interval_simulator,
+)
+
+__all__ = [
+    "ApplicationProfile",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "CycleSimulator",
+    "ENGINES",
+    "GSharePredictor",
+    "IntervalSimulator",
+    "LocalPredictor",
+    "MachineConfig",
+    "SimulationResult",
+    "Simulator",
+    "SlotScheduler",
+    "TournamentPredictor",
+    "WindowResource",
+    "clear_simulator_caches",
+    "dependent_l1_associativity",
+    "dependent_l2_associativity",
+    "get_application_profile",
+    "get_interval_simulator",
+    "measure_btb_miss_rate",
+    "measure_misprediction_rate",
+    "mispredict_penalty_cycles",
+    "simulate_cycle_level",
+]

@@ -1,0 +1,181 @@
+"""Machine configuration for the simulated out-of-order processor.
+
+:class:`MachineConfig` carries every parameter from Tables 4.1 and 4.2 —
+both the varied and the constant ones — plus the derivation rules the paper
+describes: cache latencies come from the CACTI model at the configured
+frequency, the branch misprediction penalty uses the 11-cycle (2 GHz) /
+20-cycle (4 GHz) minimums, and dependent associativities follow the
+"1,2-way dependent on size" rules of Table 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..memory import cacti
+
+#: minimum branch misprediction penalties by core frequency (Section 4)
+_MISPREDICT_PENALTY = {2.0: 11, 4.0: 20}
+
+
+def mispredict_penalty_cycles(frequency_ghz: float) -> int:
+    """Pipeline refill penalty at ``frequency_ghz``.
+
+    Exact at the paper's two design frequencies; interpolated linearly in
+    between so the model extends to other clocks.
+    """
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    if frequency_ghz in _MISPREDICT_PENALTY:
+        return _MISPREDICT_PENALTY[frequency_ghz]
+    # linear in frequency: deeper pipes at higher clocks
+    return max(5, round(11 + (frequency_ghz - 2.0) * (20 - 11) / 2.0))
+
+
+def dependent_l1_associativity(size_bytes: int) -> int:
+    """Table 4.2 rule: 8 KB L1 caches are direct-mapped, 32 KB are 2-way."""
+    return 1 if size_bytes <= 8 * 1024 else 2
+
+
+def dependent_l2_associativity(size_bytes: int) -> int:
+    """Table 4.2 rule: 256 KB L2 is 4-way, 1 MB is 8-way."""
+    return 4 if size_bytes <= 256 * 1024 else 8
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of one design point.
+
+    Defaults are the constant columns of Table 4.1 (the memory-system
+    study's fixed core).
+    """
+
+    # core
+    frequency_ghz: float = 4.0
+    width: int = 4  # fetch = issue = commit width, as in the paper
+    rob_size: int = 128
+    int_registers: int = 96
+    fp_registers: int = 96
+    lsq_entries: int = 48  # per side: 48 load + 48 store
+    load_units: int = 2
+    store_units: int = 2
+    functional_units: int = 4  # ALUs shared by int/fp compute
+    max_branches: int = 16
+
+    # branch prediction (tournament, Alpha 21264 style)
+    predictor_entries: int = 2048
+    btb_sets: int = 2048
+    btb_ways: int = 2
+
+    # L1 instruction cache
+    l1i_size: int = 32 * 1024
+    l1i_block: int = 32
+    l1i_associativity: int = 2
+
+    # L1 data cache
+    l1d_size: int = 32 * 1024
+    l1d_block: int = 32
+    l1d_associativity: int = 2
+    l1d_write_policy: str = "WB"
+
+    # L2 unified cache
+    l2_size: int = 1024 * 1024
+    l2_block: int = 64
+    l2_associativity: int = 8
+
+    # buses and memory
+    l2_bus_width: int = 32  # bytes, runs at core frequency
+    fsb_width: int = 8  # 64-bit front-side bus
+    fsb_frequency_ghz: float = 0.8
+    sdram_ns: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.width not in (1, 2, 4, 6, 8):
+            raise ValueError(f"unsupported pipeline width {self.width}")
+        if self.rob_size <= 0 or self.lsq_entries <= 0:
+            raise ValueError("ROB and LSQ sizes must be positive")
+        if self.int_registers < 32 or self.fp_registers < 32:
+            raise ValueError(
+                "register files must hold at least the 32 architectural registers"
+            )
+        if self.l1d_write_policy not in ("WB", "WT"):
+            raise ValueError(f"bad write policy {self.l1d_write_policy!r}")
+        for attr in (
+            "functional_units",
+            "max_branches",
+            "predictor_entries",
+            "btb_sets",
+            "btb_ways",
+            "load_units",
+            "store_units",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        if self.frequency_ghz <= 0 or self.fsb_frequency_ghz <= 0:
+            raise ValueError("frequencies must be positive")
+
+    # ------------------------------------------------------------------
+    # derived latencies
+    # ------------------------------------------------------------------
+    @property
+    def l1i_latency(self) -> int:
+        return cacti.l1_latency_cycles(
+            self.l1i_size, self.l1i_block, self.l1i_associativity, self.frequency_ghz
+        )
+
+    @property
+    def l1d_latency(self) -> int:
+        return cacti.l1_latency_cycles(
+            self.l1d_size, self.l1d_block, self.l1d_associativity, self.frequency_ghz
+        )
+
+    @property
+    def l2_latency(self) -> int:
+        return cacti.l2_latency_cycles(
+            self.l2_size, self.l2_block, self.l2_associativity, self.frequency_ghz
+        )
+
+    @property
+    def mispredict_penalty(self) -> int:
+        return mispredict_penalty_cycles(self.frequency_ghz)
+
+    @property
+    def sdram_latency_cycles(self) -> float:
+        return self.sdram_ns * self.frequency_ghz
+
+    @property
+    def rename_registers(self) -> int:
+        """Physical registers available for in-flight results (beyond the
+        32 architectural registers per file)."""
+        return (self.int_registers - 32) + (self.fp_registers - 32)
+
+    # ------------------------------------------------------------------
+    def with_updates(self, **kwargs) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat dict of the configuration, for logging and encoding."""
+        return {
+            "frequency_ghz": self.frequency_ghz,
+            "width": self.width,
+            "rob_size": self.rob_size,
+            "int_registers": self.int_registers,
+            "fp_registers": self.fp_registers,
+            "lsq_entries": self.lsq_entries,
+            "functional_units": self.functional_units,
+            "max_branches": self.max_branches,
+            "predictor_entries": self.predictor_entries,
+            "btb_sets": self.btb_sets,
+            "l1i_size": self.l1i_size,
+            "l1d_size": self.l1d_size,
+            "l1d_block": self.l1d_block,
+            "l1d_associativity": self.l1d_associativity,
+            "l1d_write_policy": self.l1d_write_policy,
+            "l2_size": self.l2_size,
+            "l2_block": self.l2_block,
+            "l2_associativity": self.l2_associativity,
+            "l2_bus_width": self.l2_bus_width,
+            "fsb_frequency_ghz": self.fsb_frequency_ghz,
+        }

@@ -1,0 +1,85 @@
+"""Pipeline resource schedulers for the cycle-level simulator.
+
+Every bandwidth-limited pipeline stage (issue slots, functional units,
+commit ports) is modeled as a :class:`SlotScheduler`: a resource offering a
+fixed number of slots per cycle.  Window-style resources (ROB, LSQ halves,
+rename registers, in-flight branches) are modeled as
+:class:`WindowResource`: an instruction may not dispatch until the
+occupant ``capacity`` positions earlier has released its slot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+
+class SlotScheduler:
+    """A resource with ``slots_per_cycle`` units available every cycle."""
+
+    def __init__(self, slots_per_cycle: int, name: str = "resource"):
+        if slots_per_cycle <= 0:
+            raise ValueError(
+                f"slots_per_cycle must be positive, got {slots_per_cycle}"
+            )
+        self.slots_per_cycle = slots_per_cycle
+        self.name = name
+        self._used: Dict[int, int] = {}
+
+    def allocate(self, earliest: float) -> int:
+        """Reserve a slot at the first cycle >= ``earliest``; returns it."""
+        cycle = math.ceil(earliest)
+        used = self._used
+        while used.get(cycle, 0) >= self.slots_per_cycle:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        return cycle
+
+    def peek(self, earliest: float) -> int:
+        """First cycle >= ``earliest`` with a free slot (no reservation)."""
+        cycle = math.ceil(earliest)
+        used = self._used
+        while used.get(cycle, 0) >= self.slots_per_cycle:
+            cycle += 1
+        return cycle
+
+    def reset(self) -> None:
+        """Forget all reservations."""
+        self._used.clear()
+
+
+class WindowResource:
+    """A capacity-limited in-flight window (ROB, LSQ, rename registers).
+
+    Entry ``k`` cannot be allocated before entry ``k - capacity`` has
+    released; callers record each occupant's release time in program order.
+    """
+
+    def __init__(self, capacity: int, name: str = "window"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._release_times: List[float] = []
+
+    def earliest_allocation(self) -> float:
+        """Earliest time the next occupant may enter the window."""
+        if len(self._release_times) < self.capacity:
+            return 0.0
+        return self._release_times[len(self._release_times) - self.capacity]
+
+    def occupy(self, release_time: float) -> None:
+        """Record that the next occupant releases its slot at
+        ``release_time``.  Occupants enter in program order, and windows
+        release in order too, so release times are monotonic."""
+        if self._release_times and release_time < self._release_times[-1]:
+            release_time = self._release_times[-1]
+        self._release_times.append(release_time)
+
+    @property
+    def occupants(self) -> int:
+        return len(self._release_times)
+
+    def reset(self) -> None:
+        """Forget all occupants."""
+        self._release_times.clear()

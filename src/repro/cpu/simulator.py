@@ -1,0 +1,151 @@
+"""The ``SIM(p0 .. pM, A)`` facade.
+
+The paper views the simulator as a nonlinear function from a parameter
+configuration and an application to a performance result.  This module
+provides that function with a pluggable engine:
+
+* ``"interval"`` — the fast first-order model
+  (:class:`repro.cpu.interval.IntervalSimulator`); used for full-space
+  ground truth, exactly as the paper used its SESC cluster runs.
+* ``"cycle"`` — the detailed scoreboard simulator
+  (:class:`repro.cpu.ooo.CycleSimulator`); used for validation, examples
+  and small sweeps.
+
+Application profiles and interval simulators are memoized per benchmark so
+sweeps pay the profiling cost once.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..workloads.generator import generate_trace
+from ..workloads.spec import get_workload
+from .config import MachineConfig
+from .interval import ApplicationProfile, IntervalSimulator
+from .ooo import CycleSimulator, SimulationResult
+
+ENGINES = ("interval", "cycle")
+
+#: bump when profile contents or the generator change incompatibly
+PROFILE_VERSION = 1
+
+_PROFILE_CACHE: Dict[Tuple[str, int], ApplicationProfile] = {}
+_INTERVAL_CACHE: Dict[Tuple[str, int], IntervalSimulator] = {}
+
+
+def _profile_cache_dir() -> Optional[Path]:
+    """On-disk profile cache location; None disables disk caching."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env == "":
+        return None
+    base = Path(env) if env else Path.home() / ".cache" / "repro-asplos06"
+    try:
+        base.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return base
+
+
+def _load_cached_profile(path: Path) -> Optional[ApplicationProfile]:
+    try:
+        with open(path, "rb") as handle:
+            profile = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    return profile if isinstance(profile, ApplicationProfile) else None
+
+
+def _store_cached_profile(path: Path, profile: ApplicationProfile) -> None:
+    try:
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(profile, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except OSError:
+        pass  # caching is best-effort
+
+
+def get_application_profile(
+    benchmark: str, trace_length: Optional[int] = None
+) -> ApplicationProfile:
+    """Build (and memoize, in memory and on disk) the measured profile for
+    ``benchmark``.  Profile construction costs seconds; everything that
+    consumes profiles costs microseconds, so caching dominates total cost
+    for repeated studies."""
+    trace = generate_trace(benchmark, trace_length)
+    key = (benchmark, len(trace))
+    if key in _PROFILE_CACHE:
+        return _PROFILE_CACHE[key]
+    seed = get_workload(benchmark).seed
+    cache_dir = _profile_cache_dir()
+    cache_path = (
+        cache_dir / f"profile-v{PROFILE_VERSION}-{benchmark}-{len(trace)}-{seed}.pkl"
+        if cache_dir
+        else None
+    )
+    profile = _load_cached_profile(cache_path) if cache_path else None
+    if profile is None:
+        profile = ApplicationProfile.from_trace(trace)
+        if cache_path:
+            _store_cached_profile(cache_path, profile)
+    _PROFILE_CACHE[key] = profile
+    return profile
+
+
+def get_interval_simulator(
+    benchmark: str, trace_length: Optional[int] = None
+) -> IntervalSimulator:
+    """Build (and memoize) the interval evaluator for ``benchmark``."""
+    profile = get_application_profile(benchmark, trace_length)
+    key = (benchmark, profile.n_instructions)
+    if key not in _INTERVAL_CACHE:
+        _INTERVAL_CACHE[key] = IntervalSimulator(profile)
+    return _INTERVAL_CACHE[key]
+
+
+def clear_simulator_caches() -> None:
+    """Drop memoized profiles and evaluators (used by tests)."""
+    _PROFILE_CACHE.clear()
+    _INTERVAL_CACHE.clear()
+
+
+class Simulator:
+    """Callable design-point evaluator for one engine.
+
+    Parameters
+    ----------
+    engine:
+        ``"interval"`` (default) or ``"cycle"``.
+    trace_length:
+        Optional trace-length override, mainly for fast tests.
+    """
+
+    def __init__(self, engine: str = "interval", trace_length: Optional[int] = None):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choices: {ENGINES}")
+        self.engine = engine
+        self.trace_length = trace_length
+
+    def simulate_ipc(self, config: MachineConfig, benchmark: str) -> float:
+        """Return the IPC of ``benchmark`` at design point ``config``."""
+        if self.engine == "interval":
+            return get_interval_simulator(
+                benchmark, self.trace_length
+            ).evaluate_ipc(config)
+        result = self.simulate_detailed(config, benchmark)
+        return result.ipc
+
+    def simulate_detailed(
+        self, config: MachineConfig, benchmark: str
+    ) -> SimulationResult:
+        """Run the detailed cycle engine regardless of the default engine."""
+        trace = generate_trace(benchmark, self.trace_length)
+        return CycleSimulator(config).run(trace)
+
+    def __call__(self, config: MachineConfig, benchmark: str) -> float:
+        return self.simulate_ipc(config, benchmark)

@@ -1,0 +1,23 @@
+"""Design-space definitions: parameters, constraints, enumeration, sampling."""
+
+from .constraints import Constraint, DependentChoices, PredicateConstraint
+from .parameters import (
+    BooleanParameter,
+    CardinalParameter,
+    ContinuousParameter,
+    NominalParameter,
+    Parameter,
+)
+from .space import DesignSpace
+
+__all__ = [
+    "BooleanParameter",
+    "CardinalParameter",
+    "Constraint",
+    "ContinuousParameter",
+    "DependentChoices",
+    "DesignSpace",
+    "NominalParameter",
+    "Parameter",
+    "PredicateConstraint",
+]

@@ -1,0 +1,121 @@
+"""Constraints restricting valid parameter combinations.
+
+The processor study (Table 4.2) does not take the full cross product of all
+parameters: register-file sizes are restricted to two choices per ROB size
+("a 96 entry ROB + 112 integer/fp registers makes little sense").  A
+:class:`Constraint` is any predicate over a configuration dict; the design
+space enumerates only points satisfying every constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Sequence
+
+
+class Constraint:
+    """Predicate over configurations.
+
+    Subclasses implement :meth:`allows`.  A configuration is a mapping from
+    parameter name to value.
+    """
+
+    def allows(self, config: Mapping[str, Any]) -> bool:
+        """Whether ``config`` satisfies this constraint."""
+        raise NotImplementedError
+
+    @property
+    def names(self) -> Sequence[str]:
+        """Parameter names this constraint reads (for early pruning)."""
+        raise NotImplementedError
+
+
+class PredicateConstraint(Constraint):
+    """Wrap an arbitrary callable as a constraint.
+
+    Parameters
+    ----------
+    names:
+        The parameter names the callable reads.  Enumeration uses these to
+        apply the constraint as soon as all of them are bound.
+    predicate:
+        Called with the (partial) configuration dict.
+    description:
+        Human-readable description, shown in reprs.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        predicate: Callable[[Mapping[str, Any]], bool],
+        description: str = "",
+    ):
+        self._names = tuple(names)
+        self._predicate = predicate
+        self.description = description or f"predicate over {self._names}"
+
+    @property
+    def names(self) -> Sequence[str]:
+        return self._names
+
+    def allows(self, config: Mapping[str, Any]) -> bool:
+        """Evaluate the wrapped predicate."""
+        return bool(self._predicate(config))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PredicateConstraint({self.description})"
+
+
+class DependentChoices(Constraint):
+    """Restrict one parameter's admissible values based on another's value.
+
+    This is the constraint form used in the processor study: the register
+    file size depends on the ROB size.
+
+    Parameters
+    ----------
+    parameter:
+        Name of the restricted parameter.
+    depends_on:
+        Name of the controlling parameter.
+    allowed:
+        Mapping from each value of ``depends_on`` to the collection of
+        values of ``parameter`` that are admissible with it.
+    """
+
+    def __init__(
+        self,
+        parameter: str,
+        depends_on: str,
+        allowed: Dict[Any, Sequence[Any]],
+    ):
+        if not allowed:
+            raise ValueError("allowed mapping must be non-empty")
+        self.parameter = parameter
+        self.depends_on = depends_on
+        self.allowed = {key: tuple(vals) for key, vals in allowed.items()}
+        for key, vals in self.allowed.items():
+            if not vals:
+                raise ValueError(
+                    f"no admissible {parameter!r} values for "
+                    f"{depends_on!r}={key!r}"
+                )
+
+    @property
+    def names(self) -> Sequence[str]:
+        return (self.parameter, self.depends_on)
+
+    def allows(self, config: Mapping[str, Any]) -> bool:
+        """Whether the restricted value is admissible for the controller."""
+        controller = config[self.depends_on]
+        if controller not in self.allowed:
+            raise ValueError(
+                f"{self.depends_on!r}={controller!r} has no entry in the "
+                f"dependent-choices table for {self.parameter!r}"
+            )
+        return config[self.parameter] in self.allowed[controller]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DependentChoices({self.parameter!r} depends on "
+            f"{self.depends_on!r})"
+        )

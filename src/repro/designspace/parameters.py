@@ -1,0 +1,159 @@
+"""Parameter types for architectural design spaces.
+
+The paper (Section 3.3) groups design parameters into four broad
+categories, each with its own encoding rule when presented to the ANN:
+
+* **Cardinal** parameters express quantitative relationships (cache sizes,
+  ROB entries).  Encoded as a single input, minimax-normalized to [0, 1].
+* **Continuous** parameters (e.g. frequency) are treated like cardinals.
+* **Nominal** parameters identify choices with no quantitative ordering
+  (write policy, coherence protocol).  Encoded one-hot, one input per
+  possible setting.
+* **Boolean** parameters (on/off features) are a single 0/1 input.
+
+These classes only *describe* a parameter; the actual numeric encoding is
+implemented by :class:`repro.core.encoding.ParameterEncoder`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+
+class Parameter:
+    """Base class for a named design parameter with a finite set of values.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in configuration dictionaries.
+    values:
+        The admissible settings, in the order they enumerate.
+    """
+
+    #: encoding category; overridden by subclasses
+    kind = "abstract"
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        if not name:
+            raise ValueError("parameter name must be non-empty")
+        values = tuple(values)
+        if len(values) == 0:
+            raise ValueError(f"parameter {name!r} needs at least one value")
+        if len(set(values)) != len(values):
+            raise ValueError(f"parameter {name!r} has duplicate values")
+        self.name = name
+        self.values: Tuple[Any, ...] = values
+
+    @property
+    def cardinality(self) -> int:
+        """Number of admissible settings."""
+        return len(self.values)
+
+    @property
+    def width(self) -> int:
+        """Number of ANN input units this parameter occupies."""
+        return 1
+
+    def index_of(self, value: Any) -> int:
+        """Return the position of ``value`` among the admissible settings."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not an admissible setting of parameter "
+                f"{self.name!r}; choices are {self.values!r}"
+            ) from None
+
+    def validate(self, value: Any) -> None:
+        """Raise ``ValueError`` unless ``value`` is admissible."""
+        self.index_of(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {list(self.values)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Parameter)
+            and type(other) is type(self)
+            and other.name == self.name
+            and other.values == self.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name, self.values))
+
+
+class CardinalParameter(Parameter):
+    """Quantitative parameter with an inherent ordering (e.g. cache size).
+
+    Values must be numeric and strictly increasing; the encoder maps the
+    numeric value to [0, 1] with minimax scaling over the design range.
+    """
+
+    kind = "cardinal"
+
+    def __init__(self, name: str, values: Sequence[float]):
+        values = tuple(values)
+        for v in values:
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                raise TypeError(
+                    f"cardinal parameter {name!r} requires numeric values, "
+                    f"got {v!r}"
+                )
+        if any(b <= a for a, b in zip(values, values[1:])):
+            raise ValueError(
+                f"cardinal parameter {name!r} values must be strictly "
+                f"increasing: {values!r}"
+            )
+        super().__init__(name, values)
+
+    @property
+    def low(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def high(self) -> float:
+        return float(self.values[-1])
+
+
+class ContinuousParameter(CardinalParameter):
+    """Continuous quantitative parameter sampled at a finite set of levels.
+
+    Identical to :class:`CardinalParameter` for encoding purposes; kept as a
+    distinct type because the paper distinguishes the categories and a
+    downstream user may attach different semantics (e.g. interpolation).
+    """
+
+    kind = "continuous"
+
+
+class NominalParameter(Parameter):
+    """Categorical parameter with no meaningful order (e.g. write policy).
+
+    Encoded one-hot: ``cardinality`` input units, exactly one of which is 1.
+    """
+
+    kind = "nominal"
+
+    @property
+    def width(self) -> int:
+        return self.cardinality
+
+
+class BooleanParameter(Parameter):
+    """Two-state on/off parameter, encoded as a single 0/1 input."""
+
+    kind = "boolean"
+
+    def __init__(self, name: str):
+        super().__init__(name, (False, True))
+
+    def index_of(self, value: Any) -> int:
+        """Index of a boolean setting (False=0, True=1)."""
+        if not isinstance(value, bool):
+            raise ValueError(
+                f"{value!r} is not an admissible setting of boolean "
+                f"parameter {self.name!r}"
+            )
+        return int(value)

@@ -1,0 +1,15 @@
+"""Design-of-experiments: Plackett-Burman parameter ranking."""
+
+from .plackett_burman import (
+    ParameterEffect,
+    PlackettBurmanStudy,
+    foldover,
+    plackett_burman_design,
+)
+
+__all__ = [
+    "ParameterEffect",
+    "PlackettBurmanStudy",
+    "foldover",
+    "plackett_burman_design",
+]

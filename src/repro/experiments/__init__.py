@@ -1,0 +1,112 @@
+"""Experiment harnesses reproducing every table and figure of Chapter 5."""
+
+from .error_estimation import (
+    estimation_curves,
+    estimation_quality,
+    render_estimation_curves,
+)
+from .gains import (
+    GainRow,
+    achievable_levels,
+    gain_rows,
+    gains_study,
+    render_gain_split,
+    render_gains,
+)
+from .learning_curves import (
+    APPENDIX_BENCHMARKS,
+    check_learning_curve_shape,
+    learning_curves,
+    render_learning_curves,
+)
+from .runner import (
+    DEFAULT_SIZES,
+    PAPER_SIZES,
+    CurvePoint,
+    LearningCurve,
+    curve_sizes,
+    encoded_space,
+    full_scale,
+    run_learning_curve,
+)
+from .simpoint_study import (
+    SIMPOINT_STUDY,
+    compare_with_noiseless,
+    render_simpoint_curves,
+    simpoint_curves,
+)
+from .summary import generate_experiments_md
+from .studies import (
+    STUDY_NAMES,
+    Study,
+    build_memory_system_space,
+    build_processor_space,
+    full_space_ground_truth,
+    get_study,
+    make_simulate_fn,
+    memory_system_machine,
+    memory_system_study,
+    processor_machine,
+    processor_study,
+)
+from .table51 import (
+    Table51,
+    Table51Cell,
+    build_table51,
+    check_table51_claims,
+    render_table51,
+)
+from .training_time import (
+    TrainingTimePoint,
+    is_roughly_linear,
+    measure_training_times,
+    render_training_times,
+)
+
+__all__ = [
+    "APPENDIX_BENCHMARKS",
+    "CurvePoint",
+    "DEFAULT_SIZES",
+    "GainRow",
+    "LearningCurve",
+    "PAPER_SIZES",
+    "SIMPOINT_STUDY",
+    "STUDY_NAMES",
+    "Study",
+    "Table51",
+    "Table51Cell",
+    "TrainingTimePoint",
+    "achievable_levels",
+    "build_memory_system_space",
+    "build_processor_space",
+    "build_table51",
+    "check_learning_curve_shape",
+    "check_table51_claims",
+    "compare_with_noiseless",
+    "curve_sizes",
+    "encoded_space",
+    "estimation_curves",
+    "estimation_quality",
+    "full_scale",
+    "full_space_ground_truth",
+    "gain_rows",
+    "gains_study",
+    "generate_experiments_md",
+    "get_study",
+    "is_roughly_linear",
+    "learning_curves",
+    "make_simulate_fn",
+    "measure_training_times",
+    "memory_system_machine",
+    "memory_system_study",
+    "processor_machine",
+    "processor_study",
+    "render_estimation_curves",
+    "render_gain_split",
+    "render_gains",
+    "render_learning_curves",
+    "render_simpoint_curves",
+    "render_table51",
+    "render_training_times",
+    "run_learning_curve",
+]

@@ -1,0 +1,158 @@
+"""Figures 5.6 / 5.7: reductions in simulated instructions.
+
+Figure 5.6 reports, at three achievable mean-error levels per benchmark,
+the factor by which ANN+SimPoint reduces the instructions simulated for a
+full design-space study.  Figure 5.7 splits the factor into SimPoint's
+per-experiment contribution and the ANN's fewer-experiments contribution.
+
+Accounting follows the paper: a full study simulates every design point
+over the benchmark's complete (MinneSPEC-scale) run; SimPoint reduces the
+instructions *per experiment* by ``total / (k x 10M)``; the ANN reduces
+the *number of experiments* from the full space size to the training-set
+size at which its error reaches the target.  The two multiply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..simpoint.simpoint import SimPointSimulator
+from ..workloads.spec import SIMPOINT_BENCHMARKS
+from .reporting import format_table
+from .runner import LearningCurve, run_learning_curve
+from .simpoint_study import SIMPOINT_STUDY
+from .studies import get_study
+
+#: error levels (mean % across the space) at which the paper reads gains
+PAPER_ERROR_LEVELS: Dict[str, Tuple[float, float, float]] = {
+    "crafty": (1.0, 2.1, 3.1),
+    "equake": (1.0, 1.9, 3.5),
+    "mcf": (1.4, 2.1, 2.3),
+    "mesa": (1.0, 1.4, 2.4),
+}
+
+
+@dataclass(frozen=True)
+class GainRow:
+    """Reduction factors at one error level for one benchmark."""
+
+    benchmark: str
+    error_level: float  # achieved true mean error
+    n_experiments: int  # training simulations the ANN needed
+    ann_factor: float  # full-space experiments / n_experiments
+    simpoint_factor: float  # instructions saved per experiment
+    combined_factor: float
+
+
+def achievable_levels(
+    curve: LearningCurve, requested: Sequence[float]
+) -> List[float]:
+    """Map requested error levels to levels the curve actually reaches.
+
+    Levels below the curve's best error are replaced by the best error
+    (the paper only reads gains at errors its models attain)."""
+    best = min(point.true_mean for point in curve.points)
+    return sorted({max(level, best) for level in requested}, reverse=True)
+
+
+def gain_rows(
+    benchmark: str,
+    sizes: Optional[Sequence[int]] = None,
+    levels: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    training=None,
+) -> List[GainRow]:
+    """Compute Figure 5.6's bars for one benchmark."""
+    study = get_study(SIMPOINT_STUDY)
+    curve = run_learning_curve(
+        SIMPOINT_STUDY,
+        benchmark,
+        sizes=sizes,
+        source="simpoint",
+        seed=seed,
+        training=training,
+    )
+    requested = tuple(
+        levels if levels is not None else PAPER_ERROR_LEVELS.get(
+            benchmark, (1.0, 2.0, 3.5)
+        )
+    )
+    simpoint_factor = SimPointSimulator(
+        benchmark
+    ).selection.instruction_reduction_factor()
+
+    rows: List[GainRow] = []
+    seen_budgets = set()
+    for level in achievable_levels(curve, requested):
+        n_required = curve.smallest_size_reaching(level)
+        if n_required is None or n_required in seen_budgets:
+            continue
+        seen_budgets.add(n_required)
+        achieved = curve.at_size(n_required).true_mean
+        ann_factor = len(study.space) / n_required
+        rows.append(
+            GainRow(
+                benchmark=benchmark,
+                error_level=achieved,
+                n_experiments=n_required,
+                ann_factor=ann_factor,
+                simpoint_factor=simpoint_factor,
+                combined_factor=ann_factor * simpoint_factor,
+            )
+        )
+    return rows
+
+
+def gains_study(
+    benchmarks: Sequence[str] = SIMPOINT_BENCHMARKS,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    training=None,
+) -> Dict[str, List[GainRow]]:
+    """Figure 5.6/5.7 data for every SimPoint-study benchmark."""
+    return {
+        benchmark: gain_rows(benchmark, sizes=sizes, seed=seed, training=training)
+        for benchmark in benchmarks
+    }
+
+
+def render_gains(gains: Dict[str, List[GainRow]]) -> str:
+    """Figure 5.6: combined reduction factors at each error level."""
+    rows = []
+    for benchmark, bars in gains.items():
+        for bar in bars:
+            rows.append(
+                [
+                    benchmark,
+                    f"{bar.error_level:.1f}%",
+                    str(bar.n_experiments),
+                    f"{bar.combined_factor:,.0f}x",
+                ]
+            )
+    return format_table(
+        ["Benchmark", "Mean error", "Simulations", "Reduction (ANN+SimPoint)"],
+        rows,
+        title="Figure 5.6 - gains from combining ANN+SimPoint",
+    )
+
+
+def render_gain_split(gains: Dict[str, List[GainRow]]) -> str:
+    """Figure 5.7: SimPoint vs ANN vs combined contributions."""
+    rows = []
+    for benchmark, bars in gains.items():
+        for bar in bars:
+            rows.append(
+                [
+                    benchmark,
+                    f"{bar.error_level:.1f}%",
+                    f"{bar.simpoint_factor:.0f}x",
+                    f"{bar.ann_factor:.0f}x",
+                    f"{bar.combined_factor:,.0f}x",
+                ]
+            )
+    return format_table(
+        ["Benchmark", "Mean error", "SimPoint", "ANN", "ANN+SimPoint"],
+        rows,
+        title="Figure 5.7 - contributions of SimPoint and ANN to total gains",
+    )

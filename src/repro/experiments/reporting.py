@@ -1,0 +1,56 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    """Render a percentage the way the paper's tables do."""
+    return f"{value:.2f}%"
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    columns: "dict[str, Sequence[float]]",
+    precision: int = 2,
+) -> str:
+    """Render one figure panel as aligned columns (x plus named series)."""
+    headers = [x_label] + list(columns)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [f"{x:.2f}"]
+        for name in columns:
+            row.append(f"{columns[name][i]:.{precision}f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

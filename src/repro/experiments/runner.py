@@ -1,0 +1,235 @@
+"""Shared experiment runner: incremental learning curves.
+
+Every evaluation artifact (Table 5.1, Figures 5.1-5.5 and A.1-A.3) is a
+view over the same primitive: train cross-validation ensembles on
+progressively larger random samples of a study's design space and record,
+at each size, the cross-validation *estimate* and the *true* error
+measured on the full space.  ``run_learning_curve`` produces that
+trajectory once per (study, benchmark, data source) and caches it on disk;
+the figure/table modules then render their particular views.
+
+Data sources:
+
+* ``"true"`` — training targets come from the full simulator (the plain
+  ANN studies);
+* ``"simpoint"`` — training targets come from SimPoint's noisy estimates
+  while error is still measured against the true full space (the
+  ANN+SimPoint study of Section 5.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.crossval import CrossValidationEnsemble
+from ..core.encoding import ParameterEncoder
+from ..core.error import percentage_errors
+from ..core.training import TrainingConfig
+from ..cpu.simulator import _profile_cache_dir
+from ..simpoint.simpoint import SimPointSimulator
+from ..workloads.spec import get_workload
+from .studies import Study, full_space_ground_truth, get_study
+
+#: bump when the experiment pipeline changes incompatibly
+RUNNER_VERSION = 2
+
+#: the paper trains on 50..2000 simulations in increments of 50
+PAPER_SIZES: Tuple[int, ...] = tuple(range(50, 2001, 50))
+
+#: reduced default grid (same span, fewer points) for routine bench runs
+DEFAULT_SIZES: Tuple[int, ...] = (50, 100, 200, 400, 700, 1000)
+
+DATA_SOURCES = ("true", "simpoint")
+
+
+def full_scale() -> bool:
+    """Whether ``REPRO_FULL=1`` requests paper-scale experiment grids."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def curve_sizes() -> Tuple[int, ...]:
+    """The training-set size grid for the current scale."""
+    return PAPER_SIZES if full_scale() else DEFAULT_SIZES
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One training round of the incremental procedure."""
+
+    n_samples: int
+    fraction: float  # of the full design space
+    true_mean: float
+    true_std: float
+    estimated_mean: float
+    estimated_std: float
+    training_seconds: float
+
+
+@dataclass
+class LearningCurve:
+    """The full trajectory for one (study, benchmark, source)."""
+
+    study: str
+    benchmark: str
+    source: str
+    seed: int
+    points: List[CurvePoint] = field(default_factory=list)
+
+    def at_size(self, n_samples: int) -> CurvePoint:
+        """The curve point recorded at exactly ``n_samples``."""
+        for point in self.points:
+            if point.n_samples == n_samples:
+                return point
+        raise KeyError(
+            f"no curve point at {n_samples} samples; available: "
+            f"{[p.n_samples for p in self.points]}"
+        )
+
+    def smallest_size_reaching(self, mean_error: float) -> Optional[int]:
+        """Smallest training-set size whose *true* error is <= the target
+        (used by the gains analysis)."""
+        for point in self.points:
+            if point.true_mean <= mean_error:
+                return point.n_samples
+        return None
+
+
+_ENCODED_SPACES: Dict[str, np.ndarray] = {}
+
+
+def encoded_space(study: Study) -> np.ndarray:
+    """Feature matrix of every design point (cached per study)."""
+    if study.name not in _ENCODED_SPACES:
+        _ENCODED_SPACES[study.name] = ParameterEncoder(
+            study.space
+        ).encode_space()
+    return _ENCODED_SPACES[study.name]
+
+
+def _training_fingerprint(training: TrainingConfig) -> str:
+    digest = hashlib.sha256(repr(training).encode()).hexdigest()
+    return digest[:12]
+
+
+def _curve_cache_path(
+    study: Study,
+    benchmark: str,
+    source: str,
+    sizes: Sequence[int],
+    seed: int,
+    training: TrainingConfig,
+):
+    cache_dir = _profile_cache_dir()
+    if cache_dir is None:
+        return None
+    sizes_digest = hashlib.sha256(repr(tuple(sizes)).encode()).hexdigest()[:10]
+    workload_seed = get_workload(benchmark).seed
+    return cache_dir / (
+        f"curve-v{RUNNER_VERSION}-{study.name}-{benchmark}-w{workload_seed}-"
+        f"{source}-{sizes_digest}-{seed}-{_training_fingerprint(training)}.pkl"
+    )
+
+
+def _simpoint_targets(
+    study: Study, benchmark: str, indices: np.ndarray
+) -> np.ndarray:
+    simulator = SimPointSimulator(benchmark)
+    return np.fromiter(
+        (
+            simulator.simulate_ipc(study.machine_at(int(i)))
+            for i in indices
+        ),
+        dtype=np.float64,
+        count=len(indices),
+    )
+
+
+def run_learning_curve(
+    study_name: str,
+    benchmark: str,
+    sizes: Optional[Sequence[int]] = None,
+    source: str = "true",
+    seed: int = 0,
+    training: Optional[TrainingConfig] = None,
+    use_cache: bool = True,
+) -> LearningCurve:
+    """Produce (or load) the learning curve for one benchmark.
+
+    Mirrors the paper's protocol: a single random sample sequence is drawn
+    once; each training round uses its first ``size`` elements, so later
+    rounds *extend* earlier ones exactly as the incremental framework
+    collects results in batches.
+    """
+    if source not in DATA_SOURCES:
+        raise ValueError(f"source must be one of {DATA_SOURCES}, got {source!r}")
+    study = get_study(study_name)
+    sizes = tuple(sizes) if sizes is not None else curve_sizes()
+    if not sizes or any(b <= a for a, b in zip(sizes, sizes[1:])):
+        raise ValueError(f"sizes must be strictly increasing, got {sizes}")
+    training = training or TrainingConfig()
+
+    path = _curve_cache_path(study, benchmark, source, sizes, seed, training)
+    if use_cache and path is not None and path.exists():
+        try:
+            with open(path, "rb") as handle:
+                cached = pickle.load(handle)
+            if isinstance(cached, LearningCurve) and len(cached.points) == len(sizes):
+                return cached
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            pass
+
+    truth = full_space_ground_truth(study, benchmark)
+    x_full = encoded_space(study)
+    rng = np.random.default_rng(seed)
+    order = rng.choice(len(study.space), size=max(sizes), replace=False)
+    if source == "simpoint":
+        targets = _simpoint_targets(study, benchmark, order)
+    else:
+        targets = truth[order]
+
+    curve = LearningCurve(
+        study=study.name, benchmark=benchmark, source=source, seed=seed
+    )
+    for size in sizes:
+        train_idx = order[:size]
+        started = time.perf_counter()
+        ensemble = CrossValidationEnsemble(
+            training=training, rng=np.random.default_rng(seed + size)
+        )
+        estimate = ensemble.fit(x_full[train_idx], targets[:size])
+        elapsed = time.perf_counter() - started
+
+        heldout = np.ones(len(truth), dtype=bool)
+        heldout[train_idx] = False
+        errors = percentage_errors(
+            ensemble.predict(x_full[heldout]), truth[heldout]
+        )
+        curve.points.append(
+            CurvePoint(
+                n_samples=size,
+                fraction=study.sample_fraction(size),
+                true_mean=float(errors.mean()),
+                true_std=float(errors.std(ddof=0)),
+                estimated_mean=estimate.mean,
+                estimated_std=estimate.std,
+                training_seconds=elapsed,
+            )
+        )
+
+    if use_cache and path is not None:
+        try:
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(curve, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+    return curve

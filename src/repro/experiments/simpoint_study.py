@@ -1,0 +1,86 @@
+"""Figures 5.4 / 5.5: ANN modeling combined with SimPoint (Section 5.3).
+
+The processor study is repeated with training targets produced by
+SimPoint's weighted-interval estimates instead of full simulations: the
+ANN trains on noisy data but its error is still measured against the true
+full design space.  The paper's findings: curves look like the noise-free
+ones with slightly higher error; estimates remain accurate but can dip
+slightly below truth (cross validation cannot see SimPoint's own noise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..workloads.spec import SIMPOINT_BENCHMARKS
+from .learning_curves import CurveKey
+from .reporting import format_series
+from .runner import LearningCurve, run_learning_curve
+
+#: the SimPoint study uses the processor space only (Section 5.3)
+SIMPOINT_STUDY = "processor"
+
+
+def simpoint_curves(
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    training=None,
+) -> Dict[CurveKey, LearningCurve]:
+    """Run (or load) the ANN+SimPoint learning curves (Figure 5.4/5.5)."""
+    benchmarks = tuple(benchmarks) if benchmarks else SIMPOINT_BENCHMARKS
+    return {
+        (SIMPOINT_STUDY, benchmark): run_learning_curve(
+            SIMPOINT_STUDY,
+            benchmark,
+            sizes=sizes,
+            source="simpoint",
+            seed=seed,
+            training=training,
+        )
+        for benchmark in benchmarks
+    }
+
+
+def render_simpoint_curves(curves: Dict[CurveKey, LearningCurve]) -> str:
+    """Text rendering of Figure 5.4 (error) and 5.5 (estimation) panels."""
+    panels = []
+    for (study, benchmark), curve in sorted(curves.items()):
+        x = [100 * p.fraction for p in curve.points]
+        panels.append(
+            format_series(
+                title=f"{benchmark.upper()} ({study}/ANN+SimPoint) - Figure 5.4",
+                x_label="%space",
+                x_values=x,
+                columns={
+                    "mean%err": [p.true_mean for p in curve.points],
+                    "stdev%err": [p.true_std for p in curve.points],
+                },
+            )
+        )
+        panels.append(
+            format_series(
+                title=f"{benchmark.upper()} ({study}/ANN+SimPoint) - Figure 5.5",
+                x_label="%space",
+                x_values=x,
+                columns={
+                    "true_mean": [p.true_mean for p in curve.points],
+                    "est_mean": [p.estimated_mean for p in curve.points],
+                },
+            )
+        )
+    return "\n\n".join(panels)
+
+
+def compare_with_noiseless(
+    simpoint: LearningCurve, noiseless: LearningCurve
+) -> Dict[str, float]:
+    """Per-size gap between the ANN+SimPoint curve and the plain ANN curve
+    (the paper: 'slightly higher error, in all cases negligible')."""
+    gaps = {}
+    noiseless_by_size = {p.n_samples: p for p in noiseless.points}
+    for point in simpoint.points:
+        other = noiseless_by_size.get(point.n_samples)
+        if other is not None:
+            gaps[point.n_samples] = point.true_mean - other.true_mean
+    return gaps

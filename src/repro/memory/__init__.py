@@ -1,0 +1,38 @@
+"""Memory-system substrate: caches, reuse profiling, timing, buses, DRAM."""
+
+from .bus import MAX_STABLE_UTILIZATION, Bus, queueing_delay_factor
+from .cache import AccessResult, Cache, CacheStats
+from .cacti import (
+    l1_access_time_ns,
+    l1_latency_cycles,
+    l2_access_time_ns,
+    l2_latency_cycles,
+    ns_to_cycles,
+)
+from .dram import SDRAM
+from .hierarchy import HierarchyStats, MemoryHierarchy
+from .stackdist import (
+    ReuseProfile,
+    compute_stack_distances,
+    effective_capacity,
+)
+
+__all__ = [
+    "AccessResult",
+    "Bus",
+    "Cache",
+    "CacheStats",
+    "HierarchyStats",
+    "MAX_STABLE_UTILIZATION",
+    "MemoryHierarchy",
+    "ReuseProfile",
+    "SDRAM",
+    "compute_stack_distances",
+    "effective_capacity",
+    "l1_access_time_ns",
+    "l1_latency_cycles",
+    "l2_access_time_ns",
+    "l2_latency_cycles",
+    "ns_to_cycles",
+    "queueing_delay_factor",
+]

@@ -1,0 +1,102 @@
+"""Bus bandwidth and contention models.
+
+Two buses appear in the design spaces: the L2 bus between L1 and L2
+(width 8/16/32 B, runs at core frequency, as in the Pentium 4) and the
+64-bit front-side bus (0.533/0.8/1.4 GHz in the memory study, fixed
+800 MHz in the processor study).
+
+The cycle simulator uses :class:`Bus` as a busy-until resource.  The
+interval model uses :func:`queueing_delay_factor`, an M/D/1-style
+open-queue approximation mapping offered load to average waiting time.
+"""
+
+from __future__ import annotations
+
+
+class Bus:
+    """A time-multiplexed transfer resource for the cycle simulator.
+
+    Parameters
+    ----------
+    width_bytes:
+        Bytes transferred per bus cycle.
+    bus_frequency_ghz:
+        Bus clock.
+    core_frequency_ghz:
+        Core clock; latencies are reported in core cycles.
+    """
+
+    def __init__(
+        self,
+        width_bytes: int,
+        bus_frequency_ghz: float,
+        core_frequency_ghz: float,
+        name: str = "bus",
+    ):
+        if width_bytes <= 0:
+            raise ValueError(f"bus width must be positive, got {width_bytes}")
+        if bus_frequency_ghz <= 0 or core_frequency_ghz <= 0:
+            raise ValueError("frequencies must be positive")
+        self.name = name
+        self.width_bytes = width_bytes
+        self.bus_frequency_ghz = bus_frequency_ghz
+        self.core_frequency_ghz = core_frequency_ghz
+        self._core_cycles_per_bus_cycle = core_frequency_ghz / bus_frequency_ghz
+        self.busy_until = 0.0
+        self.total_busy_cycles = 0.0
+        self.transfers = 0
+
+    def transfer_cycles(self, n_bytes: int) -> float:
+        """Unloaded transfer time of ``n_bytes`` in core cycles."""
+        if n_bytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {n_bytes}")
+        bus_cycles = -(-n_bytes // self.width_bytes)  # ceil division
+        return bus_cycles * self._core_cycles_per_bus_cycle
+
+    def request(self, now: float, n_bytes: int) -> float:
+        """Schedule a transfer starting no earlier than ``now``.
+
+        Returns the completion time in core cycles, accounting for queueing
+        behind earlier transfers.
+        """
+        duration = self.transfer_cycles(n_bytes)
+        start = max(now, self.busy_until)
+        self.busy_until = start + duration
+        self.total_busy_cycles += duration
+        self.transfers += 1
+        return self.busy_until
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of ``elapsed_cycles`` the bus spent transferring."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.total_busy_cycles / elapsed_cycles)
+
+    def reset(self) -> None:
+        """Clear scheduling state and statistics."""
+        self.busy_until = 0.0
+        self.total_busy_cycles = 0.0
+        self.transfers = 0
+
+    @property
+    def bandwidth_bytes_per_ns(self) -> float:
+        return self.width_bytes * self.bus_frequency_ghz
+
+
+#: utilization beyond which the open-queue model saturates; demand above
+#: this is treated as a bandwidth-bound plateau rather than infinite delay
+MAX_STABLE_UTILIZATION = 0.95
+
+
+def queueing_delay_factor(utilization: float) -> float:
+    """Average waiting time, in units of service time, at ``utilization``.
+
+    M/D/1 waiting time is ``rho / (2 (1 - rho))`` service times.  Offered
+    load is clamped at :data:`MAX_STABLE_UTILIZATION` so the model degrades
+    to a steep-but-finite penalty instead of diverging; real systems
+    back-pressure rather than build unbounded queues.
+    """
+    if utilization < 0:
+        raise ValueError(f"utilization must be non-negative, got {utilization}")
+    rho = min(utilization, MAX_STABLE_UTILIZATION)
+    return rho / (2.0 * (1.0 - rho))

@@ -1,0 +1,51 @@
+"""SDRAM main-memory model.
+
+Both studies fix SDRAM at 100 ns behind a 64-bit front-side bus
+(Tables 4.1/4.2).  The model adds the FSB transfer time of a cache block
+to the fixed access latency and exposes the result in core cycles; row
+locality is abstracted as a small hit/miss latency split so that block
+size and FSB frequency remain the only architectural levers, exactly as
+in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from .bus import Bus
+
+#: fixed SDRAM access latency from the paper's setup
+DEFAULT_ACCESS_NS = 100.0
+
+
+class SDRAM:
+    """Main memory behind the front-side bus.
+
+    Parameters
+    ----------
+    access_ns:
+        Core array access latency (100 ns in the paper).
+    fsb:
+        The front-side :class:`Bus` used for block transfers.
+    """
+
+    def __init__(self, fsb: Bus, access_ns: float = DEFAULT_ACCESS_NS):
+        if access_ns <= 0:
+            raise ValueError(f"access latency must be positive, got {access_ns}")
+        self.access_ns = access_ns
+        self.fsb = fsb
+        self.requests = 0
+
+    def access_latency_cycles(self, block_bytes: int) -> float:
+        """Unloaded latency (core cycles) to fetch one block."""
+        access_cycles = self.access_ns * self.fsb.core_frequency_ghz
+        return access_cycles + self.fsb.transfer_cycles(block_bytes)
+
+    def request(self, now: float, block_bytes: int) -> float:
+        """Schedule a block fetch; returns completion time in core cycles."""
+        self.requests += 1
+        access_cycles = self.access_ns * self.fsb.core_frequency_ghz
+        return self.fsb.request(now + access_cycles, block_bytes)
+
+    def reset(self) -> None:
+        """Clear statistics and the FSB schedule."""
+        self.requests = 0
+        self.fsb.reset()

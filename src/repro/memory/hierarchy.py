@@ -1,0 +1,184 @@
+"""The simulated memory hierarchy: L1I + L1D + unified L2 + FSB + SDRAM.
+
+Used by the cycle-level simulator.  Latency composition follows the
+paper's setup: the L2 bus runs at core frequency (Pentium 4 style), the
+front-side bus is 64 bits wide, and SDRAM costs 100 ns.  Contention is
+modeled at every level via busy-until bus scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bus import Bus
+from .cache import Cache
+from .dram import SDRAM
+
+#: bytes placed on the L2 bus by a write-through store
+_STORE_PAYLOAD_BYTES = 8
+
+
+@dataclass
+class HierarchyStats:
+    """Traffic and latency summary for one simulation."""
+
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    memory_requests: int = 0
+    l2_bus_bytes: int = 0
+    fsb_bytes: int = 0
+
+
+class MemoryHierarchy:
+    """Two-level cache hierarchy over a front-side bus and SDRAM.
+
+    Parameters
+    ----------
+    l1i, l1d, l2:
+        Detailed cache models (:class:`repro.memory.cache.Cache`).
+    l2_bus:
+        Bus between the L1s and L2, clocked at core frequency.
+    sdram:
+        Main memory (owns the front-side bus).
+    l1i_latency, l1d_latency, l2_latency:
+        Hit latencies in core cycles (from the CACTI model).
+    """
+
+    def __init__(
+        self,
+        l1i: Cache,
+        l1d: Cache,
+        l2: Cache,
+        l2_bus: Bus,
+        sdram: SDRAM,
+        l1i_latency: int,
+        l1d_latency: int,
+        l2_latency: int,
+    ):
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.l2_bus = l2_bus
+        self.sdram = sdram
+        self.l1i_latency = l1i_latency
+        self.l1d_latency = l1d_latency
+        self.l2_latency = l2_latency
+        self.stats = HierarchyStats()
+
+    @classmethod
+    def from_config(cls, config) -> "MemoryHierarchy":
+        """Build the hierarchy described by a
+        :class:`repro.cpu.config.MachineConfig` (duck-typed to avoid a
+        circular import)."""
+        l2_bus = Bus(
+            config.l2_bus_width,
+            config.frequency_ghz,
+            config.frequency_ghz,
+            name="l2-bus",
+        )
+        fsb = Bus(
+            config.fsb_width,
+            config.fsb_frequency_ghz,
+            config.frequency_ghz,
+            name="fsb",
+        )
+        return cls(
+            l1i=Cache(
+                config.l1i_size,
+                config.l1i_block,
+                config.l1i_associativity,
+                "WB",
+                name="L1I",
+            ),
+            l1d=Cache(
+                config.l1d_size,
+                config.l1d_block,
+                config.l1d_associativity,
+                config.l1d_write_policy,
+                name="L1D",
+            ),
+            l2=Cache(
+                config.l2_size,
+                config.l2_block,
+                config.l2_associativity,
+                "WB",
+                name="L2",
+            ),
+            l2_bus=l2_bus,
+            sdram=SDRAM(fsb, config.sdram_ns),
+            l1i_latency=config.l1i_latency,
+            l1d_latency=config.l1d_latency,
+            l2_latency=config.l2_latency,
+        )
+
+    # ------------------------------------------------------------------
+    def _l2_fill(self, now: float, addr: int, block_bytes: int) -> float:
+        """Access L2 (and memory below it); returns data-ready time."""
+        self.stats.l2_accesses += 1
+        result = self.l2.access(addr, is_write=False)
+        ready = now + self.l2_latency
+        if not result.hit:
+            self.stats.l2_misses += 1
+            self.stats.memory_requests += 1
+            self.stats.fsb_bytes += self.l2.block_bytes
+            ready = self.sdram.request(ready, self.l2.block_bytes)
+            if result.writeback:
+                # dirty L2 victim goes out over the FSB (latency not on the
+                # critical path of this fill)
+                self.stats.fsb_bytes += self.l2.block_bytes
+                self.sdram.fsb.request(ready, self.l2.block_bytes)
+        # transfer the L1 block over the L2 bus
+        self.stats.l2_bus_bytes += block_bytes
+        ready = self.l2_bus.request(ready, block_bytes)
+        return ready
+
+    def access_instruction(self, now: float, pc: int) -> float:
+        """Fetch the instruction at ``pc``; returns fetch-complete time."""
+        self.stats.l1i_accesses += 1
+        result = self.l1i.access(pc, is_write=False)
+        if result.hit:
+            return now + self.l1i_latency
+        self.stats.l1i_misses += 1
+        ready = self._l2_fill(now + self.l1i_latency, pc, self.l1i.block_bytes)
+        return ready
+
+    def access_data(self, now: float, addr: int, is_write: bool) -> float:
+        """Perform a load/store; returns data-ready (or store-accepted) time."""
+        self.stats.l1d_accesses += 1
+        result = self.l1d.access(addr, is_write=is_write)
+        ready = now + self.l1d_latency
+        if result.write_through:
+            # WT store: the write goes out over the L2 bus regardless of hit
+            self.stats.l2_bus_bytes += _STORE_PAYLOAD_BYTES
+            self.l2_bus.request(now, _STORE_PAYLOAD_BYTES)
+            self.stats.l2_accesses += 1
+            l2_result = self.l2.access(addr, is_write=True)
+            if not l2_result.hit and not l2_result.fill:
+                # WT miss below: write goes to memory over the FSB
+                self.stats.fsb_bytes += _STORE_PAYLOAD_BYTES
+                self.sdram.fsb.request(now, _STORE_PAYLOAD_BYTES)
+            if not result.hit:
+                self.stats.l1d_misses += 1
+            return ready
+        if result.hit:
+            return ready
+        self.stats.l1d_misses += 1
+        if result.writeback:
+            # dirty L1 victim travels to L2 over the L2 bus
+            self.stats.l2_bus_bytes += self.l1d.block_bytes
+            self.l2_bus.request(now, self.l1d.block_bytes)
+            self.l2.access(result.victim_addr, is_write=True)
+        ready = self._l2_fill(ready, addr, self.l1d.block_bytes)
+        return ready
+
+    def reset_stats(self) -> None:
+        """Zero all statistics across the hierarchy."""
+        self.stats = HierarchyStats()
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.reset_stats()
+        self.l2_bus.reset()
+        self.sdram.reset()

@@ -1,0 +1,203 @@
+"""LRU stack-distance (reuse-distance) profiling.
+
+The full-space studies need cache miss counts for every cache geometry in
+the design space without re-simulating the trace per geometry.  The classic
+LRU stack property makes this possible: under fully-associative LRU, a
+reference hits in a cache of capacity ``C`` blocks iff its stack distance
+(number of distinct blocks touched since the previous reference to the same
+block) is below ``C``.  We compute all stack distances once per (trace,
+block size) in O(N log N) with a Fenwick tree, then answer miss-count
+queries for any capacity from the distance histogram.  Finite associativity
+is handled with a smooth effective-capacity correction validated against
+the detailed cache model in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+#: conflict-miss model: an A-way cache of B blocks behaves like a
+#: fully-associative cache of ``B * (1 - CONFLICT_C / A**CONFLICT_ALPHA)``
+#: blocks.  Direct-mapped caches lose ~30% effective capacity; 8-way and
+#: above are nearly fully associative, matching Hill & Smith's measurements.
+CONFLICT_C = 0.30
+CONFLICT_ALPHA = 1.0
+
+
+class _FenwickTree:
+    """Binary indexed tree over ``n`` positions supporting point update and
+    prefix sum, used to count distinct blocks between two references."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        tree = self.tree
+        n = self.n
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries at positions 0..index inclusive."""
+        i = index + 1
+        total = 0
+        tree = self.tree
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return int(total)
+
+
+def compute_stack_distances(blocks: np.ndarray) -> np.ndarray:
+    """Compute the LRU stack distance of every reference.
+
+    Parameters
+    ----------
+    blocks:
+        1-D array of block identifiers in reference order.
+
+    Returns
+    -------
+    distances:
+        ``int64`` array, same length; ``-1`` marks cold (first-touch)
+        references.
+    """
+    blocks = np.asarray(blocks)
+    n = len(blocks)
+    distances = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return distances
+    tree = _FenwickTree(n)
+    last_position: Dict[int, int] = {}
+    for i, raw in enumerate(blocks):
+        block = int(raw)
+        prev = last_position.get(block)
+        if prev is None:
+            distances[i] = -1
+        else:
+            # distinct blocks referenced strictly between prev and i: count
+            # of "most recent occurrence" markers in (prev, i)
+            distances[i] = tree.prefix_sum(i - 1) - tree.prefix_sum(prev)
+            tree.add(prev, -1)
+        tree.add(i, 1)
+        last_position[block] = i
+    return distances
+
+
+def effective_capacity(num_blocks: int, associativity: int) -> float:
+    """Fully-associative-equivalent capacity of an A-way cache."""
+    if num_blocks <= 0:
+        raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+    if associativity <= 0:
+        raise ValueError(f"associativity must be positive, got {associativity}")
+    factor = 1.0 - CONFLICT_C / (associativity ** CONFLICT_ALPHA)
+    return num_blocks * factor
+
+
+class ReuseProfile:
+    """Miss-count oracle for one reference stream at one block granularity.
+
+    Built once from the stream's stack distances; then
+    :meth:`miss_count`/:meth:`miss_ratio` answer queries for any cache
+    geometry in microseconds, which is what lets the interval model
+    evaluate all 23K/20.7K design points per benchmark.
+
+    Parameters
+    ----------
+    blocks:
+        Block-granular reference stream.
+    store_mask:
+        Optional boolean mask marking which references are stores, used to
+        estimate dirty-writeback and write-through traffic.
+    """
+
+    def __init__(self, blocks: np.ndarray, store_mask: Optional[np.ndarray] = None):
+        blocks = np.asarray(blocks)
+        if blocks.ndim != 1:
+            raise ValueError("blocks must be one-dimensional")
+        self._init_from_distances(compute_stack_distances(blocks), store_mask)
+
+    @classmethod
+    def from_distances(
+        cls, distances: np.ndarray, store_mask: Optional[np.ndarray] = None
+    ) -> "ReuseProfile":
+        """Build a profile from precomputed stack distances.
+
+        Used to profile trace *intervals* in the context of the whole run:
+        distances are computed once over the full stream, then sliced per
+        interval, which models SimPoint-style sampling with perfect warmup.
+        """
+        profile = cls.__new__(cls)
+        profile._init_from_distances(np.asarray(distances), store_mask)
+        return profile
+
+    def _init_from_distances(
+        self, distances: np.ndarray, store_mask: Optional[np.ndarray]
+    ) -> None:
+        self.n_references = len(distances)
+        self.n_cold = int(np.sum(distances < 0))
+        self._sorted_distances = np.sort(distances[distances >= 0])
+        if store_mask is not None:
+            if len(store_mask) != len(distances):
+                raise ValueError("store_mask length must match distances")
+            self.store_fraction = (
+                float(np.mean(store_mask)) if len(store_mask) else 0.0
+            )
+        else:
+            self.store_fraction = 0.0
+
+    # ------------------------------------------------------------------
+    def miss_count(
+        self, num_blocks: int, associativity: int = 0, cold_weight: float = 1.0
+    ) -> float:
+        """Expected misses in a cache of ``num_blocks`` blocks.
+
+        ``associativity`` of 0 (or >= num_blocks) means fully associative.
+        ``cold_weight`` scales first-touch misses: 1.0 reproduces the finite
+        trace exactly, while a small value models the steady state of a long
+        run, where compulsory misses are amortized to near zero.
+        """
+        if self.n_references == 0:
+            return 0.0
+        if not 0.0 <= cold_weight <= 1.0:
+            raise ValueError(f"cold_weight must be in [0, 1], got {cold_weight}")
+        if associativity and associativity < num_blocks:
+            capacity = effective_capacity(num_blocks, associativity)
+        else:
+            capacity = float(num_blocks)
+        # references with stack distance >= capacity miss; interpolate
+        # fractionally between integer capacities so miss curves are smooth
+        lo = int(np.searchsorted(self._sorted_distances, int(np.floor(capacity)), "left"))
+        hi = int(np.searchsorted(self._sorted_distances, int(np.ceil(capacity)), "left"))
+        frac = capacity - np.floor(capacity)
+        hits = lo + frac * (hi - lo)
+        return cold_weight * self.n_cold + (len(self._sorted_distances) - hits)
+
+    def miss_ratio(
+        self, num_blocks: int, associativity: int = 0, cold_weight: float = 1.0
+    ) -> float:
+        """Expected miss ratio for the given geometry."""
+        if self.n_references == 0:
+            return 0.0
+        return (
+            self.miss_count(num_blocks, associativity, cold_weight)
+            / self.n_references
+        )
+
+    @property
+    def cold_ratio(self) -> float:
+        """Fraction of references that are first-touch (compulsory) misses."""
+        if self.n_references == 0:
+            return 0.0
+        return self.n_cold / self.n_references
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReuseProfile({self.n_references} refs, {self.n_cold} cold, "
+            f"store_fraction={self.store_fraction:.3f})"
+        )

@@ -1,0 +1,33 @@
+"""SimPoint: basic-block vectors, clustering, representative intervals."""
+
+from .bbv import basic_block_vector, interval_bbvs, random_projection
+from .kmeans import KMeansResult, bic_score, kmeans, select_k
+from .smarts import SmartsEstimate, SmartsSimulator
+from .simpoint import (
+    DEFAULT_INTERVAL_LENGTH,
+    DEFAULT_MAX_K,
+    NOMINAL_INTERVAL_INSTRUCTIONS,
+    SimPointSelection,
+    SimPointSimulator,
+    get_interval_profiles,
+    select_simpoints,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL_LENGTH",
+    "DEFAULT_MAX_K",
+    "KMeansResult",
+    "NOMINAL_INTERVAL_INSTRUCTIONS",
+    "SimPointSelection",
+    "SmartsEstimate",
+    "SmartsSimulator",
+    "SimPointSimulator",
+    "basic_block_vector",
+    "bic_score",
+    "get_interval_profiles",
+    "interval_bbvs",
+    "kmeans",
+    "random_projection",
+    "select_k",
+    "select_simpoints",
+]

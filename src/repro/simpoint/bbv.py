@@ -1,0 +1,65 @@
+"""Basic Block Vectors (BBVs).
+
+SimPoint [Sherwood et al., ASPLOS 2002] summarizes the behaviour of each
+fixed-length execution interval with a Basic Block Vector: how many
+instructions the interval spent in each static basic block.  Intervals
+with similar BBVs execute similar code and exhibit similar architectural
+behaviour, which is what lets a few representative intervals stand in for
+the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..workloads.trace import Trace
+
+
+def basic_block_vector(trace: Trace, n_blocks: int) -> np.ndarray:
+    """BBV of one (sub)trace: per-block instruction counts, L1-normalized."""
+    counts = np.bincount(trace.block_id, minlength=n_blocks).astype(np.float64)
+    total = counts.sum()
+    if total > 0:
+        counts /= total
+    return counts
+
+
+def interval_bbvs(
+    trace: Trace, interval_length: int
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """BBVs of every interval of ``trace``.
+
+    Returns
+    -------
+    matrix:
+        ``(n_intervals, n_static_blocks)`` array of normalized BBVs.
+    bounds:
+        The ``(start, stop)`` instruction range of each interval.
+    """
+    n_blocks = int(trace.block_id.max()) + 1
+    bounds = trace.intervals(interval_length)
+    matrix = np.empty((len(bounds), n_blocks), dtype=np.float64)
+    for row, (start, stop) in enumerate(bounds):
+        matrix[row] = basic_block_vector(trace.slice(start, stop), n_blocks)
+    return matrix, bounds
+
+
+def random_projection(
+    bbvs: np.ndarray, dimensions: int = 15, seed: int = 42
+) -> np.ndarray:
+    """Project BBVs to ``dimensions`` dims as SimPoint does.
+
+    Uses a dense Gaussian random projection; distances are approximately
+    preserved (Johnson-Lindenstrauss) while clustering cost drops from the
+    number of static blocks to ``dimensions``.
+    """
+    if dimensions <= 0:
+        raise ValueError(f"dimensions must be positive, got {dimensions}")
+    n_features = bbvs.shape[1]
+    if n_features <= dimensions:
+        return bbvs.copy()
+    rng = np.random.default_rng(seed)
+    projection = rng.normal(0.0, 1.0 / np.sqrt(dimensions), (n_features, dimensions))
+    return bbvs @ projection

@@ -1,0 +1,183 @@
+"""K-means clustering with k-means++ seeding and BIC model selection.
+
+Implemented from scratch on numpy (no scikit-learn), matching the
+machinery SimPoint uses: Lloyd's algorithm over projected BBVs, with the
+Bayesian Information Criterion (spherical-Gaussian formulation of Pelleg &
+Moore's X-means) used to pick the number of clusters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means run."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def k(self) -> int:
+        return len(self.centroids)
+
+
+def _kmeanspp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to
+    squared distance from the nearest existing centroid."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(0, n))
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # all remaining points coincide with an existing centroid
+            centroids[j:] = points[int(rng.integers(0, n))]
+            return centroids
+        probs = closest_sq / total
+        chosen = int(rng.choice(n, p=probs))
+        centroids[j] = points[chosen]
+        dist_sq = np.sum((points - centroids[j]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iterations: int = 100,
+    n_restarts: int = 3,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups with Lloyd's algorithm.
+
+    The best of ``n_restarts`` independent k-means++ initializations (by
+    inertia) is returned.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = len(points)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    best: Optional[KMeansResult] = None
+    for _ in range(max(1, n_restarts)):
+        centroids = _kmeanspp_init(points, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        for iteration in range(1, max_iterations + 1):
+            # assignment step
+            distances = np.linalg.norm(
+                points[:, None, :] - centroids[None, :, :], axis=2
+            )
+            new_labels = np.argmin(distances, axis=1)
+            # update step
+            moved = False
+            for j in range(k):
+                members = points[new_labels == j]
+                if len(members) == 0:
+                    # re-seed an empty cluster at the farthest point
+                    farthest = int(
+                        np.argmax(distances[np.arange(n), new_labels])
+                    )
+                    centroids[j] = points[farthest]
+                    new_labels[farthest] = j
+                    moved = True
+                else:
+                    centroid = members.mean(axis=0)
+                    if not np.allclose(centroid, centroids[j]):
+                        moved = True
+                    centroids[j] = centroid
+            converged = np.array_equal(new_labels, labels) and not moved
+            labels = new_labels
+            if converged:
+                break
+        inertia = float(
+            np.sum((points - centroids[labels]) ** 2)
+        )
+        result = KMeansResult(
+            centroids=centroids.copy(),
+            labels=labels.copy(),
+            inertia=inertia,
+            n_iterations=iteration,
+        )
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """BIC of a k-means clustering under a spherical Gaussian model.
+
+    Higher is better.  Follows Pelleg & Moore's X-means formulation, the
+    criterion SimPoint uses to select the number of clusters.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n, d = points.shape
+    k = result.k
+    if n <= k:
+        return -math.inf
+    variance = result.inertia / (d * (n - k))
+    variance = max(variance, 1e-12)
+    log_likelihood = 0.0
+    for j in range(k):
+        n_j = int(np.sum(result.labels == j))
+        if n_j == 0:
+            continue
+        log_likelihood += (
+            n_j * math.log(n_j)
+            - n_j * math.log(n)
+            - n_j * d / 2.0 * math.log(2.0 * math.pi * variance)
+            - (n_j - 1) * d / 2.0
+        )
+    n_parameters = k * (d + 1)
+    return log_likelihood - n_parameters / 2.0 * math.log(n)
+
+
+def select_k(
+    points: np.ndarray,
+    max_k: int,
+    rng: Optional[np.random.Generator] = None,
+    bic_threshold: float = 0.9,
+) -> KMeansResult:
+    """Pick the clustering whose k SimPoint's heuristic selects.
+
+    Runs k-means for every ``k`` up to ``max_k`` and returns the smallest
+    ``k`` whose BIC reaches ``bic_threshold`` of the best BIC observed
+    (SimPoint's published rule of thumb).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    max_k = min(max_k, len(points))
+    if max_k < 1:
+        raise ValueError("need at least one point")
+    results = []
+    scores = []
+    for k in range(1, max_k + 1):
+        result = kmeans(points, k, rng)
+        results.append(result)
+        scores.append(bic_score(points, result))
+    best = max(scores)
+    worst = min(scores)
+    span = best - worst
+    if span <= 0:
+        return results[0]
+    for result, score in zip(results, scores):
+        if (score - worst) / span >= bic_threshold:
+            return result
+    return results[-1]  # pragma: no cover - threshold always reachable

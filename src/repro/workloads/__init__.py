@@ -1,0 +1,29 @@
+"""Synthetic SPEC-like workloads: characteristics, traces, generators."""
+
+from .characteristics import PhaseProfile, WorkloadCharacteristics
+from .generator import SyntheticTraceGenerator, clear_trace_cache, generate_trace
+from .spec import (
+    CFP_BENCHMARKS,
+    CINT_BENCHMARKS,
+    FIGURE_BENCHMARKS,
+    SIMPOINT_BENCHMARKS,
+    SPEC_WORKLOADS,
+    get_workload,
+)
+from .trace import OpClass, Trace
+
+__all__ = [
+    "CFP_BENCHMARKS",
+    "CINT_BENCHMARKS",
+    "FIGURE_BENCHMARKS",
+    "OpClass",
+    "PhaseProfile",
+    "SIMPOINT_BENCHMARKS",
+    "SPEC_WORKLOADS",
+    "SyntheticTraceGenerator",
+    "Trace",
+    "WorkloadCharacteristics",
+    "clear_trace_cache",
+    "generate_trace",
+    "get_workload",
+]

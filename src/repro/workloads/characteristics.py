@@ -1,0 +1,151 @@
+"""Workload characteristic descriptions.
+
+The paper runs four SPEC CINT2000 and four SPEC CFP2000 benchmarks with
+MinneSPEC reduced inputs.  We cannot ship SPEC binaries, so each benchmark
+is described by a :class:`WorkloadCharacteristics` record from which the
+generator synthesizes a phased instruction trace with the same qualitative
+behaviour (instruction mix, reuse profile, branch predictability,
+instruction-level parallelism).  DESIGN.md §5 documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Statistical description of one execution phase.
+
+    Attributes
+    ----------
+    weight:
+        Fraction of the trace spent in this phase (normalized by the
+        generator if weights do not sum to one).
+    mix:
+        Opcode-class name -> fraction of dynamic instructions.  Must cover
+        ``load``, ``store`` and ``branch``; the remainder is split over the
+        compute classes present in the mapping.
+    working_set_blocks:
+        Size (in 64-byte blocks) of the hot working set; reuse distances
+        concentrate below this value.
+    secondary_ws_blocks:
+        Size of the colder, larger working set reached by a minority of
+        references.
+    secondary_fraction:
+        Fraction of non-streaming references that go to the secondary set.
+    streaming_fraction:
+        Fraction of memory references that walk sequentially through a
+        large region (high spatial locality, no temporal reuse).
+    pointer_fraction:
+        Fraction of loads that chase pointers: uniform-random block in the
+        secondary region with a serializing dependency on the previous
+        pointer load.
+    spatial_locality:
+        Probability that a non-streaming reference touches the same or an
+        adjacent 32-byte sub-block as a recent reference (drives the
+        benefit of larger cache blocks).
+    branch_bias_concentration:
+        Beta-distribution concentration for per-static-branch taken bias;
+        large values give strongly biased (predictable) branches.
+    loop_branch_fraction:
+        Fraction of static branches that behave as loop back-edges (taken
+        ``loop_trip_mean`` times, then not taken).
+    loop_trip_mean:
+        Mean loop trip count for loop branches.
+    n_static_blocks:
+        Number of static basic blocks active in the phase (code footprint
+        and SimPoint BBV dimensionality driver).
+    block_len_mean:
+        Mean basic-block length in instructions.
+    dep_distance_mean:
+        Mean register-dependency distance (instructions); larger means more
+        instruction-level parallelism.
+    """
+
+    weight: float
+    mix: Mapping[str, float]
+    working_set_blocks: int
+    secondary_ws_blocks: int
+    secondary_fraction: float
+    streaming_fraction: float
+    pointer_fraction: float
+    spatial_locality: float
+    branch_bias_concentration: float
+    loop_branch_fraction: float
+    loop_trip_mean: float
+    n_static_blocks: int
+    block_len_mean: int
+    dep_distance_mean: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"phase weight must be positive, got {self.weight}")
+        for frac_name in (
+            "secondary_fraction",
+            "streaming_fraction",
+            "pointer_fraction",
+            "spatial_locality",
+            "loop_branch_fraction",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{frac_name} must be in [0, 1], got {value}")
+        for name in ("load", "store", "branch"):
+            if name not in self.mix:
+                raise ValueError(f"phase mix must include {name!r}")
+        total = sum(self.mix.values())
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"phase mix must sum to 1, sums to {total}")
+        if self.working_set_blocks <= 0 or self.secondary_ws_blocks <= 0:
+            raise ValueError("working-set sizes must be positive")
+        if self.dep_distance_mean < 1.0:
+            raise ValueError("dep_distance_mean must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Full description of one synthetic benchmark.
+
+    Attributes
+    ----------
+    name / suite:
+        Benchmark identifier and SPEC suite (``CINT2000`` / ``CFP2000``).
+    description:
+        What the real benchmark does, for documentation.
+    total_dynamic_instructions:
+        Dynamic instruction count of the (MinneSPEC-scaled) run; used only
+        for the instruction-accounting in the gains study (Figs 5.6/5.7).
+    trace_length:
+        Number of instructions in the generated synthetic trace.
+    seed:
+        Base RNG seed so traces are reproducible.
+    phases:
+        Execution phases in temporal order.
+    """
+
+    name: str
+    suite: str
+    description: str
+    total_dynamic_instructions: int
+    trace_length: int
+    seed: int
+    phases: Tuple[PhaseProfile, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError(f"workload {self.name!r} needs at least one phase")
+        if self.trace_length < 1000:
+            raise ValueError(
+                f"trace_length {self.trace_length} too small to be meaningful"
+            )
+        if self.total_dynamic_instructions <= 0:
+            raise ValueError("total_dynamic_instructions must be positive")
+        if self.suite not in ("CINT2000", "CFP2000"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+
+    @property
+    def normalized_phase_weights(self) -> Tuple[float, ...]:
+        total = sum(p.weight for p in self.phases)
+        return tuple(p.weight / total for p in self.phases)

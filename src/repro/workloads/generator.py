@@ -1,0 +1,396 @@
+"""Synthetic phased trace generation.
+
+``SyntheticTraceGenerator`` turns a :class:`WorkloadCharacteristics` record
+into a concrete dynamic instruction stream: it synthesizes a static basic
+block graph per phase, walks it with per-branch bias/loop behaviour, and
+assigns memory addresses from a mixture of streaming, Zipf-distributed hot
+working-set, secondary working-set and pointer-chasing reference streams.
+
+Everything downstream — caches, branch predictors, the cycle simulator,
+stack-distance profiling, SimPoint basic-block vectors — operates on these
+real address/outcome streams rather than on closed-form formulas, so the
+design-space response surface emerges from genuine locality behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .characteristics import PhaseProfile, WorkloadCharacteristics
+from .spec import get_workload
+from .trace import OpClass, Trace
+
+#: address-space region bases (byte addresses)
+_HOT_BASE = 0x1000_0000
+_SECONDARY_BASE = 0x2000_0000
+_STREAM_BASE = 0x4000_0000
+_CODE_BASE = 0x0040_0000
+
+#: probability that an instruction has no first / has a second register input
+_NO_DEP1_PROB = 0.15
+_DEP2_PROB = 0.45
+
+_OP_NAME_TO_CODE = {name: code for code, name in enumerate(OpClass.NAMES)}
+
+
+def _zipf_probabilities(n: int, exponent: float) -> np.ndarray:
+    """Zipf(s) probabilities over ranks 0..n-1."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class _StaticCode:
+    """The static basic-block structure of one phase."""
+
+    def __init__(
+        self,
+        profile: PhaseProfile,
+        phase_index: int,
+        block_id_base: int,
+        rng: np.random.Generator,
+    ):
+        n = profile.n_static_blocks
+        self.n_blocks = n
+        self.block_id_base = block_id_base
+        # block lengths: at least 2 instructions (one body op + the branch)
+        self.lengths = 2 + rng.poisson(max(0, profile.block_len_mean - 2), n)
+        starts = np.concatenate(([0], np.cumsum(self.lengths[:-1])))
+        self.start_pc = (
+            _CODE_BASE + (phase_index << 24) + 4 * starts
+        ).astype(np.uint64)
+        # branch behaviour per block
+        self.is_loop = rng.random(n) < profile.loop_branch_fraction
+        concentration = profile.branch_bias_concentration
+        self.bias = rng.beta(0.55 * concentration, 0.45 * concentration, n)
+        self.trip_mean = np.maximum(
+            1.0, rng.normal(profile.loop_trip_mean, profile.loop_trip_mean / 4, n)
+        )
+        # taken targets: loops jump a short distance back (to the loop head),
+        # other branches jump to a random block with a preference for
+        # nearby code.
+        taken_target = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            if self.is_loop[i]:
+                taken_target[i] = max(0, i - int(rng.integers(0, 4)))
+            elif rng.random() < 0.7:
+                taken_target[i] = (i + int(rng.integers(1, 6))) % n
+            else:
+                taken_target[i] = int(rng.integers(0, n))
+        self.taken_target = taken_target
+        self.fallthrough = (np.arange(n) + 1) % n
+
+
+class SyntheticTraceGenerator:
+    """Generate a reproducible synthetic trace for one benchmark.
+
+    Parameters
+    ----------
+    characteristics:
+        The workload description.
+    trace_length:
+        Override for the trace length (defaults to the workload's own).
+    seed_offset:
+        Added to the workload seed; lets callers generate independent
+        replicas of the same workload.
+    """
+
+    def __init__(
+        self,
+        characteristics: WorkloadCharacteristics,
+        trace_length: Optional[int] = None,
+        seed_offset: int = 0,
+    ):
+        self.characteristics = characteristics
+        self.trace_length = trace_length or characteristics.trace_length
+        if self.trace_length < 1000:
+            raise ValueError(
+                f"trace_length {self.trace_length} too small to be meaningful"
+            )
+        self.seed = characteristics.seed + seed_offset
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Trace:
+        """Build the full phased trace."""
+        rng = np.random.default_rng(self.seed)
+        weights = self.characteristics.normalized_phase_weights
+        columns: List[Dict[str, np.ndarray]] = []
+        block_id_base = 0
+        remaining = self.trace_length
+        for phase_index, (profile, weight) in enumerate(
+            zip(self.characteristics.phases, weights)
+        ):
+            if phase_index == len(self.characteristics.phases) - 1:
+                budget = remaining
+            else:
+                budget = int(round(self.trace_length * weight))
+                budget = min(budget, remaining)
+            if budget <= 0:
+                continue
+            columns.append(
+                self._generate_phase(profile, phase_index, block_id_base, budget, rng)
+            )
+            block_id_base += profile.n_static_blocks
+            remaining -= len(columns[-1]["op"])
+        merged = {
+            key: np.concatenate([c[key] for c in columns])
+            for key in columns[0]
+        }
+        trace = Trace(name=self.characteristics.name, **merged)
+        self._assign_dependencies(trace, rng)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _generate_phase(
+        self,
+        profile: PhaseProfile,
+        phase_index: int,
+        block_id_base: int,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> Dict[str, np.ndarray]:
+        code = _StaticCode(profile, phase_index, block_id_base, rng)
+        visited, outcomes = self._walk(code, budget, rng)
+        cols = self._expand_blocks(code, visited, outcomes, profile, rng)
+        self._assign_addresses(cols, profile, phase_index, rng)
+        return cols
+
+    def _walk(
+        self, code: _StaticCode, budget: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Walk the block graph until ``budget`` instructions are emitted."""
+        visited: List[int] = []
+        outcomes: List[bool] = []
+        trip_left = np.maximum(
+            1, rng.poisson(code.trip_mean)
+        )  # remaining iterations per loop branch
+        current = 0
+        emitted = 0
+        # draw random numbers in batches to keep the walk loop cheap
+        batch = rng.random(4096)
+        cursor = 0
+        while emitted < budget:
+            visited.append(current)
+            emitted += int(code.lengths[current])
+            if cursor >= len(batch):
+                batch = rng.random(4096)
+                cursor = 0
+            u = batch[cursor]
+            cursor += 1
+            if code.is_loop[current]:
+                if trip_left[current] > 0:
+                    taken = True
+                    trip_left[current] -= 1
+                else:
+                    taken = False
+                    trip_left[current] = max(
+                        1, int(rng.poisson(code.trip_mean[current]))
+                    )
+            else:
+                taken = bool(u < code.bias[current])
+            outcomes.append(taken)
+            current = int(
+                code.taken_target[current] if taken else code.fallthrough[current]
+            )
+        return np.asarray(visited, dtype=np.int64), np.asarray(outcomes, dtype=bool)
+
+    def _expand_blocks(
+        self,
+        code: _StaticCode,
+        visited: np.ndarray,
+        outcomes: np.ndarray,
+        profile: PhaseProfile,
+        rng: np.random.Generator,
+    ) -> Dict[str, np.ndarray]:
+        """Expand the visited block sequence into per-instruction columns."""
+        lengths = code.lengths[visited]
+        total = int(lengths.sum())
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        branch_pos = ends - 1
+
+        # opcode classes: the final instruction of each block is a branch,
+        # interior instructions follow the renormalized non-branch mix.
+        interior_names = [n for n in OpClass.NAMES if n != "branch"]
+        probs = np.array([profile.mix.get(n, 0.0) for n in interior_names])
+        probs = probs / probs.sum()
+        interior_codes = np.array(
+            [_OP_NAME_TO_CODE[n] for n in interior_names], dtype=np.uint8
+        )
+        op = rng.choice(interior_codes, size=total, p=probs).astype(np.uint8)
+        op[branch_pos] = OpClass.BRANCH
+
+        # program counters: block start plus 4 bytes per instruction
+        offset_in_block = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+        pc = np.repeat(code.start_pc[visited], lengths) + (
+            4 * offset_in_block
+        ).astype(np.uint64)
+
+        taken = np.zeros(total, dtype=bool)
+        taken[branch_pos] = outcomes
+        target = np.zeros(total, dtype=np.uint64)
+        target[branch_pos] = code.start_pc[code.taken_target[visited]]
+
+        block_id = np.repeat(
+            (code.block_id_base + visited).astype(np.int32), lengths
+        )
+        return {
+            "op": op,
+            "pc": pc,
+            "addr": np.zeros(total, dtype=np.uint64),
+            "taken": taken,
+            "target": target,
+            "dep1": np.zeros(total, dtype=np.int32),
+            "dep2": np.zeros(total, dtype=np.int32),
+            "block_id": block_id,
+        }
+
+    def _assign_addresses(
+        self,
+        cols: Dict[str, np.ndarray],
+        profile: PhaseProfile,
+        phase_index: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Fill the ``addr`` column for loads and stores."""
+        op = cols["op"]
+        mem_idx = np.flatnonzero((op == OpClass.LOAD) | (op == OpClass.STORE))
+        n_mem = len(mem_idx)
+        if n_mem == 0:
+            return
+        addr = np.zeros(n_mem, dtype=np.uint64)
+
+        kind = rng.random(n_mem)
+        streaming = kind < profile.streaming_fraction
+        is_load = op[mem_idx] == OpClass.LOAD
+        pointer = (
+            (~streaming)
+            & is_load
+            & (rng.random(n_mem) < profile.pointer_fraction)
+        )
+        temporal = ~streaming & ~pointer
+
+        # streaming: sequential 8-byte walk through a large region, private
+        # to the phase so streams do not alias across phases
+        n_stream = int(streaming.sum())
+        if n_stream:
+            offsets = 8 * np.arange(n_stream, dtype=np.uint64)
+            addr[streaming] = np.uint64(
+                _STREAM_BASE + (phase_index << 26)
+            ) + offsets
+
+        # pointer chasing: uniform random block in the secondary region
+        n_ptr = int(pointer.sum())
+        if n_ptr:
+            blocks = rng.integers(0, profile.secondary_ws_blocks, n_ptr)
+            addr[pointer] = (
+                np.uint64(_SECONDARY_BASE)
+                + blocks.astype(np.uint64) * np.uint64(64)
+                + rng.integers(0, 64, n_ptr).astype(np.uint64)
+            )
+
+        # temporal reuse: Zipf-distributed blocks in the hot / secondary sets
+        n_temp = int(temporal.sum())
+        if n_temp:
+            addr[temporal] = self._temporal_addresses(profile, n_temp, rng)
+
+        cols["addr"][mem_idx] = addr
+
+    def _temporal_addresses(
+        self, profile: PhaseProfile, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        to_secondary = rng.random(n) < profile.secondary_fraction
+        n_sec = int(to_secondary.sum())
+        n_hot = n - n_sec
+        out = np.zeros(n, dtype=np.uint64)
+
+        # fixed per-block sub-offsets model low spatial locality: only one
+        # 32-byte sub-block of each cache block is ever touched, so larger
+        # blocks waste capacity.  High spatial locality spreads offsets over
+        # the whole block instead.
+        def region(base: int, ws: int, count: int, exponent: float) -> np.ndarray:
+            probs = _zipf_probabilities(ws, exponent)
+            blocks = rng.choice(ws, size=count, p=probs)
+            sub_offset_table = rng.integers(0, 64, ws)
+            spatial = rng.random(count) < profile.spatial_locality
+            offsets = np.where(
+                spatial,
+                rng.integers(0, 64, count),
+                sub_offset_table[blocks],
+            )
+            return (
+                np.uint64(base)
+                + blocks.astype(np.uint64) * np.uint64(64)
+                + offsets.astype(np.uint64)
+            )
+
+        if n_hot:
+            out[~to_secondary] = region(
+                _HOT_BASE, profile.working_set_blocks, n_hot, 0.9
+            )
+        if n_sec:
+            out[to_secondary] = region(
+                _SECONDARY_BASE, profile.secondary_ws_blocks, n_sec, 0.65
+            )
+        return out
+
+    def _assign_dependencies(self, trace: Trace, rng: np.random.Generator) -> None:
+        """Assign register-dependency distances over the whole trace."""
+        n = len(trace)
+        mean = np.empty(n, dtype=np.float64)
+        # per-phase dependency distance means, expanded per instruction
+        weights = self.characteristics.normalized_phase_weights
+        start = 0
+        for profile, weight in zip(self.characteristics.phases, weights):
+            stop = min(n, start + int(round(n * weight)))
+            mean[start:stop] = profile.dep_distance_mean
+            start = stop
+        mean[start:] = self.characteristics.phases[-1].dep_distance_mean
+
+        index = np.arange(n)
+        dep1 = rng.geometric(1.0 / mean).astype(np.int64)
+        dep1 = np.minimum(dep1, index)
+        dep1[rng.random(n) < _NO_DEP1_PROB] = 0
+        dep2 = rng.geometric(1.0 / mean).astype(np.int64)
+        dep2 = np.minimum(dep2, index)
+        dep2[rng.random(n) >= _DEP2_PROB] = 0
+
+        # pointer-chasing loads form a serial chain: each depends on the
+        # previous pointer load (the classic mcf dependence pattern)
+        secondary_lo = np.uint64(_SECONDARY_BASE)
+        secondary_hi = np.uint64(_STREAM_BASE)
+        ptr_idx = np.flatnonzero(
+            (trace.op == OpClass.LOAD)
+            & (trace.addr >= secondary_lo)
+            & (trace.addr < secondary_hi)
+        )
+        if len(ptr_idx) > 1:
+            dep1[ptr_idx[1:]] = np.diff(ptr_idx)
+
+        trace.dep1[:] = dep1.astype(np.int32)
+        trace.dep2[:] = dep2.astype(np.int32)
+
+
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def generate_trace(
+    name: str, trace_length: Optional[int] = None, seed_offset: int = 0
+) -> Trace:
+    """Generate (and memoize) the synthetic trace for benchmark ``name``."""
+    characteristics = get_workload(name)
+    length = trace_length or characteristics.trace_length
+    key = (name, length, seed_offset)
+    if key not in _TRACE_CACHE:
+        generator = SyntheticTraceGenerator(
+            characteristics, trace_length=length, seed_offset=seed_offset
+        )
+        _TRACE_CACHE[key] = generator.generate()
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized traces (used by tests)."""
+    _TRACE_CACHE.clear()

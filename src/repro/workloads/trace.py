@@ -1,0 +1,185 @@
+"""Instruction traces.
+
+A :class:`Trace` is a column-oriented dynamic instruction stream: numpy
+arrays for opcode class, program counter, memory address, branch outcome and
+register-dependency distances.  Traces are produced by the synthetic
+workload generator (:mod:`repro.workloads.generator`) and consumed by the
+cycle-level simulator, the stack-distance profiler, the interval model's
+application profiler, and SimPoint's basic-block-vector builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+
+class OpClass:
+    """Opcode classes and their execution latencies (cycles)."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+    #: number of distinct classes
+    COUNT = 7
+
+    #: execution latency of each class in cycles (load latency excludes the
+    #: memory system, which is modeled separately)
+    LATENCY = np.array([1, 3, 2, 4, 1, 1, 1], dtype=np.int64)
+
+    #: classes that reference memory
+    MEMORY = (LOAD, STORE)
+
+    #: classes executed on floating-point units
+    FP = (FP_ALU, FP_MUL)
+
+    NAMES = ("int_alu", "int_mul", "fp_alu", "fp_mul", "load", "store", "branch")
+
+    @classmethod
+    def name(cls, op: int) -> str:
+        """Human-readable name of opcode class ``op``."""
+        return cls.NAMES[op]
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction stream in structure-of-arrays form.
+
+    Attributes
+    ----------
+    name:
+        Workload this trace belongs to.
+    op:
+        ``uint8`` opcode class per instruction (see :class:`OpClass`).
+    pc:
+        ``uint64`` instruction address (word-aligned).
+    addr:
+        ``uint64`` effective address for loads/stores, 0 otherwise.
+    taken:
+        ``bool`` branch outcome, False for non-branches.
+    target:
+        ``uint64`` branch target address, 0 for non-branches.
+    dep1, dep2:
+        ``int32`` distances (in instructions) back to the producers of the
+        two source operands; 0 means no register dependency.
+    block_id:
+        ``int32`` basic-block identifier per instruction, used by SimPoint's
+        basic-block vectors.
+    """
+
+    name: str
+    op: np.ndarray
+    pc: np.ndarray
+    addr: np.ndarray
+    taken: np.ndarray
+    target: np.ndarray
+    dep1: np.ndarray
+    dep2: np.ndarray
+    block_id: np.ndarray
+    _mix_cache: Dict[int, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.op)
+        for attr in ("pc", "addr", "taken", "target", "dep1", "dep2", "block_id"):
+            if len(getattr(self, attr)) != n:
+                raise ValueError(
+                    f"trace column {attr!r} has length "
+                    f"{len(getattr(self, attr))}, expected {n}"
+                )
+        if n == 0:
+            raise ValueError("a trace must contain at least one instruction")
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def memory_mask(self) -> np.ndarray:
+        """Boolean mask of instructions that reference memory."""
+        return (self.op == OpClass.LOAD) | (self.op == OpClass.STORE)
+
+    @property
+    def load_mask(self) -> np.ndarray:
+        return self.op == OpClass.LOAD
+
+    @property
+    def store_mask(self) -> np.ndarray:
+        return self.op == OpClass.STORE
+
+    @property
+    def branch_mask(self) -> np.ndarray:
+        return self.op == OpClass.BRANCH
+
+    def fraction(self, op_class: int) -> float:
+        """Fraction of dynamic instructions in ``op_class``."""
+        if op_class not in self._mix_cache:
+            self._mix_cache[op_class] = float(np.mean(self.op == op_class))
+        return self._mix_cache[op_class]
+
+    @property
+    def mix(self) -> Dict[str, float]:
+        """Dynamic instruction mix as a name -> fraction mapping."""
+        return {
+            OpClass.name(c): self.fraction(c) for c in range(OpClass.COUNT)
+        }
+
+    def block_addresses(self, block_bytes: int) -> np.ndarray:
+        """Memory reference stream at ``block_bytes`` granularity."""
+        if block_bytes <= 0 or block_bytes & (block_bytes - 1):
+            raise ValueError(f"block size must be a power of two, got {block_bytes}")
+        shift = int(block_bytes).bit_length() - 1
+        return self.addr[self.memory_mask] >> np.uint64(shift)
+
+    def slice(self, start: int, stop: int, name_suffix: str = "") -> "Trace":
+        """Return the subtrace covering instructions ``[start, stop)``."""
+        if not 0 <= start < stop <= len(self):
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) of trace with {len(self)} "
+                f"instructions"
+            )
+        return Trace(
+            name=self.name + name_suffix,
+            op=self.op[start:stop],
+            pc=self.pc[start:stop],
+            addr=self.addr[start:stop],
+            taken=self.taken[start:stop],
+            target=self.target[start:stop],
+            dep1=self.dep1[start:stop],
+            dep2=self.dep2[start:stop],
+            block_id=self.block_id[start:stop],
+        )
+
+    def intervals(self, length: int) -> List[Tuple[int, int]]:
+        """Partition the trace into ``length``-instruction intervals.
+
+        The final partial interval is kept only if it covers at least half
+        of ``length`` (matching SimPoint's treatment of trailing intervals).
+        """
+        if length <= 0:
+            raise ValueError(f"interval length must be positive, got {length}")
+        bounds = []
+        start = 0
+        n = len(self)
+        while start < n:
+            stop = min(start + length, n)
+            if stop - start >= max(1, length // 2) or not bounds:
+                bounds.append((start, stop))
+            else:
+                # merge the short tail into the previous interval
+                bounds[-1] = (bounds[-1][0], stop)
+            start = stop
+        return bounds
+
+    def iter_intervals(self, length: int) -> Iterator["Trace"]:
+        """Yield subtraces for each interval of :meth:`intervals`."""
+        for i, (start, stop) in enumerate(self.intervals(length)):
+            yield self.slice(start, stop, name_suffix=f"#{i}")

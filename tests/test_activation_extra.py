@@ -1,0 +1,74 @@
+"""Additional activation-function identities and numeric edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activation import Identity, Sigmoid, Tanh
+
+FLOATS = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+class TestSigmoid:
+    @given(FLOATS)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, x):
+        sig = Sigmoid()
+        left = sig.forward(np.array([x]))[0]
+        right = sig.forward(np.array([-x]))[0]
+        assert left + right == pytest.approx(1.0, abs=1e-12)
+
+    @given(FLOATS)
+    @settings(max_examples=60, deadline=None)
+    def test_derivative_matches_finite_difference(self, x):
+        sig = Sigmoid()
+        eps = 1e-6
+        numeric = (
+            sig.forward(np.array([x + eps]))[0]
+            - sig.forward(np.array([x - eps]))[0]
+        ) / (2 * eps)
+        y = sig.forward(np.array([x]))[0]
+        analytic = sig.derivative_from_output(np.array([y]))[0]
+        assert analytic == pytest.approx(numeric, abs=1e-6)
+
+    def test_midpoint(self):
+        assert Sigmoid().forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestTanh:
+    @given(FLOATS)
+    @settings(max_examples=60, deadline=None)
+    def test_odd_function(self, x):
+        tanh = Tanh()
+        assert tanh.forward(np.array([x]))[0] == pytest.approx(
+            -tanh.forward(np.array([-x]))[0], abs=1e-12
+        )
+
+    @given(FLOATS)
+    @settings(max_examples=60, deadline=None)
+    def test_derivative_matches_finite_difference(self, x):
+        tanh = Tanh()
+        eps = 1e-6
+        numeric = (
+            tanh.forward(np.array([x + eps]))[0]
+            - tanh.forward(np.array([x - eps]))[0]
+        ) / (2 * eps)
+        y = tanh.forward(np.array([x]))[0]
+        assert tanh.derivative_from_output(np.array([y]))[0] == pytest.approx(
+            numeric, abs=1e-5
+        )
+
+    def test_bounds(self):
+        out = Tanh().forward(np.array([-100.0, 100.0]))
+        assert out[0] == pytest.approx(-1.0)
+        assert out[1] == pytest.approx(1.0)
+
+
+class TestIdentity:
+    @given(FLOATS)
+    @settings(max_examples=30, deadline=None)
+    def test_passthrough(self, x):
+        ident = Identity()
+        assert ident.forward(np.array([x]))[0] == x
+        assert ident.derivative_from_output(np.array([x]))[0] == 1.0

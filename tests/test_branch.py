@@ -1,0 +1,173 @@
+"""Tests for branch predictors and the BTB."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GSharePredictor,
+    LocalPredictor,
+    TournamentPredictor,
+    measure_btb_miss_rate,
+    measure_misprediction_rate,
+)
+from repro.cpu.branch import btb_miss_flags, misprediction_flags
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        p = BimodalPredictor(1024)
+        for _ in range(10):
+            p.update(0x100, True)
+        assert p.predict(0x100) is True
+        for _ in range(10):
+            p.update(0x100, False)
+        assert p.predict(0x100) is False
+
+    def test_hysteresis(self):
+        p = BimodalPredictor(1024)
+        for _ in range(10):
+            p.update(0x100, True)
+        p.update(0x100, False)  # single flip must not change prediction
+        assert p.predict(0x100) is True
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(1000)
+
+    def test_aliasing(self):
+        p = BimodalPredictor(4)  # tiny table -> pcs alias
+        for _ in range(10):
+            p.update(0x0, True)
+        # 0x0 and 0x10 alias in a 4-entry table (pc >> 2 & 3)
+        assert p.predict(0x10 * 4) is True
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        p = GSharePredictor(1024)
+        outcomes = [True, False] * 200
+        correct = 0
+        for taken in outcomes:
+            if p.predict(0x40) == taken:
+                correct += 1
+            p.update(0x40, taken)
+        # after warmup, the pattern is perfectly predictable via history
+        assert correct > 300
+
+    def test_history_updates(self):
+        p = GSharePredictor(256, history_bits=4)
+        for taken in (True, False, True, True):
+            p.update(0x0, taken)
+        assert p.history == 0b1011
+
+
+class TestLocal:
+    def test_learns_short_loop(self):
+        p = LocalPredictor(1024)
+        # loop: taken 3x then not-taken, repeating
+        pattern = [True, True, True, False] * 100
+        correct = 0
+        for taken in pattern:
+            if p.predict(0x80) == taken:
+                correct += 1
+            p.update(0x80, taken)
+        assert correct > 300
+
+
+class TestTournament:
+    def test_beats_components_on_mixed_workload(self, rng):
+        """Tournament should roughly match the better component per branch."""
+        tournament = TournamentPredictor(1024)
+        # branch A: strongly biased; branch B: alternating
+        sequence = []
+        for i in range(600):
+            sequence.append((0x100, rng.random() < 0.95))
+            sequence.append((0x200, i % 2 == 0))
+        mispredicts = 0
+        for pc, taken in sequence:
+            if tournament.predict(pc) != taken:
+                mispredicts += 1
+            tournament.update(pc, taken)
+        assert mispredicts / len(sequence) < 0.15
+
+    def test_statistics(self):
+        p = TournamentPredictor(256)
+        for i in range(100):
+            p.update(0x10, i % 3 == 0)
+        assert p.predictions == 100
+        assert 0 <= p.misprediction_rate <= 1
+
+    def test_more_entries_never_much_worse(self, gzip_trace):
+        pcs = gzip_trace.pc[gzip_trace.branch_mask]
+        outcomes = gzip_trace.taken[gzip_trace.branch_mask]
+        small = measure_misprediction_rate(pcs, outcomes, 512)
+        large = measure_misprediction_rate(pcs, outcomes, 4096)
+        assert large <= small + 0.02
+
+    def test_flags_match_rate(self, gzip_trace):
+        pcs = gzip_trace.pc[gzip_trace.branch_mask][:500]
+        outcomes = gzip_trace.taken[gzip_trace.branch_mask][:500]
+        flags = misprediction_flags(pcs, outcomes, 1024)
+        rate = measure_misprediction_rate(pcs, outcomes, 1024)
+        assert float(np.mean(flags)) == pytest.approx(rate)
+
+    def test_empty_stream(self):
+        assert measure_misprediction_rate([], [], 1024) == 0.0
+
+
+class TestBTB:
+    def test_caches_targets(self):
+        btb = BranchTargetBuffer(256, 2)
+        assert btb.lookup(0x100) == -1
+        btb.update(0x100, 0x500)
+        assert btb.lookup(0x100) == 0x500
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(1, 2)  # single set, 2 ways
+        btb.update(0x0, 1)
+        btb.update(0x4, 2)
+        btb.lookup(0x0)  # refresh
+        btb.update(0x8, 3)  # evicts 0x4
+        assert btb.lookup(0x0) == 1
+        assert btb.lookup(0x4) == -1
+
+    def test_update_existing_changes_target(self):
+        btb = BranchTargetBuffer(16, 2)
+        btb.update(0x100, 0x500)
+        btb.update(0x100, 0x900)
+        assert btb.lookup(0x100) == 0x900
+
+    def test_miss_rate_measurement(self, gzip_trace):
+        mask = gzip_trace.branch_mask
+        rate_small = measure_btb_miss_rate(
+            gzip_trace.pc[mask],
+            gzip_trace.target[mask],
+            gzip_trace.taken[mask],
+            sets=16,
+        )
+        rate_large = measure_btb_miss_rate(
+            gzip_trace.pc[mask],
+            gzip_trace.target[mask],
+            gzip_trace.taken[mask],
+            sets=2048,
+        )
+        assert 0.0 <= rate_large <= rate_small <= 1.0
+
+    def test_flags_only_mark_taken(self, gzip_trace):
+        mask = gzip_trace.branch_mask
+        flags = btb_miss_flags(
+            gzip_trace.pc[mask][:300],
+            gzip_trace.target[mask][:300],
+            gzip_trace.taken[mask][:300],
+            sets=64,
+        )
+        not_taken = ~np.asarray(gzip_trace.taken[mask][:300])
+        assert not np.any(flags & not_taken)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(100, 2)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(128, 0)

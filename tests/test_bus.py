@@ -1,0 +1,74 @@
+"""Tests for the bus bandwidth/contention models."""
+
+import pytest
+
+from repro.memory import MAX_STABLE_UTILIZATION, Bus, queueing_delay_factor
+
+
+class TestBus:
+    def test_transfer_cycles(self):
+        bus = Bus(8, 1.0, 4.0)  # 8B at 1GHz, core at 4GHz
+        # 64B needs 8 bus cycles = 32 core cycles
+        assert bus.transfer_cycles(64) == pytest.approx(32.0)
+
+    def test_partial_width_rounds_up(self):
+        bus = Bus(16, 2.0, 2.0)
+        assert bus.transfer_cycles(17) == pytest.approx(2.0)
+
+    def test_request_serializes(self):
+        bus = Bus(8, 1.0, 1.0)
+        first = bus.request(0.0, 8)
+        second = bus.request(0.0, 8)
+        assert second == pytest.approx(first + 1.0)
+
+    def test_idle_gap_respected(self):
+        bus = Bus(8, 1.0, 1.0)
+        bus.request(0.0, 8)
+        done = bus.request(100.0, 8)
+        assert done == pytest.approx(101.0)
+
+    def test_utilization(self):
+        bus = Bus(8, 1.0, 1.0)
+        bus.request(0.0, 80)  # 10 cycles busy
+        assert bus.utilization(100.0) == pytest.approx(0.1)
+        assert bus.utilization(0.0) == 0.0
+
+    def test_reset(self):
+        bus = Bus(8, 1.0, 1.0)
+        bus.request(0.0, 8)
+        bus.reset()
+        assert bus.busy_until == 0.0
+        assert bus.transfers == 0
+
+    def test_bandwidth(self):
+        assert Bus(8, 0.8, 4.0).bandwidth_bytes_per_ns == pytest.approx(6.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bus(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Bus(8, -1.0, 1.0)
+        bus = Bus(8, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            bus.transfer_cycles(0)
+
+
+class TestQueueingModel:
+    def test_zero_load_no_delay(self):
+        assert queueing_delay_factor(0.0) == 0.0
+
+    def test_monotonic(self):
+        loads = [0.1, 0.3, 0.5, 0.7, 0.9]
+        delays = [queueing_delay_factor(u) for u in loads]
+        assert delays == sorted(delays)
+
+    def test_md1_formula(self):
+        assert queueing_delay_factor(0.5) == pytest.approx(0.5)
+
+    def test_saturation_clamped(self):
+        max_delay = queueing_delay_factor(MAX_STABLE_UTILIZATION)
+        assert queueing_delay_factor(5.0) == pytest.approx(max_delay)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            queueing_delay_factor(-0.1)

@@ -1,0 +1,63 @@
+"""Tests for the simplified CACTI timing model."""
+
+import pytest
+
+from repro.memory import (
+    l1_access_time_ns,
+    l1_latency_cycles,
+    l2_access_time_ns,
+    l2_latency_cycles,
+    ns_to_cycles,
+)
+
+
+class TestL1Timing:
+    def test_grows_with_size(self):
+        times = [l1_access_time_ns(s * 1024, 32, 2) for s in (8, 16, 32, 64)]
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+    def test_grows_with_associativity(self):
+        times = [l1_access_time_ns(32 * 1024, 32, a) for a in (1, 2, 4, 8)]
+        assert times == sorted(times)
+
+    def test_paper_calibration_point(self):
+        # the paper's fixed L1 I-cache: 32KB at 4GHz costs 2 cycles
+        assert l1_latency_cycles(32 * 1024, 32, 2, 4.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            l1_access_time_ns(-1, 32, 1)
+        with pytest.raises(ValueError):
+            l1_access_time_ns(64, 32, 8)  # 8 ways of 32B don't fit in 64B
+
+
+class TestL2Timing:
+    def test_grows_with_size(self):
+        times = [
+            l2_access_time_ns(s * 1024, 64, 8) for s in (256, 512, 1024, 2048)
+        ]
+        assert times == sorted(times)
+
+    def test_slower_than_l1(self):
+        assert l2_access_time_ns(256 * 1024, 64, 4) > l1_access_time_ns(
+            64 * 1024, 64, 8
+        )
+
+    def test_reasonable_90nm_range(self):
+        # a 1MB 8-way L2 at 4GHz should land in the low tens of cycles
+        cycles = l2_latency_cycles(1024 * 1024, 64, 8, 4.0)
+        assert 8 <= cycles <= 30
+
+
+class TestCycleConversion:
+    def test_minimum_one_cycle(self):
+        assert ns_to_cycles(0.01, 1.0) == 1
+
+    def test_frequency_scaling(self):
+        assert ns_to_cycles(2.0, 4.0) == 8
+        assert ns_to_cycles(2.0, 2.0) == 4
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            ns_to_cycles(1.0, 0.0)

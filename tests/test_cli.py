@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.study == "memory-system"
+        assert args.target_error == 2.0
+
+    def test_simulate_requires_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_rejects_unknown_study(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--study", "noc"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--study",
+                    "memory-system",
+                    "--benchmark",
+                    "gzip",
+                    "--index",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "IPC(gzip)" in out
+        assert "l1d_size_kb = 8" in out
+
+    def test_simulate_cycle_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--study",
+                    "processor",
+                    "--benchmark",
+                    "gzip",
+                    "--index",
+                    "5",
+                    "--engine",
+                    "cycle",
+                ]
+            )
+            == 0
+        )
+        assert "cycle engine" in capsys.readouterr().out
+
+    def test_rank(self, capsys):
+        assert main(["rank", "--benchmark", "gzip"]) == 0
+        out = capsys.readouterr().out
+        assert "Plackett-Burman" in out
+        assert "l2_size_kb" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9.9"])
+
+    def test_unknown_benchmark_list(self):
+        with pytest.raises(SystemExit):
+            main(["table51", "--benchmarks", "povray"])

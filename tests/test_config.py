@@ -1,0 +1,107 @@
+"""Tests for MachineConfig and its derivation rules."""
+
+import pytest
+
+from repro.cpu import (
+    MachineConfig,
+    dependent_l1_associativity,
+    dependent_l2_associativity,
+    mispredict_penalty_cycles,
+)
+
+
+class TestDefaults:
+    def test_table41_constants(self):
+        """Defaults are the constant column of Table 4.1."""
+        cfg = MachineConfig()
+        assert cfg.frequency_ghz == 4.0
+        assert cfg.width == 4
+        assert cfg.rob_size == 128
+        assert cfg.int_registers == 96
+        assert cfg.lsq_entries == 48
+        assert cfg.l1i_size == 32 * 1024
+        assert cfg.sdram_ns == 100.0
+        assert cfg.fsb_width == 8  # 64-bit FSB
+
+    def test_l1i_latency_matches_paper(self):
+        # "L1 ICache 32KB/2 cycles" at 4GHz
+        assert MachineConfig().l1i_latency == 2
+
+
+class TestValidation:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            MachineConfig(width=5)
+
+    def test_rejects_small_register_file(self):
+        with pytest.raises(ValueError):
+            MachineConfig(int_registers=16)
+
+    def test_rejects_bad_write_policy(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l1d_write_policy="WTF")
+
+    def test_rejects_zero_rob(self):
+        with pytest.raises(ValueError):
+            MachineConfig(rob_size=0)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            MachineConfig(frequency_ghz=-1.0)
+
+
+class TestDerivations:
+    def test_mispredict_penalties(self):
+        """Section 4: 11-cycle minimum at 2GHz, 20 at 4GHz."""
+        assert mispredict_penalty_cycles(2.0) == 11
+        assert mispredict_penalty_cycles(4.0) == 20
+
+    def test_penalty_interpolation(self):
+        mid = mispredict_penalty_cycles(3.0)
+        assert 11 < mid < 20
+
+    def test_penalty_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            mispredict_penalty_cycles(0.0)
+
+    def test_dependent_l1_associativity(self):
+        """Table 4.2: 8KB -> direct-mapped, 32KB -> 2-way."""
+        assert dependent_l1_associativity(8 * 1024) == 1
+        assert dependent_l1_associativity(32 * 1024) == 2
+
+    def test_dependent_l2_associativity(self):
+        """Table 4.2: 256KB -> 4-way, 1MB -> 8-way."""
+        assert dependent_l2_associativity(256 * 1024) == 4
+        assert dependent_l2_associativity(1024 * 1024) == 8
+
+    def test_latency_scales_with_frequency(self):
+        slow = MachineConfig(frequency_ghz=2.0)
+        fast = MachineConfig(frequency_ghz=4.0)
+        assert fast.l2_latency > slow.l2_latency
+        assert fast.sdram_latency_cycles == pytest.approx(400.0)
+        assert slow.sdram_latency_cycles == pytest.approx(200.0)
+
+    def test_rename_registers(self):
+        cfg = MachineConfig(int_registers=96, fp_registers=96)
+        assert cfg.rename_registers == 128
+
+
+class TestUpdates:
+    def test_with_updates_returns_copy(self):
+        base = MachineConfig()
+        bigger = base.with_updates(l2_size=2048 * 1024)
+        assert bigger.l2_size == 2048 * 1024
+        assert base.l2_size == 1024 * 1024
+
+    def test_with_updates_validates(self):
+        with pytest.raises(ValueError):
+            MachineConfig().with_updates(width=7)
+
+    def test_describe_is_flat(self):
+        desc = MachineConfig().describe()
+        assert desc["rob_size"] == 128
+        assert all(not isinstance(v, dict) for v in desc.values())
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineConfig().width = 8

@@ -1,0 +1,50 @@
+"""Unit tests for design-space constraints."""
+
+import pytest
+
+from repro.designspace import DependentChoices, PredicateConstraint
+
+
+class TestDependentChoices:
+    def setup_method(self):
+        self.constraint = DependentChoices(
+            "regs", "rob", {96: (64, 80), 128: (80, 96)}
+        )
+
+    def test_allows_listed_combination(self):
+        assert self.constraint.allows({"rob": 96, "regs": 64})
+        assert self.constraint.allows({"rob": 128, "regs": 96})
+
+    def test_rejects_unlisted_combination(self):
+        assert not self.constraint.allows({"rob": 96, "regs": 96})
+
+    def test_unknown_controller_value_raises(self):
+        with pytest.raises(ValueError, match="no entry"):
+            self.constraint.allows({"rob": 160, "regs": 96})
+
+    def test_names(self):
+        assert set(self.constraint.names) == {"regs", "rob"}
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ValueError):
+            DependentChoices("a", "b", {})
+
+    def test_rejects_empty_choice_list(self):
+        with pytest.raises(ValueError):
+            DependentChoices("a", "b", {1: ()})
+
+
+class TestPredicateConstraint:
+    def test_wraps_callable(self):
+        c = PredicateConstraint(
+            ("a", "b"), lambda cfg: cfg["a"] < cfg["b"], "a < b"
+        )
+        assert c.allows({"a": 1, "b": 2})
+        assert not c.allows({"a": 2, "b": 1})
+        assert c.names == ("a", "b")
+        assert "a < b" in repr(c)
+
+    def test_truthiness_coerced(self):
+        c = PredicateConstraint(("a",), lambda cfg: cfg["a"])
+        assert c.allows({"a": 5}) is True
+        assert c.allows({"a": 0}) is False

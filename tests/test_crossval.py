@@ -1,0 +1,119 @@
+"""Tests for k-fold cross-validation ensembles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CrossValidationEnsemble, make_folds
+from repro.core.training import TrainingConfig
+
+
+def make_problem(rng, n=250):
+    x = rng.random((n, 3))
+    y = 0.5 + 0.8 * x[:, 0] + 0.4 * x[:, 1] * x[:, 2]
+    return x, y
+
+
+class TestMakeFolds:
+    def test_partition(self, rng):
+        folds = make_folds(100, 10, rng)
+        assert len(folds) == 10
+        merged = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(merged, np.arange(100))
+
+    def test_near_equal_sizes(self, rng):
+        folds = make_folds(103, 10, rng)
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_requires_three_folds(self, rng):
+        with pytest.raises(ValueError):
+            make_folds(100, 2, rng)
+
+    def test_requires_enough_points(self, rng):
+        with pytest.raises(ValueError):
+            make_folds(5, 10, rng)
+
+    def test_shuffled(self):
+        folds = make_folds(100, 10, np.random.default_rng(0))
+        assert not np.array_equal(folds[0], np.arange(10))
+
+    @given(
+        st.integers(min_value=12, max_value=300),
+        st.integers(min_value=3, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_property(self, n, k):
+        if n < k:
+            return
+        folds = make_folds(n, k, np.random.default_rng(0))
+        merged = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(merged, np.arange(n))
+
+
+class TestCrossValidationEnsemble:
+    def test_fit_learns(self, rng, fast_training):
+        x, y = make_problem(rng)
+        ensemble = CrossValidationEnsemble(k=5, training=fast_training, rng=rng)
+        estimate = ensemble.fit(x, y)
+        assert estimate.mean < 10.0
+        assert estimate.n_training == len(x)
+
+    def test_builds_k_networks(self, rng, fast_training):
+        x, y = make_problem(rng, n=120)
+        ensemble = CrossValidationEnsemble(k=4, training=fast_training, rng=rng)
+        ensemble.fit(x, y)
+        assert ensemble.predictor.size == 4
+
+    def test_predict_before_fit_raises(self, fast_training):
+        ensemble = CrossValidationEnsemble(k=4, training=fast_training)
+        with pytest.raises(RuntimeError):
+            ensemble.predict(np.zeros((1, 3)))
+
+    def test_prediction_shape_and_quality(self, rng, fast_training):
+        x, y = make_problem(rng, n=300)
+        ensemble = CrossValidationEnsemble(k=5, training=fast_training, rng=rng)
+        ensemble.fit(x[:250], y[:250])
+        predictions = ensemble.predict(x[250:])
+        assert predictions.shape == (50,)
+        errors = np.abs(predictions - y[250:]) / y[250:]
+        assert errors.mean() < 0.10
+
+    def test_length_mismatch(self, rng, fast_training):
+        ensemble = CrossValidationEnsemble(k=4, training=fast_training, rng=rng)
+        with pytest.raises(ValueError):
+            ensemble.fit(np.zeros((10, 2)), np.ones(5))
+
+    def test_reproducible_with_seed(self, fast_training):
+        x, y = make_problem(np.random.default_rng(5), n=120)
+
+        def fit():
+            ensemble = CrossValidationEnsemble(
+                k=4, training=fast_training, rng=np.random.default_rng(7)
+            )
+            return ensemble.fit(x, y).mean
+
+        assert fit() == pytest.approx(fit())
+
+    def test_estimate_close_to_true_heldout_error(self, rng, fast_training):
+        """The core claim of Section 3.2: fold-pooled errors estimate the
+        ensemble's true error on unseen points."""
+        x, y = make_problem(rng, n=400)
+        ensemble = CrossValidationEnsemble(k=5, training=fast_training, rng=rng)
+        estimate = ensemble.fit(x[:300], y[:300])
+        predictions = ensemble.predict(x[300:])
+        true_error = float(
+            np.mean(np.abs(predictions - y[300:]) / y[300:] * 100)
+        )
+        assert abs(estimate.mean - true_error) < max(2.0, true_error)
+
+    def test_parallel_jobs_equivalent(self, fast_training):
+        x, y = make_problem(np.random.default_rng(5), n=120)
+        serial = CrossValidationEnsemble(
+            k=4, training=fast_training, rng=np.random.default_rng(7), n_jobs=1
+        ).fit(x, y)
+        parallel = CrossValidationEnsemble(
+            k=4, training=fast_training, rng=np.random.default_rng(7), n_jobs=2
+        ).fit(x, y)
+        assert serial.mean == pytest.approx(parallel.mean)

@@ -1,0 +1,56 @@
+"""Documentation coverage: every public item carries a docstring."""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+MODULES = sorted(SRC.rglob("*.py"))
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(p.relative_to(SRC)))
+def test_module_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+
+
+def iter_public_definitions(tree):
+    """Yield (name, node) for public classes/functions at module and
+    class level (names not starting with underscore)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node.name, node
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and not child.name.startswith("_"):
+                        yield f"{node.name}.{child.name}", child
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(p.relative_to(SRC)))
+def test_public_items_documented(path):
+    tree = ast.parse(path.read_text())
+    undocumented = [
+        name
+        for name, node in iter_public_definitions(tree)
+        if not ast.get_docstring(node)
+        # property-style trivial accessors are exempt
+        and not any(
+            isinstance(d, ast.Name) and d.id == "property"
+            for d in getattr(node, "decorator_list", [])
+        )
+    ]
+    assert not undocumented, (
+        f"{path.relative_to(SRC)}: missing docstrings on {undocumented}"
+    )
+
+
+def test_readme_and_design_exist():
+    root = SRC.parent.parent
+    for name in ("README.md", "DESIGN.md"):
+        path = root / name
+        assert path.exists() and len(path.read_text()) > 1000, name

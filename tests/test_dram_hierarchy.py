@@ -1,0 +1,111 @@
+"""Tests for the SDRAM model and the full memory hierarchy."""
+
+import pytest
+
+from repro.cpu import MachineConfig
+from repro.memory import SDRAM, Bus, MemoryHierarchy
+
+
+def make_sdram(core_ghz=4.0, fsb_ghz=0.8):
+    return SDRAM(Bus(8, fsb_ghz, core_ghz, name="fsb"))
+
+
+class TestSDRAM:
+    def test_unloaded_latency(self):
+        sdram = make_sdram()
+        # 100ns at 4GHz = 400 cycles + 64B/8B * (4/0.8) = 40 cycles
+        assert sdram.access_latency_cycles(64) == pytest.approx(440.0)
+
+    def test_request_includes_bus_time(self):
+        sdram = make_sdram()
+        done = sdram.request(0.0, 64)
+        assert done == pytest.approx(440.0)
+
+    def test_back_to_back_requests_queue(self):
+        sdram = make_sdram()
+        first = sdram.request(0.0, 64)
+        second = sdram.request(0.0, 64)
+        assert second > first
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            SDRAM(Bus(8, 1.0, 1.0), access_ns=0)
+
+    def test_reset(self):
+        sdram = make_sdram()
+        sdram.request(0.0, 64)
+        sdram.reset()
+        assert sdram.requests == 0
+
+
+class TestHierarchy:
+    def make(self, **config_kwargs):
+        return MemoryHierarchy.from_config(MachineConfig(**config_kwargs))
+
+    def test_l1_hit_latency(self):
+        h = self.make()
+        done = h.access_data(0.0, 0x1000, is_write=False)
+        miss_time = done
+        done = h.access_data(100.0, 0x1000, is_write=False)
+        assert done == pytest.approx(100.0 + h.l1d_latency)
+        assert miss_time > h.l1d_latency  # the first access went below L1
+
+    def test_miss_path_slower_each_level(self):
+        h = self.make()
+        # first touch: L1 miss + L2 miss -> memory
+        full_miss = h.access_data(0.0, 0x2000, is_write=False)
+        # flush L1 only, then access after the buses have drained: the
+        # re-access misses L1 but hits L2
+        h.l1d.flush()
+        start = 1000.0
+        l1_miss_l2_hit = h.access_data(start, 0x2000, is_write=False) - start
+        assert full_miss > l1_miss_l2_hit > h.l1d_latency
+
+    def test_instruction_path(self):
+        h = self.make()
+        first = h.access_instruction(0.0, 0x400000)
+        second = h.access_instruction(first, 0x400000)
+        assert second - first == pytest.approx(h.l1i_latency)
+        assert h.stats.l1i_misses == 1
+
+    def test_wt_store_generates_l2_traffic(self):
+        h = self.make(l1d_write_policy="WT")
+        h.access_data(0.0, 0x3000, is_write=True)
+        assert h.stats.l2_bus_bytes > 0
+        assert not h.l1d.contains(0x3000)  # no-write-allocate
+
+    def test_wb_store_hits_quietly(self):
+        h = self.make(l1d_write_policy="WB")
+        h.access_data(0.0, 0x3000, is_write=False)  # fill
+        before = h.stats.l2_bus_bytes
+        h.access_data(10.0, 0x3000, is_write=True)
+        assert h.stats.l2_bus_bytes == before
+
+    def test_dirty_eviction_writes_back(self):
+        h = self.make(
+            l1d_size=1024, l1d_block=32, l1d_associativity=1
+        )  # 32 sets, direct-mapped
+        h.access_data(0.0, 0x0, is_write=True)  # dirty fill
+        before = h.stats.l2_bus_bytes
+        # same set, different tag: evicts dirty block
+        h.access_data(50.0, 1024, is_write=False)
+        assert h.stats.l2_bus_bytes > before + h.l1d.block_bytes - 1
+
+    def test_memory_requests_counted(self):
+        h = self.make()
+        h.access_data(0.0, 0x5000, is_write=False)
+        assert h.stats.memory_requests == 1
+        assert h.stats.fsb_bytes >= h.l2.block_bytes
+
+    def test_reset_stats(self):
+        h = self.make()
+        h.access_data(0.0, 0x5000, is_write=False)
+        h.reset_stats()
+        assert h.stats.l1d_accesses == 0
+        assert h.l1d.stats.accesses == 0
+
+    def test_latencies_from_cacti(self):
+        cfg = MachineConfig()
+        h = MemoryHierarchy.from_config(cfg)
+        assert h.l1d_latency == cfg.l1d_latency
+        assert h.l2_latency == cfg.l2_latency

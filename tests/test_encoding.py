@@ -1,0 +1,161 @@
+"""Tests for parameter/target encoding (Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MultiTargetScaler, ParameterEncoder, TargetScaler
+from repro.designspace import (
+    BooleanParameter,
+    CardinalParameter,
+    DesignSpace,
+    NominalParameter,
+)
+
+
+class TestParameterEncoder:
+    def test_feature_layout(self, tiny_space):
+        enc = ParameterEncoder(tiny_space)
+        # size, ways, policy one-hot (2), prefetch
+        assert enc.n_features == 5
+        assert enc.feature_names == (
+            "size",
+            "ways",
+            "policy=WT",
+            "policy=WB",
+            "prefetch",
+        )
+
+    def test_figure_34_example(self):
+        """Figure 3.4: an 8KB write-back cache with (WT,WB) policy and
+        (4,8,16)KB sizes encodes as WT=0, WB=1, size=(8-4)/(16-4)."""
+        space = DesignSpace(
+            "fig34",
+            [
+                NominalParameter("policy", ("WT", "WB")),
+                CardinalParameter("size_kb", (4, 8, 16)),
+            ],
+        )
+        enc = ParameterEncoder(space, cardinal_encoding="value")
+        vec = enc.encode({"policy": "WB", "size_kb": 8})
+        np.testing.assert_allclose(vec, [0.0, 1.0, (8 - 4) / (16 - 4)])
+
+    def test_rank_encoding(self):
+        space = DesignSpace(
+            "s", [CardinalParameter("size", (8, 16, 32, 64))]
+        )
+        enc = ParameterEncoder(space, cardinal_encoding="rank")
+        values = [enc.encode({"size": v})[0] for v in (8, 16, 32, 64)]
+        np.testing.assert_allclose(values, [0.0, 1 / 3, 2 / 3, 1.0])
+
+    def test_value_encoding(self):
+        space = DesignSpace(
+            "s", [CardinalParameter("size", (8, 16, 32, 64))]
+        )
+        enc = ParameterEncoder(space, cardinal_encoding="value")
+        values = [enc.encode({"size": v})[0] for v in (8, 16, 32, 64)]
+        np.testing.assert_allclose(values, [0.0, 8 / 56, 24 / 56, 1.0])
+
+    def test_boolean_encoding(self, tiny_space):
+        enc = ParameterEncoder(tiny_space)
+        on = enc.encode({"size": 8, "ways": 1, "policy": "WT", "prefetch": True})
+        off = enc.encode({"size": 8, "ways": 1, "policy": "WT", "prefetch": False})
+        assert on[-1] == 1.0 and off[-1] == 0.0
+
+    def test_one_hot_exactly_one(self, tiny_space):
+        enc = ParameterEncoder(tiny_space)
+        for policy in ("WT", "WB"):
+            vec = enc.encode(
+                {"size": 8, "ways": 1, "policy": policy, "prefetch": False}
+            )
+            assert vec[2] + vec[3] == 1.0
+
+    def test_all_features_in_unit_interval(self, tiny_space, rng):
+        enc = ParameterEncoder(tiny_space)
+        matrix = enc.encode_many(tiny_space.sample(10, rng))
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+    def test_encode_space_covers_everything(self, tiny_space):
+        matrix = ParameterEncoder(tiny_space).encode_space()
+        assert matrix.shape == (len(tiny_space), 5)
+        # rows are distinct
+        assert len(np.unique(matrix, axis=0)) == len(tiny_space)
+
+    def test_encode_many_empty(self, tiny_space):
+        assert ParameterEncoder(tiny_space).encode_many([]).shape == (0, 5)
+
+    def test_rejects_unknown_encoding(self, tiny_space):
+        with pytest.raises(ValueError):
+            ParameterEncoder(tiny_space, cardinal_encoding="log")
+
+    def test_single_value_parameter_encodes_zero(self):
+        space = DesignSpace("s", [CardinalParameter("x", (5,))])
+        assert ParameterEncoder(space).encode({"x": 5})[0] == 0.0
+
+    def test_rejects_invalid_value(self, tiny_space):
+        enc = ParameterEncoder(tiny_space)
+        with pytest.raises(ValueError):
+            enc.encode({"size": 12, "ways": 1, "policy": "WT", "prefetch": False})
+
+
+class TestTargetScaler:
+    def test_round_trip(self, rng):
+        y = rng.random(50) * 3 + 0.5
+        scaler = TargetScaler().fit(y)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(y)), y
+        )
+
+    def test_range_mapped_to_unit(self, rng):
+        y = rng.random(50) * 3 + 0.5
+        scaled = TargetScaler().fit(y).transform(y)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_degenerate_range(self):
+        scaler = TargetScaler().fit(np.full(5, 2.0))
+        assert scaler.transform(np.array([2.0]))[0] == pytest.approx(0.5)
+        assert scaler.inverse_transform(np.array([0.9]))[0] == pytest.approx(2.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TargetScaler().transform(np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TargetScaler().fit(np.array([]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, values):
+        y = np.array(values)
+        scaler = TargetScaler().fit(y)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(y)), y, rtol=1e-9, atol=1e-9
+        )
+
+
+class TestMultiTargetScaler:
+    def test_independent_columns(self, rng):
+        y = np.column_stack([rng.random(20), rng.random(20) * 100])
+        scaler = MultiTargetScaler().fit(y)
+        scaled = scaler.transform(y)
+        assert scaled[:, 0].max() == pytest.approx(1.0)
+        assert scaled[:, 1].max() == pytest.approx(1.0)
+        np.testing.assert_allclose(scaler.inverse_transform(scaled), y)
+
+    def test_width_checked(self, rng):
+        scaler = MultiTargetScaler().fit(rng.random((10, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.random((10, 3)))
+
+    def test_requires_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            MultiTargetScaler().transform(rng.random((5, 2)))

@@ -1,0 +1,96 @@
+"""Tests for error metrics and estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErrorEstimate, ErrorStatistics, percentage_errors
+
+
+class TestPercentageErrors:
+    def test_basic(self):
+        errs = percentage_errors(np.array([1.1, 0.9]), np.array([1.0, 1.0]))
+        np.testing.assert_allclose(errs, [10.0, 10.0])
+
+    def test_relative_to_truth(self):
+        """Erring by 1 second matters at 2 seconds, not at an hour
+        (Section 3.3's motivating example)."""
+        errs = percentage_errors(
+            np.array([3601.0, 3.0]), np.array([3600.0, 2.0])
+        )
+        assert errs[0] < 0.1
+        assert errs[1] == pytest.approx(50.0)
+
+    def test_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            percentage_errors(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            percentage_errors(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestErrorStatistics:
+    def test_from_errors(self):
+        stats = ErrorStatistics.from_errors(np.array([1.0, 3.0]))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.n_points == 2
+
+    def test_from_predictions(self):
+        stats = ErrorStatistics.from_predictions(
+            np.array([1.1, 1.0]), np.array([1.0, 1.0])
+        )
+        assert stats.mean == pytest.approx(5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ErrorStatistics.from_errors(np.array([]))
+
+    def test_str(self):
+        assert "%" in str(ErrorStatistics.from_errors(np.array([1.0])))
+
+
+class TestErrorEstimate:
+    def test_pools_folds(self):
+        estimate = ErrorEstimate.from_fold_errors(
+            [np.array([1.0, 1.0]), np.array([3.0, 3.0])], n_training=40
+        )
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.std == pytest.approx(1.0)
+        assert estimate.n_training == 40
+
+    def test_meets_threshold(self):
+        estimate = ErrorEstimate.from_fold_errors([np.array([2.0])], 10)
+        assert estimate.meets(2.0)
+        assert not estimate.meets(1.9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ErrorEstimate.from_fold_errors([], 0)
+        with pytest.raises(ValueError):
+            ErrorEstimate.from_fold_errors([np.array([])], 0)
+
+    def test_str(self):
+        estimate = ErrorEstimate.from_fold_errors([np.array([1.5])], 50)
+        assert "50" in str(estimate)
+
+    def test_confidence_interval_brackets_mean(self):
+        estimate = ErrorEstimate.from_fold_errors(
+            [np.array([1.0, 2.0, 3.0, 4.0])], n_training=100
+        )
+        low, high = estimate.confidence_interval()
+        assert low < estimate.mean < high
+        assert low >= 0.0
+
+    def test_confidence_interval_tightens_with_data(self):
+        errors = [np.array([1.0, 3.0] * 10)]
+        small = ErrorEstimate.from_fold_errors(errors, n_training=20)
+        large = ErrorEstimate.from_fold_errors(errors, n_training=2000)
+        assert (large.confidence_interval()[1] - large.confidence_interval()[0]) < (
+            small.confidence_interval()[1] - small.confidence_interval()[0]
+        )
+
+    def test_confidence_interval_requires_samples(self):
+        estimate = ErrorEstimate(mean=1.0, std=0.5, n_training=0)
+        with pytest.raises(ValueError):
+            estimate.confidence_interval()

@@ -1,0 +1,45 @@
+"""Sanity checks that the example scripts are valid and self-describing."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_three_examples():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    assert tree is not None
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_has_docstring_and_main(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    docstring = ast.get_docstring(tree)
+    assert docstring and len(docstring) > 80, f"{path.name} needs a docstring"
+    functions = [
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    ]
+    assert "main" in functions, f"{path.name} needs a main()"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `from repro...` import in the examples must exist."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.split(".")[0] != "repro":
+                continue
+            module = __import__(node.module, fromlist=["_"])
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )

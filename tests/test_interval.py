@@ -1,0 +1,180 @@
+"""Tests for the interval (analytic) engine and application profiles."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import MachineConfig
+from repro.cpu.interval import (
+    ApplicationProfile,
+    IntervalSimulator,
+    build_interval_profiles,
+)
+from repro.workloads import generate_trace
+
+TRACE_LEN = 6_000
+
+
+@pytest.fixture(scope="module")
+def gzip_profile():
+    return ApplicationProfile.from_trace(generate_trace("gzip", TRACE_LEN))
+
+
+@pytest.fixture(scope="module")
+def mcf_profile():
+    return ApplicationProfile.from_trace(generate_trace("mcf", TRACE_LEN))
+
+
+@pytest.fixture(scope="module")
+def gzip_sim(gzip_profile):
+    return IntervalSimulator(gzip_profile)
+
+
+@pytest.fixture(scope="module")
+def mcf_sim(mcf_profile):
+    return IntervalSimulator(mcf_profile)
+
+
+class TestApplicationProfile:
+    def test_mix_recorded(self, gzip_profile):
+        assert sum(gzip_profile.mix.values()) == pytest.approx(1.0)
+
+    def test_ilp_curve_monotonic(self, gzip_profile):
+        windows = sorted(gzip_profile.ilp_curve)
+        values = [gzip_profile.ilp_curve[w] for w in windows]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_ilp_interpolation(self, gzip_profile):
+        lo = gzip_profile.ilp_at_window(32)
+        mid = gzip_profile.ilp_at_window(40)
+        hi = gzip_profile.ilp_at_window(48)
+        assert lo <= mid <= hi
+
+    def test_ilp_extrapolation_clamps(self, gzip_profile):
+        assert gzip_profile.ilp_at_window(10**6) == pytest.approx(
+            gzip_profile.ilp_curve[max(gzip_profile.ilp_curve)]
+        )
+
+    def test_mispredict_rate_decreases_with_entries(self, mcf_profile):
+        rates = [mcf_profile.mispredict_rate(e) for e in (1024, 2048, 4096)]
+        assert rates[-1] <= rates[0] + 0.02
+
+    def test_mispredict_interpolation_bounded(self, mcf_profile):
+        mid = mcf_profile.mispredict_rate(3000)
+        lo = min(mcf_profile.mispredict_rates.values())
+        hi = max(mcf_profile.mispredict_rates.values())
+        assert lo - 1e-9 <= mid <= hi + 1e-9
+
+    def test_mcf_has_more_serial_loads_than_gzip(
+        self, mcf_profile, gzip_profile
+    ):
+        assert mcf_profile.serial_load_fraction > gzip_profile.serial_load_fraction
+
+    def test_mcf_less_predictable_than_gzip(self, mcf_profile, gzip_profile):
+        assert mcf_profile.mispredict_rate(2048) > gzip_profile.mispredict_rate(2048)
+
+
+class TestIntervalSimulator:
+    def test_ipc_positive_and_bounded(self, gzip_sim):
+        ipc = gzip_sim.evaluate_ipc(MachineConfig())
+        assert 0.0 < ipc <= 4.0
+
+    def test_deterministic(self, gzip_sim):
+        cfg = MachineConfig()
+        assert gzip_sim.evaluate_ipc(cfg) == gzip_sim.evaluate_ipc(cfg)
+
+    def test_bigger_caches_help(self, mcf_sim):
+        small = MachineConfig(
+            l1d_size=8 * 1024, l2_size=256 * 1024, l2_associativity=4
+        )
+        large = MachineConfig(
+            l1d_size=64 * 1024, l2_size=2048 * 1024, l2_associativity=8
+        )
+        assert mcf_sim.evaluate_ipc(large) > mcf_sim.evaluate_ipc(small)
+
+    def test_wider_machine_not_slower(self, gzip_sim):
+        narrow = MachineConfig(width=2)
+        wide = MachineConfig(width=8)
+        assert gzip_sim.evaluate_ipc(wide) >= gzip_sim.evaluate_ipc(narrow)
+
+    def test_faster_fsb_helps_memory_bound(self, mcf_sim):
+        slow = MachineConfig(fsb_frequency_ghz=0.533)
+        fast = MachineConfig(fsb_frequency_ghz=1.4)
+        assert mcf_sim.evaluate_ipc(fast) >= mcf_sim.evaluate_ipc(slow)
+
+    def test_better_predictor_helps(self, mcf_sim):
+        small = MachineConfig(predictor_entries=1024)
+        large = MachineConfig(predictor_entries=4096)
+        assert mcf_sim.evaluate_ipc(large) >= mcf_sim.evaluate_ipc(small) - 1e-6
+
+    def test_higher_frequency_lower_ipc(self, mcf_sim):
+        slow = MachineConfig(frequency_ghz=2.0)
+        fast = MachineConfig(frequency_ghz=4.0)
+        assert mcf_sim.evaluate_ipc(fast) <= mcf_sim.evaluate_ipc(slow)
+
+    def test_write_policy_changes_result(self, gzip_sim):
+        wb = gzip_sim.evaluate_ipc(MachineConfig(l1d_write_policy="WB"))
+        wt = gzip_sim.evaluate_ipc(MachineConfig(l1d_write_policy="WT"))
+        assert wb != wt
+
+    def test_evaluate_returns_auxiliary_metrics(self, gzip_sim):
+        metrics = gzip_sim.evaluate(MachineConfig())
+        assert set(metrics) >= {
+            "ipc",
+            "l1d_misses_per_instruction",
+            "l2_misses_per_instruction",
+            "branch_mispredict_rate",
+        }
+        assert metrics["ipc"] == pytest.approx(
+            gzip_sim.evaluate_ipc(MachineConfig())
+        )
+
+    def test_mcf_slower_than_gzip(self, gzip_sim, mcf_sim):
+        cfg = MachineConfig()
+        assert mcf_sim.evaluate_ipc(cfg) < gzip_sim.evaluate_ipc(cfg)
+
+    def test_miss_cache_reused(self, gzip_sim):
+        gzip_sim.evaluate_ipc(MachineConfig())
+        n_before = len(gzip_sim._miss_cache)
+        gzip_sim.evaluate_ipc(MachineConfig())
+        assert len(gzip_sim._miss_cache) == n_before
+
+
+class TestIntervalProfiles:
+    def test_interval_count(self):
+        trace = generate_trace("gzip", TRACE_LEN)
+        profiles = build_interval_profiles(trace, 2000)
+        assert len(profiles) == len(trace.intervals(2000))
+
+    def test_interval_instructions_sum(self):
+        trace = generate_trace("gzip", TRACE_LEN)
+        profiles = build_interval_profiles(trace, 2000)
+        assert sum(p.n_instructions for p in profiles) == len(trace)
+
+    def test_warm_context_reduces_cold_misses(self):
+        """Interval profiles built in full-run context see far fewer cold
+        references than independently profiled intervals."""
+        trace = generate_trace("gzip", TRACE_LEN)
+        warm = build_interval_profiles(trace, 2000)
+        late_warm = warm[-1].data_profiles[64]
+        cold = ApplicationProfile.from_trace(
+            trace.slice(*trace.intervals(2000)[-1])
+        ).data_profiles[64]
+        assert late_warm.n_cold < cold.n_cold
+
+    def test_weighted_interval_ipc_near_full(self):
+        """Equal-weight harmonic combination of interval IPCs must closely
+        match the full-trace evaluation (Jensen gap is small)."""
+        trace = generate_trace("gzip", TRACE_LEN)
+        full = IntervalSimulator(ApplicationProfile.from_trace(trace))
+        parts = [
+            IntervalSimulator(p) for p in build_interval_profiles(trace, 2000)
+        ]
+        weights = np.array(
+            [s.profile.n_instructions for s in parts], dtype=float
+        )
+        weights /= weights.sum()
+        cfg = MachineConfig()
+        combined = 1.0 / sum(
+            w / s.evaluate_ipc(cfg) for w, s in zip(weights, parts)
+        )
+        assert combined == pytest.approx(full.evaluate_ipc(cfg), rel=0.10)

@@ -1,0 +1,101 @@
+"""Tests for k-means clustering and BIC model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simpoint import KMeansResult, bic_score, kmeans, select_k
+
+
+def three_blobs(rng, n_per=30, spread=0.05):
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [0.0, 5.0]])
+    points = np.vstack(
+        [c + rng.normal(0, spread, (n_per, 2)) for c in centers]
+    )
+    return points, centers
+
+
+class TestKMeans:
+    def test_finds_separated_blobs(self, rng):
+        points, centers = three_blobs(rng)
+        result = kmeans(points, 3, rng)
+        assert result.k == 3
+        # each blob maps to exactly one cluster
+        labels = result.labels.reshape(3, 30)
+        for row in labels:
+            assert len(set(row.tolist())) == 1
+        assert result.inertia < 10.0
+
+    def test_k1_centroid_is_mean(self, rng):
+        points = rng.random((50, 3))
+        result = kmeans(points, 1, rng)
+        np.testing.assert_allclose(result.centroids[0], points.mean(axis=0))
+
+    def test_k_equals_n(self, rng):
+        points = rng.random((5, 2))
+        result = kmeans(points, 5, rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_labels_in_range(self, rng):
+        points = rng.random((40, 2))
+        result = kmeans(points, 4, rng)
+        assert set(result.labels.tolist()) <= set(range(4))
+
+    def test_validation(self, rng):
+        points = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0, rng)
+        with pytest.raises(ValueError):
+            kmeans(points, 11, rng)
+        with pytest.raises(ValueError):
+            kmeans(rng.random(10), 2, rng)
+
+    def test_identical_points(self, rng):
+        points = np.ones((20, 2))
+        result = kmeans(points, 3, rng)
+        assert result.inertia == pytest.approx(0.0)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_nonincreasing_in_k(self, k):
+        rng = np.random.default_rng(0)
+        points = rng.random((30, 2))
+        small = kmeans(points, 1, np.random.default_rng(1))
+        larger = kmeans(points, k, np.random.default_rng(1))
+        assert larger.inertia <= small.inertia + 1e-9
+
+
+class TestBIC:
+    def test_prefers_true_k_on_blobs(self, rng):
+        points, _ = three_blobs(rng)
+        scores = {
+            k: bic_score(points, kmeans(points, k, rng)) for k in (1, 2, 3, 4)
+        }
+        assert max(scores, key=scores.get) in (3, 4)
+        assert scores[3] > scores[1]
+
+    def test_degenerate_k_equals_n(self, rng):
+        points = rng.random((5, 2))
+        assert bic_score(points, kmeans(points, 5, rng)) == -np.inf
+
+
+class TestSelectK:
+    def test_selects_blob_count(self, rng):
+        points, _ = three_blobs(rng)
+        result = select_k(points, max_k=6, rng=rng)
+        assert result.k == 3
+
+    def test_single_cluster_data(self, rng):
+        points = rng.normal(0, 0.01, (40, 2))
+        result = select_k(points, max_k=5, rng=rng)
+        assert result.k <= 2
+
+    def test_max_k_clamped(self, rng):
+        points = rng.random((4, 2))
+        result = select_k(points, max_k=10, rng=rng)
+        assert result.k <= 4
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            select_k(np.empty((0, 2)), max_k=0, rng=rng)

@@ -1,0 +1,92 @@
+"""Tests for the cycle-level out-of-order simulator.
+
+These check the qualitative physics of the machine: more resources never
+hurt, bigger caches and better predictors help miss-heavy codes, and the
+reported statistics are internally consistent.
+"""
+
+import pytest
+
+from repro.cpu import CycleSimulator, MachineConfig, simulate_cycle_level
+from repro.workloads import generate_trace
+
+TRACE_LEN = 6_000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: generate_trace(name, TRACE_LEN)
+        for name in ("gzip", "mcf", "mgrid")
+    }
+
+
+def run(trace, **config_kwargs):
+    return CycleSimulator(MachineConfig(**config_kwargs)).run(trace)
+
+
+class TestBasics:
+    def test_result_fields(self, traces):
+        result = run(traces["gzip"])
+        assert result.instructions == len(traces["gzip"])
+        assert result.cycles > 0
+        assert 0.0 < result.ipc <= 4.0
+        assert result.benchmark == "gzip"
+
+    def test_ipc_below_width(self, traces):
+        result = run(traces["gzip"], width=4)
+        assert result.ipc <= 4.0
+
+    def test_statistics_consistent(self, traces):
+        result = run(traces["gzip"])
+        assert 0.0 <= result.mispredict_rate <= 1.0
+        assert 0.0 <= result.l1d_miss_ratio <= 1.0
+        assert 0.0 <= result.l2_miss_ratio <= 1.0
+        assert result.branches > 0
+        assert result.extra["fsb_bytes"] >= 0
+
+    def test_deterministic(self, traces):
+        a = run(traces["gzip"])
+        b = run(traces["gzip"])
+        assert a.cycles == b.cycles
+
+    def test_convenience_wrapper(self, traces):
+        result = simulate_cycle_level(MachineConfig(), traces["gzip"])
+        assert result.ipc > 0
+
+
+class TestResourceSensitivity:
+    def test_wider_machine_not_slower(self, traces):
+        narrow = run(traces["mgrid"], width=2)
+        wide = run(traces["mgrid"], width=8)
+        assert wide.ipc >= narrow.ipc * 0.98
+
+    def test_bigger_l1_helps_or_neutral(self, traces):
+        small = run(traces["gzip"], l1d_size=8 * 1024, l1d_associativity=1)
+        large = run(traces["gzip"], l1d_size=64 * 1024, l1d_associativity=8)
+        assert large.l1d_miss_ratio <= small.l1d_miss_ratio
+        assert large.ipc >= small.ipc * 0.95
+
+    def test_bigger_l2_helps_mcf(self, traces):
+        small = run(traces["mcf"], l2_size=256 * 1024, l2_associativity=4)
+        large = run(traces["mcf"], l2_size=2048 * 1024, l2_associativity=8)
+        assert large.l2_miss_ratio <= small.l2_miss_ratio + 1e-9
+
+    def test_tiny_rob_hurts(self, traces):
+        small = run(traces["mgrid"], rob_size=8, lsq_entries=4)
+        large = run(traces["mgrid"], rob_size=160, lsq_entries=64)
+        assert large.ipc > small.ipc
+
+    def test_mcf_slower_than_gzip(self, traces):
+        assert run(traces["mcf"]).ipc < run(traces["gzip"]).ipc
+
+
+class TestFrequencyEffects:
+    def test_higher_frequency_lower_ipc(self, traces):
+        """Memory latency in cycles grows with frequency, so IPC drops
+        (while wall-clock performance still improves)."""
+        slow = run(traces["mcf"], frequency_ghz=2.0)
+        fast = run(traces["mcf"], frequency_ghz=4.0)
+        assert fast.ipc <= slow.ipc
+        # performance = IPC * frequency must still favour the faster clock
+        assert fast.ipc * 4.0 >= slow.ipc * 2.0 * 0.9

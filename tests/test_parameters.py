@@ -1,0 +1,115 @@
+"""Unit tests for design-space parameter types."""
+
+import pytest
+
+from repro.designspace import (
+    BooleanParameter,
+    CardinalParameter,
+    ContinuousParameter,
+    NominalParameter,
+)
+
+
+class TestCardinalParameter:
+    def test_basic_properties(self):
+        p = CardinalParameter("l1_size", (8, 16, 32, 64))
+        assert p.cardinality == 4
+        assert p.width == 1
+        assert p.low == 8
+        assert p.high == 64
+        assert p.kind == "cardinal"
+
+    def test_index_of(self):
+        p = CardinalParameter("x", (1, 2, 4))
+        assert p.index_of(1) == 0
+        assert p.index_of(4) == 2
+
+    def test_index_of_rejects_unknown(self):
+        p = CardinalParameter("x", (1, 2, 4))
+        with pytest.raises(ValueError, match="not an admissible"):
+            p.index_of(3)
+
+    def test_requires_increasing_values(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CardinalParameter("x", (4, 2, 1))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CardinalParameter("x", (1, 1, 2))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            CardinalParameter("x", ("a", "b"))
+
+    def test_rejects_bool_values(self):
+        with pytest.raises(TypeError):
+            CardinalParameter("x", (False, True))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CardinalParameter("x", ())
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            CardinalParameter("", (1, 2))
+
+    def test_floats_allowed(self):
+        p = CardinalParameter("f", (0.533, 0.8, 1.4))
+        assert p.index_of(0.8) == 1
+
+
+class TestContinuousParameter:
+    def test_is_cardinal_subtype(self):
+        p = ContinuousParameter("freq", (2.0, 4.0))
+        assert isinstance(p, CardinalParameter)
+        assert p.kind == "continuous"
+        assert p.width == 1
+
+
+class TestNominalParameter:
+    def test_one_hot_width(self):
+        p = NominalParameter("policy", ("WT", "WB"))
+        assert p.width == 2
+        assert p.cardinality == 2
+
+    def test_index_of(self):
+        p = NominalParameter("policy", ("WT", "WB"))
+        assert p.index_of("WB") == 1
+
+    def test_validate_rejects_unknown(self):
+        p = NominalParameter("policy", ("WT", "WB"))
+        with pytest.raises(ValueError):
+            p.validate("WTF")
+
+
+class TestBooleanParameter:
+    def test_fixed_values(self):
+        p = BooleanParameter("prefetch")
+        assert p.values == (False, True)
+        assert p.width == 1
+
+    def test_index_of(self):
+        p = BooleanParameter("prefetch")
+        assert p.index_of(False) == 0
+        assert p.index_of(True) == 1
+
+    def test_rejects_non_bool(self):
+        p = BooleanParameter("prefetch")
+        with pytest.raises(ValueError):
+            p.index_of(1)
+
+
+class TestEquality:
+    def test_equal_parameters(self):
+        a = CardinalParameter("x", (1, 2))
+        b = CardinalParameter("x", (1, 2))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_types_unequal(self):
+        a = CardinalParameter("x", (1, 2))
+        b = ContinuousParameter("x", (1, 2))
+        assert a != b
+
+    def test_different_values_unequal(self):
+        assert CardinalParameter("x", (1, 2)) != CardinalParameter("x", (1, 3))

@@ -1,0 +1,84 @@
+"""Tests for ensemble save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CrossValidationEnsemble,
+    load_predictor,
+    save_predictor,
+)
+from repro.core.persistence import FORMAT_VERSION
+from repro.core.training import TrainingConfig
+
+FAST = TrainingConfig(
+    hidden_layers=(8,), max_epochs=150, patience=5, check_interval=10
+)
+
+
+@pytest.fixture
+def trained(rng):
+    x = rng.random((120, 4))
+    y = 0.5 + 0.6 * x[:, 0] + 0.3 * x[:, 1] * x[:, 2]
+    ensemble = CrossValidationEnsemble(k=4, training=FAST, rng=rng)
+    ensemble.fit(x, y)
+    return ensemble.predictor, x
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, trained, tmp_path):
+        predictor, x = trained
+        path = tmp_path / "model.npz"
+        save_predictor(predictor, str(path))
+        restored = load_predictor(str(path))
+        np.testing.assert_allclose(
+            restored.predict(x), predictor.predict(x), rtol=1e-12
+        )
+
+    def test_structure_preserved(self, trained, tmp_path):
+        predictor, _ = trained
+        path = tmp_path / "model.npz"
+        save_predictor(predictor, str(path))
+        restored = load_predictor(str(path))
+        assert restored.size == predictor.size
+        assert restored.scaler.low == predictor.scaler.low
+        assert restored.scaler.high == predictor.scaler.high
+        for a, b in zip(restored.networks, predictor.networks):
+            assert a.hidden_layers == b.hidden_layers
+            assert a.hidden_activation.name == b.hidden_activation.name
+
+    def test_member_variance_preserved(self, trained, tmp_path):
+        predictor, x = trained
+        path = tmp_path / "model.npz"
+        save_predictor(predictor, str(path))
+        restored = load_predictor(str(path))
+        np.testing.assert_allclose(
+            restored.prediction_variance(x[:10]),
+            predictor.prediction_variance(x[:10]),
+            rtol=1e-9,
+        )
+
+    def test_two_hidden_layer_networks(self, rng, tmp_path):
+        cfg = TrainingConfig(
+            hidden_layers=(6, 4), max_epochs=80, patience=4, check_interval=10
+        )
+        x = rng.random((80, 3))
+        y = 0.5 + x[:, 0]
+        ensemble = CrossValidationEnsemble(k=4, training=cfg, rng=rng)
+        ensemble.fit(x, y)
+        path = tmp_path / "deep.npz"
+        save_predictor(ensemble.predictor, str(path))
+        restored = load_predictor(str(path))
+        np.testing.assert_allclose(
+            restored.predict(x), ensemble.predictor.predict(x), rtol=1e-12
+        )
+
+    def test_version_mismatch_rejected(self, trained, tmp_path):
+        predictor, _ = trained
+        path = tmp_path / "model.npz"
+        save_predictor(predictor, str(path))
+        data = dict(np.load(str(path), allow_pickle=False))
+        data["format_version"] = np.array(FORMAT_VERSION + 1)
+        np.savez_compressed(str(path), **data)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_predictor(str(path))

@@ -1,0 +1,119 @@
+"""Tests for Plackett-Burman fractional factorial designs."""
+
+import numpy as np
+import pytest
+
+from repro.doe import (
+    PlackettBurmanStudy,
+    foldover,
+    plackett_burman_design,
+)
+
+
+class TestDesignMatrix:
+    @pytest.mark.parametrize("n_params", [3, 7, 11, 15, 19, 23])
+    def test_shapes(self, n_params):
+        design = plackett_burman_design(n_params)
+        assert design.shape[1] == n_params
+        assert design.shape[0] >= n_params + 1
+
+    def test_entries_are_signs(self):
+        design = plackett_burman_design(7)
+        assert set(np.unique(design)) <= {-1, 1}
+
+    @pytest.mark.parametrize("size_params", [7, 11, 15, 19, 23])
+    def test_columns_balanced(self, size_params):
+        """Each column balances: the cyclic rows carry one extra high and
+        the all-minus row cancels it."""
+        design = plackett_burman_design(size_params)
+        sums = design.sum(axis=0)
+        assert np.all(sums == 0)
+
+    @pytest.mark.parametrize("size_params", [7, 11])
+    def test_columns_orthogonal(self, size_params):
+        """PB designs: distinct columns are orthogonal over the cyclic rows."""
+        design = plackett_burman_design(size_params)[:-1].astype(int)
+        gram = design.T @ design
+        off_diagonal = gram - np.diag(np.diag(gram))
+        assert np.all(np.abs(off_diagonal) <= 1)
+
+    def test_too_many_parameters(self):
+        with pytest.raises(ValueError):
+            plackett_burman_design(24)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            plackett_burman_design(0)
+
+
+class TestFoldover:
+    def test_doubles_and_mirrors(self):
+        design = plackett_burman_design(7)
+        folded = foldover(design)
+        assert folded.shape[0] == 2 * design.shape[0]
+        np.testing.assert_array_equal(folded[len(design):], -design)
+
+
+class TestStudy:
+    def test_configurations_use_levels(self):
+        study = PlackettBurmanStudy(
+            {"a": (1, 10), "b": (2, 20), "c": (3, 30)}, use_foldover=False
+        )
+        for config in study.configurations():
+            assert config["a"] in (1, 10)
+            assert config["b"] in (2, 20)
+
+    def test_foldover_doubles_runs(self):
+        levels = {"a": (0, 1), "b": (0, 1), "c": (0, 1)}
+        plain = PlackettBurmanStudy(levels, use_foldover=False)
+        folded = PlackettBurmanStudy(levels, use_foldover=True)
+        assert folded.n_runs == 2 * plain.n_runs
+
+    def test_ranks_dominant_parameter_first(self):
+        study = PlackettBurmanStudy(
+            {"big": (0, 1), "small": (0, 1), "noise": (0, 1)}
+        )
+
+        def evaluate(config):
+            return 10.0 * config["big"] + 0.5 * config["small"]
+
+        effects = study.rank_parameters(evaluate)
+        assert effects[0].name == "big"
+        assert effects[0].rank == 1
+        assert effects[0].effect > effects[1].effect
+
+    def test_inert_parameter_ranks_last(self):
+        study = PlackettBurmanStudy(
+            {"x": (0, 1), "y": (0, 1), "inert": (0, 1)}
+        )
+
+        def evaluate(config):
+            return 3.0 * config["x"] + 1.0 * config["y"]
+
+        effects = study.rank_parameters(evaluate)
+        assert effects[-1].name == "inert"
+        assert effects[-1].effect == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ValueError):
+            PlackettBurmanStudy({})
+
+    def test_ranks_memory_study_parameters(self):
+        """End-to-end: PB ranking on the real memory-system space finds
+        that cache capacity matters more than the FSB for gzip."""
+        from repro.cpu import get_interval_simulator
+        from repro.experiments import get_study
+
+        study = get_study("memory-system")
+        evaluator = get_interval_simulator("gzip", 8000)
+        levels = {
+            p.name: (p.values[0], p.values[-1]) for p in study.space.parameters
+        }
+        pb = PlackettBurmanStudy(levels)
+
+        def evaluate(config):
+            return evaluator.evaluate_ipc(study.to_machine(config))
+
+        effects = pb.rank_parameters(evaluate)
+        names = [e.name for e in effects]
+        assert names.index("l1d_size_kb") < names.index("l2_block")

@@ -1,0 +1,158 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import MachineConfig, SlotScheduler, get_interval_simulator
+from repro.experiments import get_study
+from repro.memory import Cache, ReuseProfile
+
+
+# ----------------------------------------------------------------------
+# interval engine: physical sanity over random design points
+# ----------------------------------------------------------------------
+@st.composite
+def memory_study_config(draw):
+    return MachineConfig(
+        l1d_size=draw(st.sampled_from((8, 16, 32, 64))) * 1024,
+        l1d_block=draw(st.sampled_from((32, 64))),
+        l1d_associativity=draw(st.sampled_from((1, 2, 4, 8))),
+        l1d_write_policy=draw(st.sampled_from(("WT", "WB"))),
+        l2_size=draw(st.sampled_from((256, 512, 1024, 2048))) * 1024,
+        l2_block=draw(st.sampled_from((64, 128))),
+        l2_associativity=draw(st.sampled_from((1, 2, 4, 8, 16))),
+        l2_bus_width=draw(st.sampled_from((8, 16, 32))),
+        fsb_frequency_ghz=draw(st.sampled_from((0.533, 0.8, 1.4))),
+    )
+
+
+class TestIntervalEngineProperties:
+    @given(memory_study_config())
+    @settings(max_examples=60, deadline=None)
+    def test_ipc_positive_and_width_bounded(self, config):
+        evaluator = get_interval_simulator("gzip", 8000)
+        ipc = evaluator.evaluate_ipc(config)
+        assert 0.0 < ipc <= config.width
+
+    @given(memory_study_config())
+    @settings(max_examples=30, deadline=None)
+    def test_doubling_l2_never_hurts_much(self, config):
+        """Monotonicity modulo the CACTI latency increase: doubling L2
+        capacity may cost a little latency but must not crater IPC."""
+        if config.l2_size >= 2048 * 1024:
+            return
+        evaluator = get_interval_simulator("mcf", 8000)
+        small = evaluator.evaluate_ipc(config)
+        large = evaluator.evaluate_ipc(
+            config.with_updates(l2_size=config.l2_size * 2)
+        )
+        assert large >= small * 0.9
+
+    @given(memory_study_config())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, config):
+        evaluator = get_interval_simulator("mesa", 8000)
+        assert evaluator.evaluate_ipc(config) == evaluator.evaluate_ipc(config)
+
+
+# ----------------------------------------------------------------------
+# caches: miss counts bounded by the reference stream's structure
+# ----------------------------------------------------------------------
+class TestCacheProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=400),
+        st.sampled_from([(512, 64, 1), (1024, 64, 2), (2048, 64, 8)]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_misses_at_least_distinct_blocks(self, blocks, geometry):
+        size, block, ways = geometry
+        cache = Cache(size, block, ways)
+        for b in blocks:
+            cache.access(b * 64)
+        distinct = len(set(blocks))
+        assert cache.stats.misses >= distinct or distinct > size // block
+        assert cache.stats.cold_misses == min(
+            distinct, cache.stats.misses
+        ) or cache.stats.cold_misses <= distinct
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=300)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_cache_never_misses_more_fully_assoc(self, blocks):
+        """LRU inclusion: a larger fully-associative cache's misses are a
+        subset of a smaller one's."""
+        small = Cache(8 * 64, 64, 8)
+        large = Cache(16 * 64, 64, 16)
+        small_misses = sum(
+            0 if small.access(b * 64).hit else 1 for b in blocks
+        )
+        large_misses = sum(
+            0 if large.access(b * 64).hit else 1 for b in blocks
+        )
+        assert large_misses <= small_misses
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=300)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reuse_profile_monotone_in_capacity(self, blocks):
+        profile = ReuseProfile(np.array(blocks))
+        previous = float("inf")
+        for capacity in (1, 2, 4, 8, 16, 32, 64):
+            misses = profile.miss_count(capacity)
+            assert misses <= previous + 1e-9
+            previous = misses
+
+
+# ----------------------------------------------------------------------
+# schedulers: bandwidth limits always respected
+# ----------------------------------------------------------------------
+class TestSchedulerProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_slots_per_cycle_never_exceeded(self, requests, slots):
+        scheduler = SlotScheduler(slots)
+        allocations = [scheduler.allocate(r) for r in requests]
+        for request, cycle in zip(requests, allocations):
+            assert cycle >= request
+        counts = {}
+        for cycle in allocations:
+            counts[cycle] = counts.get(cycle, 0) + 1
+        assert max(counts.values()) <= slots
+
+
+# ----------------------------------------------------------------------
+# studies: every sampled point maps to a valid machine
+# ----------------------------------------------------------------------
+class TestStudyProperties:
+    @given(st.integers(min_value=0, max_value=23_039))
+    @settings(max_examples=60, deadline=None)
+    def test_memory_point_builds_valid_machine(self, index):
+        study = get_study("memory-system")
+        machine = study.machine_at(index)
+        assert machine.l1d_size in (8192, 16384, 32768, 65536)
+        assert machine.l1d_latency >= 1
+        assert machine.l2_latency > machine.l1d_latency
+
+    @given(st.integers(min_value=0, max_value=20_735))
+    @settings(max_examples=60, deadline=None)
+    def test_processor_point_builds_valid_machine(self, index):
+        study = get_study("processor")
+        point = study.space.config_at(index)
+        machine = study.machine_at(index)
+        assert machine.int_registers == point["register_file"]
+        assert machine.rob_size == point["rob_size"]
+        # Table 4.2's pairing rule
+        from repro.experiments.studies import REGISTER_FILE_CHOICES
+
+        assert point["register_file"] in REGISTER_FILE_CHOICES[point["rob_size"]]

@@ -1,0 +1,47 @@
+"""Tests for text table/series rendering."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_percent,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # all data lines equally wide or shorter than the header rule
+        rule = lines[2]
+        assert set(rule) == {"-"}
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_columns_rendered(self):
+        out = format_series(
+            "title", "x", [1.0, 2.0], {"y": [0.5, 0.25], "z": [1.0, 2.0]}
+        )
+        assert "title" in out
+        assert "0.50" in out and "2.00" in out
+
+    def test_precision(self):
+        out = format_series("t", "x", [1.0], {"y": [0.123456]}, precision=4)
+        assert "0.1235" in out
+
+
+def test_format_percent():
+    assert format_percent(1.234) == "1.23%"

@@ -1,0 +1,71 @@
+"""Tests for pipeline resource schedulers."""
+
+import pytest
+
+from repro.cpu import SlotScheduler, WindowResource
+
+
+class TestSlotScheduler:
+    def test_slots_per_cycle_respected(self):
+        s = SlotScheduler(2)
+        assert s.allocate(0) == 0
+        assert s.allocate(0) == 0
+        assert s.allocate(0) == 1  # third request spills to the next cycle
+
+    def test_fractional_request_rounds_up(self):
+        s = SlotScheduler(1)
+        assert s.allocate(3.2) == 4
+
+    def test_peek_does_not_reserve(self):
+        s = SlotScheduler(1)
+        assert s.peek(5) == 5
+        assert s.peek(5) == 5
+        assert s.allocate(5) == 5
+        assert s.peek(5) == 6
+
+    def test_reset(self):
+        s = SlotScheduler(1)
+        s.allocate(0)
+        s.reset()
+        assert s.allocate(0) == 0
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            SlotScheduler(0)
+
+
+class TestWindowResource:
+    def test_unfilled_window_is_free(self):
+        w = WindowResource(3)
+        assert w.earliest_allocation() == 0.0
+
+    def test_blocks_when_full(self):
+        w = WindowResource(2)
+        w.occupy(10.0)
+        w.occupy(20.0)
+        # third occupant must wait for the first to release
+        assert w.earliest_allocation() == 10.0
+        w.occupy(30.0)
+        assert w.earliest_allocation() == 20.0
+
+    def test_monotonic_release_enforced(self):
+        w = WindowResource(1)
+        w.occupy(10.0)
+        w.occupy(5.0)  # clamped to 10.0 (in-order release)
+        assert w.earliest_allocation() == 10.0
+
+    def test_occupants_counted(self):
+        w = WindowResource(4)
+        w.occupy(1.0)
+        w.occupy(2.0)
+        assert w.occupants == 2
+
+    def test_reset(self):
+        w = WindowResource(1)
+        w.occupy(5.0)
+        w.reset()
+        assert w.earliest_allocation() == 0.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            WindowResource(0)

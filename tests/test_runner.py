@@ -1,0 +1,113 @@
+"""Tests for the shared experiment runner (learning-curve machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import TrainingConfig
+from repro.experiments import (
+    curve_sizes,
+    full_scale,
+    get_study,
+    run_learning_curve,
+)
+from repro.experiments.runner import DEFAULT_SIZES, PAPER_SIZES
+
+FAST = TrainingConfig(
+    hidden_layers=(8,), max_epochs=150, patience=5, check_interval=10
+)
+
+
+class TestScaleSwitch:
+    def test_default_grid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        assert curve_sizes() == DEFAULT_SIZES
+
+    def test_full_grid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        assert curve_sizes() == PAPER_SIZES
+
+    def test_paper_grid_matches_paper(self):
+        assert PAPER_SIZES[0] == 50
+        assert PAPER_SIZES[-1] == 2000
+        assert all(b - a == 50 for a, b in zip(PAPER_SIZES, PAPER_SIZES[1:]))
+
+
+@pytest.mark.slow
+class TestRunLearningCurve:
+    def test_curve_structure(self):
+        curve = run_learning_curve(
+            "memory-system",
+            "gzip",
+            sizes=(50, 100),
+            seed=11,
+            training=FAST,
+            use_cache=False,
+        )
+        assert [p.n_samples for p in curve.points] == [50, 100]
+        point = curve.points[0]
+        assert 0 < point.fraction < 0.01
+        assert point.true_mean > 0
+        assert point.estimated_mean > 0
+        assert point.training_seconds > 0
+
+    def test_incremental_sampling_is_prefix(self):
+        """Both sizes share a sampling prefix: identical seeds produce
+        nested training sets, as in the paper's incremental protocol."""
+        a = run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=12,
+            training=FAST, use_cache=False,
+        )
+        b = run_learning_curve(
+            "memory-system", "gzip", sizes=(50, 100), seed=12,
+            training=FAST, use_cache=False,
+        )
+        # identical first-point sampling implies identical fractions
+        assert a.points[0].fraction == b.points[0].fraction
+
+    def test_at_size_lookup(self):
+        curve = run_learning_curve(
+            "memory-system", "gzip", sizes=(50, 100), seed=11,
+            training=FAST, use_cache=False,
+        )
+        assert curve.at_size(100).n_samples == 100
+        with pytest.raises(KeyError):
+            curve.at_size(999)
+
+    def test_smallest_size_reaching(self):
+        curve = run_learning_curve(
+            "memory-system", "gzip", sizes=(50, 100), seed=11,
+            training=FAST, use_cache=False,
+        )
+        assert curve.smallest_size_reaching(1e9) == 50
+        assert curve.smallest_size_reaching(0.0) is None
+
+    def test_cache_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=13, training=FAST
+        )
+        second = run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=13, training=FAST
+        )
+        assert first.points[0].true_mean == second.points[0].true_mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_learning_curve(
+                "memory-system", "gzip", sizes=(100, 50), training=FAST
+            )
+        with pytest.raises(ValueError):
+            run_learning_curve(
+                "memory-system", "gzip", sizes=(50,), source="oracle",
+                training=FAST,
+            )
+
+    def test_simpoint_source(self):
+        curve = run_learning_curve(
+            "processor", "mesa", sizes=(50,), source="simpoint",
+            seed=14, training=FAST, use_cache=False,
+        )
+        assert curve.source == "simpoint"
+        assert curve.points[0].true_mean > 0

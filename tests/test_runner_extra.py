@@ -1,0 +1,65 @@
+"""Additional runner/caching invariants (fast, no training)."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import TrainingConfig
+from repro.experiments import encoded_space, get_study
+from repro.experiments.runner import (
+    LearningCurve,
+    _curve_cache_path,
+    _training_fingerprint,
+)
+
+
+class TestCacheKeys:
+    def test_fingerprint_stable(self):
+        a = _training_fingerprint(TrainingConfig())
+        b = _training_fingerprint(TrainingConfig())
+        assert a == b
+
+    def test_fingerprint_sensitive_to_hyperparameters(self):
+        a = _training_fingerprint(TrainingConfig())
+        b = _training_fingerprint(TrainingConfig(learning_rate=0.123))
+        assert a != b
+
+    def test_curve_path_includes_workload_seed(self):
+        study = get_study("memory-system")
+        path = _curve_cache_path(
+            study, "gzip", "true", (50,), 0, TrainingConfig()
+        )
+        assert "w164" in path.name  # gzip's generator seed
+
+    def test_curve_path_distinguishes_sources(self):
+        study = get_study("processor")
+        a = _curve_cache_path(study, "mesa", "true", (50,), 0, TrainingConfig())
+        b = _curve_cache_path(
+            study, "mesa", "simpoint", (50,), 0, TrainingConfig()
+        )
+        assert a.name != b.name
+
+
+class TestEncodedSpace:
+    def test_shape_and_cache(self):
+        study = get_study("memory-system")
+        a = encoded_space(study)
+        b = encoded_space(study)
+        assert a is b
+        assert a.shape[0] == len(study.space)
+        assert np.all(a >= 0.0) and np.all(a <= 1.0)
+
+    def test_rows_unique(self):
+        study = get_study("processor")
+        matrix = encoded_space(study)
+        sample = matrix[:: max(1, len(matrix) // 500)]
+        assert len(np.unique(sample, axis=0)) == len(sample)
+
+
+class TestLearningCurveContainer:
+    def test_empty_curve_lookup_raises(self):
+        curve = LearningCurve(
+            study="s", benchmark="b", source="true", seed=0, points=[]
+        )
+        with pytest.raises(KeyError):
+            curve.at_size(50)
+        assert curve.smallest_size_reaching(1.0) is None

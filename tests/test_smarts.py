@@ -1,0 +1,102 @@
+"""Tests for the SMARTS-style systematic sampling evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import MachineConfig, get_interval_simulator
+from repro.simpoint import SmartsSimulator
+
+TRACE_LEN = 24_000
+UNIT = 2_000
+
+
+@pytest.fixture(scope="module")
+def smarts():
+    return SmartsSimulator(
+        "mesa", unit_length=UNIT, period=3, trace_length=TRACE_LEN
+    )
+
+
+class TestConstruction:
+    def test_unit_count(self, smarts):
+        assert smarts.n_total_units == 12
+        assert smarts.n_units == 4
+        assert smarts.sampled_fraction == pytest.approx(1 / 3)
+
+    def test_period_one_samples_everything(self):
+        full = SmartsSimulator(
+            "mesa", unit_length=UNIT, period=1, trace_length=TRACE_LEN
+        )
+        assert full.sampled_fraction == pytest.approx(1.0)
+
+    def test_offset_shifts_units(self):
+        a = SmartsSimulator(
+            "mesa", unit_length=UNIT, period=3, offset=0,
+            trace_length=TRACE_LEN,
+        )
+        b = SmartsSimulator(
+            "mesa", unit_length=UNIT, period=3, offset=1,
+            trace_length=TRACE_LEN,
+        )
+        cfg = MachineConfig()
+        assert a.simulate_ipc(cfg) != b.simulate_ipc(cfg)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartsSimulator("mesa", period=0, trace_length=TRACE_LEN)
+        with pytest.raises(ValueError):
+            SmartsSimulator(
+                "mesa", period=3, offset=5, trace_length=TRACE_LEN
+            )
+
+
+class TestEstimates:
+    def test_close_to_full_evaluation(self, smarts):
+        full = get_interval_simulator("mesa", TRACE_LEN)
+        cfg = MachineConfig()
+        estimate = smarts.estimate(cfg)
+        truth = full.evaluate_ipc(cfg)
+        assert abs(estimate.ipc - truth) / truth < 0.10
+
+    def test_period_one_matches_all_units_exactly(self):
+        """With every unit sampled, the estimate equals the equal-weight
+        harmonic combination of all units."""
+        full_sampling = SmartsSimulator(
+            "mesa", unit_length=UNIT, period=1, trace_length=TRACE_LEN
+        )
+        cfg = MachineConfig()
+        cpis = [
+            1.0 / e.evaluate_ipc(cfg) for e in full_sampling._evaluators
+        ]
+        expected = 1.0 / np.mean(cpis)
+        assert full_sampling.simulate_ipc(cfg) == pytest.approx(expected)
+
+    def test_confidence_interval_brackets(self, smarts):
+        estimate = smarts.estimate(MachineConfig())
+        low, high = estimate.confidence_interval()
+        assert low < estimate.ipc < high
+        assert estimate.relative_confidence > 0
+
+    def test_denser_sampling_tightens_confidence(self):
+        cfg = MachineConfig()
+        sparse = SmartsSimulator(
+            "mesa", unit_length=UNIT, period=4, trace_length=TRACE_LEN
+        )
+        dense = SmartsSimulator(
+            "mesa", unit_length=UNIT, period=2, trace_length=TRACE_LEN
+        )
+        assert (
+            dense.estimate(cfg).relative_confidence
+            <= sparse.estimate(cfg).relative_confidence * 1.5
+        )
+
+    def test_callable_interface(self, smarts):
+        cfg = MachineConfig()
+        assert smarts(cfg) == smarts.simulate_ipc(cfg)
+
+    def test_reduction_factor(self, smarts):
+        assert smarts.instruction_reduction_factor() == pytest.approx(3.0)
+
+    def test_deterministic(self, smarts):
+        cfg = MachineConfig()
+        assert smarts.simulate_ipc(cfg) == smarts.simulate_ipc(cfg)

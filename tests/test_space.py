@@ -1,0 +1,178 @@
+"""Unit and property tests for DesignSpace enumeration and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import (
+    CardinalParameter,
+    DependentChoices,
+    DesignSpace,
+    NominalParameter,
+)
+
+
+def small_space():
+    return DesignSpace(
+        "small",
+        [
+            CardinalParameter("a", (1, 2, 4)),
+            NominalParameter("b", ("x", "y")),
+            CardinalParameter("c", (10, 20)),
+        ],
+    )
+
+
+def constrained_space():
+    return DesignSpace(
+        "constrained",
+        [
+            CardinalParameter("rob", (96, 128, 160)),
+            CardinalParameter("regs", (64, 80, 96, 112)),
+        ],
+        constraints=[
+            DependentChoices(
+                "regs", "rob", {96: (64, 80), 128: (80, 96), 160: (96, 112)}
+            )
+        ],
+    )
+
+
+class TestBasics:
+    def test_size_without_constraints(self):
+        assert len(small_space()) == 3 * 2 * 2
+
+    def test_size_with_constraints(self):
+        assert len(constrained_space()) == 3 * 2
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DesignSpace(
+                "bad",
+                [CardinalParameter("a", (1, 2)), CardinalParameter("a", (3, 4))],
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DesignSpace("bad", [])
+
+    def test_rejects_constraint_on_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown"):
+            DesignSpace(
+                "bad",
+                [CardinalParameter("a", (1, 2))],
+                constraints=[
+                    DependentChoices("z", "a", {1: (1,), 2: (2,)})
+                ],
+            )
+
+    def test_parameter_lookup(self):
+        space = small_space()
+        assert space.parameter("b").name == "b"
+        with pytest.raises(KeyError):
+            space.parameter("zzz")
+
+
+class TestEnumeration:
+    def test_iteration_covers_space(self):
+        space = small_space()
+        configs = list(space)
+        assert len(configs) == len(space)
+        # all distinct
+        keys = {tuple(sorted(c.items())) for c in configs}
+        assert len(keys) == len(space)
+
+    def test_config_at_round_trip(self):
+        space = small_space()
+        for i in range(len(space)):
+            assert space.index_of(space.config_at(i)) == i
+
+    def test_constrained_round_trip(self):
+        space = constrained_space()
+        for i in range(len(space)):
+            assert space.index_of(space.config_at(i)) == i
+
+    def test_constrained_iteration_valid(self):
+        space = constrained_space()
+        for config in space:
+            space.validate(config)
+
+    def test_index_of_invalid_constrained_point(self):
+        space = constrained_space()
+        with pytest.raises(ValueError):
+            space.index_of({"rob": 96, "regs": 112})
+
+    def test_config_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            small_space().config_at(10**9)
+
+    def test_validate_missing_key(self):
+        with pytest.raises(ValueError, match="missing"):
+            small_space().validate({"a": 1, "b": "x"})
+
+    def test_validate_extra_key(self):
+        with pytest.raises(ValueError, match="unknown"):
+            small_space().validate({"a": 1, "b": "x", "c": 10, "d": 1})
+
+
+class TestSampling:
+    def test_sample_distinct(self, rng):
+        space = small_space()
+        indices = space.sample_indices(10, rng)
+        assert len(set(indices)) == 10
+
+    def test_sample_respects_exclusion(self, rng):
+        space = small_space()
+        exclude = [0, 1, 2, 3]
+        indices = space.sample_indices(5, rng, exclude=exclude)
+        assert not set(indices) & set(exclude)
+
+    def test_sample_too_many(self, rng):
+        space = small_space()
+        with pytest.raises(ValueError, match="only"):
+            space.sample_indices(len(space) + 1, rng)
+
+    def test_sample_negative(self, rng):
+        with pytest.raises(ValueError):
+            small_space().sample_indices(-1, rng)
+
+    def test_sample_configs_are_valid(self, rng):
+        space = constrained_space()
+        for config in space.sample(4, rng):
+            space.validate(config)
+
+    def test_sampling_deterministic_with_seed(self):
+        space = small_space()
+        a = space.sample_indices(5, np.random.default_rng(42))
+        b = space.sample_indices(5, np.random.default_rng(42))
+        assert a == b
+
+
+@st.composite
+def random_space(draw):
+    n_params = draw(st.integers(min_value=1, max_value=4))
+    params = []
+    for i in range(n_params):
+        n_vals = draw(st.integers(min_value=1, max_value=4))
+        params.append(
+            CardinalParameter(f"p{i}", tuple(range(1, n_vals + 1)))
+        )
+    return DesignSpace("random", params)
+
+
+class TestProperties:
+    @given(random_space(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_unrank_rank_identity(self, space, raw_index):
+        index = raw_index % len(space)
+        assert space.index_of(space.config_at(index)) == index
+
+    @given(random_space())
+    @settings(max_examples=30, deadline=None)
+    def test_cross_product_size(self, space):
+        expected = 1
+        for p in space.parameters:
+            expected *= p.cardinality
+        assert len(space) == expected
+        assert sum(1 for _ in space) == expected

@@ -1,0 +1,108 @@
+"""Tests for the EXPERIMENTS.md generator (paper constants + rendering)."""
+
+import pytest
+
+from repro.experiments.summary import (
+    PAPER_GAINS,
+    PAPER_TABLE51,
+    generate_experiments_md,
+)
+from repro.experiments.table51 import TABLE_ORDER
+from repro.workloads.spec import SPEC_WORKLOADS
+
+
+class TestPaperConstants:
+    def test_table51_covers_all_apps_and_studies(self):
+        for study in ("memory-system", "processor"):
+            assert set(PAPER_TABLE51[study]) == set(SPEC_WORKLOADS)
+            for app, values in PAPER_TABLE51[study].items():
+                assert len(values) == 3
+                # the paper's errors shrink with sample size for every app
+                assert values[2] <= values[0]
+
+    def test_table_order_is_papers(self):
+        assert TABLE_ORDER[0] == "equake"
+        assert set(TABLE_ORDER) == set(SPEC_WORKLOADS)
+
+    def test_paper_twolf_is_hardest(self):
+        """Sanity check against the source: twolf's 4% column dominates."""
+        for study in ("memory-system", "processor"):
+            finals = {a: v[2] for a, v in PAPER_TABLE51[study].items()}
+            assert max(finals, key=finals.get) == "twolf"
+
+    def test_gain_ranges(self):
+        assert PAPER_GAINS["combined_min"] == 1000
+        assert PAPER_GAINS["combined_max"] == 13018
+        assert PAPER_GAINS["simpoint_min"] < PAPER_GAINS["simpoint_max"]
+
+
+class TestGenerator:
+    def test_rendering_with_stubbed_experiments(self, monkeypatch, tmp_path):
+        """Stub out the heavy experiment calls; check report structure."""
+        from repro.experiments import summary
+        from repro.experiments.runner import CurvePoint, LearningCurve
+        from repro.experiments.table51 import Table51, Table51Cell
+        from repro.experiments.gains import GainRow
+        from repro.experiments.training_time import TrainingTimePoint
+
+        def fake_curve(study, benchmark, source="true"):
+            return LearningCurve(
+                study=study,
+                benchmark=benchmark,
+                source=source,
+                seed=0,
+                points=[
+                    CurvePoint(50, 0.002, 10.0, 12.0, 11.0, 13.0, 1.0),
+                    CurvePoint(950, 0.041, 2.0, 2.2, 2.1, 2.4, 5.0),
+                ],
+            )
+
+        def fake_table(study_name, benchmarks=None, seed=0, training=None):
+            cell = Table51Cell(2.0, 2.1, 2.2, 2.3)
+            return Table51(
+                study=study_name,
+                labels=("1%", "2%", "4%"),
+                rows={app: (cell, cell, cell) for app in TABLE_ORDER},
+            )
+
+        monkeypatch.setattr(summary, "build_table51", fake_table)
+        monkeypatch.setattr(
+            summary,
+            "learning_curves",
+            lambda benchmarks=None, studies=None, seed=0, **kw: {
+                ("processor", b): fake_curve("processor", b)
+                for b in (benchmarks or ("mesa",))
+            },
+        )
+        monkeypatch.setattr(
+            summary,
+            "simpoint_curves",
+            lambda seed=0, **kw: {
+                ("processor", b): fake_curve("processor", b, "simpoint")
+                for b in ("mesa", "mcf", "crafty", "equake")
+            },
+        )
+        monkeypatch.setattr(
+            summary,
+            "gains_study",
+            lambda seed=0, **kw: {
+                "mesa": [GainRow("mesa", 2.0, 400, 51.8, 25.0, 1295.0)]
+            },
+        )
+        monkeypatch.setattr(
+            summary,
+            "measure_training_times",
+            lambda seed=0, **kw: [
+                TrainingTimePoint("processor", 1.0, 207, 12.0)
+            ],
+        )
+
+        out_path = tmp_path / "EXPERIMENTS.md"
+        text = generate_experiments_md(str(out_path), benchmarks=("mesa",))
+        assert out_path.exists()
+        assert "# EXPERIMENTS" in text
+        assert "Table 5.1" in text
+        assert "Figure 5.8" in text
+        assert "1,295x" in text
+        # paper values present next to measured ones
+        assert "6.48%" in text  # paper's twolf processor number

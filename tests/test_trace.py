@@ -1,0 +1,117 @@
+"""Tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import OpClass, Trace
+
+
+def build_trace(n=100, name="t"):
+    rng = np.random.default_rng(0)
+    op = rng.integers(0, OpClass.COUNT, n).astype(np.uint8)
+    return Trace(
+        name=name,
+        op=op,
+        pc=(4 * np.arange(n)).astype(np.uint64),
+        addr=np.where(
+            (op == OpClass.LOAD) | (op == OpClass.STORE),
+            rng.integers(1, 2**20, n),
+            0,
+        ).astype(np.uint64),
+        taken=(op == OpClass.BRANCH) & (rng.random(n) < 0.5),
+        target=np.zeros(n, dtype=np.uint64),
+        dep1=np.zeros(n, dtype=np.int32),
+        dep2=np.zeros(n, dtype=np.int32),
+        block_id=np.zeros(n, dtype=np.int32),
+    )
+
+
+class TestTrace:
+    def test_length(self):
+        assert len(build_trace(50)) == 50
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_trace(0)
+
+    def test_rejects_mismatched_columns(self):
+        t = build_trace(10)
+        with pytest.raises(ValueError, match="length"):
+            Trace(
+                name="bad",
+                op=t.op,
+                pc=t.pc[:5],
+                addr=t.addr,
+                taken=t.taken,
+                target=t.target,
+                dep1=t.dep1,
+                dep2=t.dep2,
+                block_id=t.block_id,
+            )
+
+    def test_masks_consistent(self):
+        t = build_trace()
+        assert np.array_equal(t.memory_mask, t.load_mask | t.store_mask)
+        assert not np.any(t.load_mask & t.store_mask)
+
+    def test_mix_sums_to_one(self):
+        mix = build_trace().mix
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_block_addresses_shift(self):
+        t = build_trace()
+        b64 = t.block_addresses(64)
+        b32 = t.block_addresses(32)
+        assert np.array_equal(b64, b32 >> np.uint64(1))
+
+    def test_block_addresses_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_trace().block_addresses(48)
+
+
+class TestSlicing:
+    def test_slice_contents(self):
+        t = build_trace(100)
+        s = t.slice(10, 20)
+        assert len(s) == 10
+        assert np.array_equal(s.op, t.op[10:20])
+
+    def test_slice_bounds_checked(self):
+        t = build_trace(100)
+        with pytest.raises(ValueError):
+            t.slice(50, 30)
+        with pytest.raises(ValueError):
+            t.slice(0, 101)
+
+    def test_intervals_partition(self):
+        t = build_trace(100)
+        bounds = t.intervals(30)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_half_length_tail_kept(self):
+        t = build_trace(100)
+        bounds = t.intervals(40)  # tail of 20 == 40/2 -> kept
+        assert bounds == [(0, 40), (40, 80), (80, 100)]
+
+    def test_short_tail_merged(self):
+        t = build_trace(110)
+        bounds = t.intervals(50)  # tail of 10 < 25 -> merged
+        assert bounds == [(0, 50), (50, 110)]
+
+    def test_long_tail_kept(self):
+        t = build_trace(100)
+        bounds = t.intervals(30)  # tail of 10 < 15 -> merged into third
+        assert len(bounds) == 3
+        assert bounds[-1] == (60, 100)
+
+    def test_iter_intervals_names(self):
+        t = build_trace(100, name="bench")
+        subtraces = list(t.iter_intervals(50))
+        assert [s.name for s in subtraces] == ["bench#0", "bench#1"]
+
+    def test_intervals_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            build_trace().intervals(0)

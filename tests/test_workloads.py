@@ -1,0 +1,211 @@
+"""Tests for workload characteristics and the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    CFP_BENCHMARKS,
+    CINT_BENCHMARKS,
+    SIMPOINT_BENCHMARKS,
+    SPEC_WORKLOADS,
+    OpClass,
+    PhaseProfile,
+    SyntheticTraceGenerator,
+    WorkloadCharacteristics,
+    generate_trace,
+    get_workload,
+)
+
+
+def make_phase(**overrides):
+    defaults = dict(
+        weight=1.0,
+        mix={
+            "int_alu": 0.45,
+            "int_mul": 0.02,
+            "fp_alu": 0.0,
+            "fp_mul": 0.0,
+            "load": 0.25,
+            "store": 0.10,
+            "branch": 0.18,
+        },
+        working_set_blocks=100,
+        secondary_ws_blocks=1000,
+        secondary_fraction=0.2,
+        streaming_fraction=0.2,
+        pointer_fraction=0.1,
+        spatial_locality=0.5,
+        branch_bias_concentration=4.0,
+        loop_branch_fraction=0.3,
+        loop_trip_mean=8.0,
+        n_static_blocks=50,
+        block_len_mean=6,
+        dep_distance_mean=3.0,
+    )
+    defaults.update(overrides)
+    return PhaseProfile(**defaults)
+
+
+class TestPhaseProfile:
+    def test_valid_phase(self):
+        phase = make_phase()
+        assert phase.weight == 1.0
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            make_phase(weight=0.0)
+
+    def test_rejects_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_phase(streaming_fraction=1.5)
+
+    def test_rejects_incomplete_mix(self):
+        with pytest.raises(ValueError, match="must include"):
+            make_phase(mix={"load": 0.5, "store": 0.5})
+
+    def test_rejects_non_normalized_mix(self):
+        mix = {
+            "int_alu": 0.5,
+            "load": 0.25,
+            "store": 0.10,
+            "branch": 0.18,
+        }
+        with pytest.raises(ValueError, match="sum to 1"):
+            make_phase(mix=mix)
+
+    def test_rejects_small_dep_distance(self):
+        with pytest.raises(ValueError):
+            make_phase(dep_distance_mean=0.5)
+
+
+class TestWorkloadCharacteristics:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacteristics(
+                name="w",
+                suite="CINT2000",
+                description="",
+                total_dynamic_instructions=10**8,
+                trace_length=10_000,
+                seed=1,
+                phases=(),
+            )
+
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(ValueError, match="suite"):
+            WorkloadCharacteristics(
+                name="w",
+                suite="SPECjbb",
+                description="",
+                total_dynamic_instructions=10**8,
+                trace_length=10_000,
+                seed=1,
+                phases=(make_phase(),),
+            )
+
+    def test_normalized_weights(self):
+        w = WorkloadCharacteristics(
+            name="w",
+            suite="CINT2000",
+            description="",
+            total_dynamic_instructions=10**8,
+            trace_length=10_000,
+            seed=1,
+            phases=(make_phase(weight=1.0), make_phase(weight=3.0)),
+        )
+        assert w.normalized_phase_weights == (0.25, 0.75)
+
+
+class TestSpecCatalog:
+    def test_eight_benchmarks(self):
+        assert len(SPEC_WORKLOADS) == 8
+        assert set(CINT_BENCHMARKS) | set(CFP_BENCHMARKS) == set(SPEC_WORKLOADS)
+
+    def test_simpoint_benchmarks_are_longest(self):
+        lengths = {
+            name: w.total_dynamic_instructions
+            for name, w in SPEC_WORKLOADS.items()
+        }
+        longest = sorted(lengths, key=lengths.get, reverse=True)[:4]
+        assert set(longest) == set(SIMPOINT_BENCHMARKS)
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("bzip2")
+
+    def test_suites_assigned(self):
+        for name in CINT_BENCHMARKS:
+            assert SPEC_WORKLOADS[name].suite == "CINT2000"
+        for name in CFP_BENCHMARKS:
+            assert SPEC_WORKLOADS[name].suite == "CFP2000"
+
+
+class TestGenerator:
+    def test_trace_length(self, gzip_trace):
+        assert abs(len(gzip_trace) - 8000) < 200
+
+    def test_deterministic(self):
+        a = SyntheticTraceGenerator(get_workload("mcf"), 5000).generate()
+        b = SyntheticTraceGenerator(get_workload("mcf"), 5000).generate()
+        assert np.array_equal(a.op, b.op)
+        assert np.array_equal(a.addr, b.addr)
+
+    def test_seed_offset_changes_trace(self):
+        a = SyntheticTraceGenerator(get_workload("mcf"), 5000).generate()
+        b = SyntheticTraceGenerator(
+            get_workload("mcf"), 5000, seed_offset=1
+        ).generate()
+        assert not np.array_equal(a.addr, b.addr)
+
+    def test_memory_ops_have_addresses(self, mcf_trace):
+        assert np.all(mcf_trace.addr[mcf_trace.memory_mask] > 0)
+
+    def test_non_memory_ops_have_no_addresses(self, mcf_trace):
+        assert np.all(mcf_trace.addr[~mcf_trace.memory_mask] == 0)
+
+    def test_branches_end_blocks(self, gzip_trace):
+        # every branch is followed by a different basic block
+        branch_positions = np.flatnonzero(gzip_trace.branch_mask)[:-1]
+        assert np.all(
+            gzip_trace.block_id[branch_positions]
+            != gzip_trace.block_id[branch_positions + 1]
+        ) or np.any(gzip_trace.taken[branch_positions])
+
+    def test_mix_roughly_matches_profile(self, mcf_trace):
+        mix = mcf_trace.mix
+        assert 0.2 < mix["load"] < 0.45
+        assert 0.05 < mix["store"] < 0.2
+        assert mix["fp_alu"] == 0.0  # integer benchmark
+
+    def test_fp_benchmark_has_fp_ops(self, mgrid_trace):
+        assert mgrid_trace.fraction(OpClass.FP_ALU) > 0.1
+
+    def test_dependencies_point_backwards(self, gzip_trace):
+        idx = np.arange(len(gzip_trace))
+        assert np.all(gzip_trace.dep1 <= idx)
+        assert np.all(gzip_trace.dep2 <= idx)
+        assert np.all(gzip_trace.dep1 >= 0)
+
+    def test_pointer_chasing_serialization(self, mcf_trace):
+        # mcf must have load-to-load dependence chains
+        loads = np.flatnonzero(mcf_trace.load_mask)
+        d1 = mcf_trace.dep1[loads]
+        producers = loads - d1
+        serial = (d1 > 0) & (mcf_trace.op[producers] == OpClass.LOAD)
+        assert serial.mean() > 0.1
+
+    def test_mcf_has_worse_locality_than_gzip(self):
+        mcf = generate_trace("mcf", 8000)
+        gzip = generate_trace("gzip", 8000)
+        mcf_unique = len(np.unique(mcf.block_addresses(64)))
+        gzip_unique = len(np.unique(gzip.block_addresses(64)))
+        assert mcf_unique > 1.5 * gzip_unique
+
+    def test_rejects_tiny_trace(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(get_workload("gzip"), 10)
+
+    def test_generate_trace_caches(self):
+        a = generate_trace("gzip", 5000)
+        b = generate_trace("gzip", 5000)
+        assert a is b
