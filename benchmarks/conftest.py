@@ -6,11 +6,34 @@ truth, profiles) are cached on disk by the library, so re-runs are cheap;
 set ``REPRO_FULL=1`` for the paper-scale grids (all 8 benchmarks, training
 sets 50..2000 in steps of 50) and ``REPRO_CACHE_DIR=""`` to disable
 caching.
+
+Set ``REPRO_METRICS_OUT=path.json`` to enable the global metrics
+registry for the session and write its snapshot (simulations run,
+simulated instructions, training epochs, fold timings) there at exit —
+the machine-readable artifact the CI benchmark-smoke job uploads and
+diffs across runs.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.obs import METRICS, enable_metrics
+
+
+def pytest_configure(config):
+    """Enable run metrics when an output path is requested."""
+    if os.environ.get("REPRO_METRICS_OUT"):
+        enable_metrics()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the metrics snapshot for CI artifact upload."""
+    path = os.environ.get("REPRO_METRICS_OUT")
+    if path:
+        METRICS.write_json(path)
 
 
 @pytest.fixture

@@ -18,7 +18,7 @@ Run:  python examples/cross_application.py
 import numpy as np
 
 from repro import CrossApplicationModel, get_study
-from repro.core import CrossValidationEnsemble, ParameterEncoder, percentage_errors
+from repro.core import CrossValidationEnsemble, percentage_errors
 from repro.experiments import encoded_space, full_space_ground_truth
 
 BENCHMARKS = ("gzip", "mesa", "crafty")

@@ -20,7 +20,7 @@ import sys
 
 import numpy as np
 
-from repro import get_study, make_simulate_fn
+from repro import RunTelemetry, get_study, make_simulate_fn
 from repro.core import CrossValidationEnsemble, ParameterEncoder
 from repro.cpu import get_interval_simulator
 from repro.doe import PlackettBurmanStudy
@@ -29,15 +29,16 @@ DEFAULT_BENCHMARKS = ("gzip", "mcf", "twolf")
 SAMPLES = 500  # ~2.2% of the 23,040-point space
 
 
-def model_benchmark(study, benchmark, rng):
+def model_benchmark(study, benchmark, rng, telemetry):
     """Train one ensemble from SAMPLES random simulations."""
     simulate = make_simulate_fn(study, benchmark)
     encoder = ParameterEncoder(study.space)
     indices = study.space.sample_indices(SAMPLES, rng)
     configs = [study.space.config_at(i) for i in indices]
-    x = encoder.encode_many(configs)
-    y = np.array([simulate(c) for c in configs])
-    ensemble = CrossValidationEnsemble(rng=rng)
+    with telemetry.phase(f"simulate.{benchmark}"):
+        x = encoder.encode_many(configs)
+        y = np.array([simulate(c) for c in configs])
+    ensemble = CrossValidationEnsemble(rng=rng, telemetry=telemetry)
     estimate = ensemble.fit(x, y)
     return ensemble, encoder, estimate
 
@@ -68,11 +69,18 @@ def main() -> None:
         print(f"  {benchmark:>6}: {top}")
     print()
 
+    telemetry = RunTelemetry()
     for benchmark in benchmarks:
-        ensemble, encoder, estimate = model_benchmark(study, benchmark, rng)
+        ensemble, encoder, estimate = model_benchmark(
+            study, benchmark, rng, telemetry
+        )
         print(f"== {benchmark} ==")
         print(f"  cross-validation estimate: {estimate.mean:.2f}% "
               f"+/- {estimate.std:.2f}%")
+        fit = telemetry.events_named("crossval.fit")[-1].payload
+        print(f"  10-fold fit: {fit['wall_s']:.1f}s wall, "
+              f"{fit['worker_utilization'] * 100:.0f}% worker utilization "
+              f"({fit['n_workers']} worker(s))")
 
         predictions = ensemble.predict(encoder.encode_space())
         best = study.space.config_at(int(np.argmax(predictions)))

@@ -11,15 +11,27 @@ for one benchmark:
 5. predict the entire space and find the best configuration without
    simulating it exhaustively.
 
+The run is instrumented with ``repro.obs``: a telemetry stream records
+every exploration round and a metrics registry counts simulations and
+simulated instructions; the summary you see is a rendered
+``TelemetryReport`` (the same document ``repro explore
+--telemetry-out`` writes), not ad-hoc prints.
+
 Run:  python examples/quickstart.py [benchmark] [target_error%]
 """
 
 import sys
-import time
 
 import numpy as np
 
-from repro import DesignSpaceExplorer, get_study, make_simulate_fn
+from repro import (
+    DesignSpaceExplorer,
+    RunTelemetry,
+    TelemetryReport,
+    enable_metrics,
+    get_study,
+    make_simulate_fn,
+)
 from repro.core.training import TrainingConfig
 from repro.experiments import full_space_ground_truth
 
@@ -33,6 +45,10 @@ def main() -> None:
     print(f"benchmark:    {benchmark}")
     print(f"target:       {target_error:.1f}% estimated mean error\n")
 
+    # observability: metrics count what happened, telemetry narrates it
+    metrics = enable_metrics()
+    telemetry = RunTelemetry(metrics=metrics)
+
     simulate = make_simulate_fn(study, benchmark)
     explorer = DesignSpaceExplorer(
         study.space,
@@ -40,28 +56,22 @@ def main() -> None:
         batch_size=50,  # the paper collects results in batches of 50
         training=TrainingConfig(),
         rng=np.random.default_rng(42),
+        telemetry=telemetry,
+        metrics=metrics,
     )
-
-    started = time.time()
     result = explorer.explore(target_error=target_error, max_simulations=800)
-    elapsed = time.time() - started
 
-    print("round  sims   estimated error")
-    for round_ in result.rounds:
-        print(
-            f"{result.rounds.index(round_) + 1:>5}  {round_.n_samples:>4}   "
-            f"{round_.estimate.mean:5.2f}% +/- {round_.estimate.std:.2f}%"
-        )
-    status = "converged" if result.converged else "budget exhausted"
-    print(f"\n{status} after {result.n_simulations} simulations "
-          f"({100 * result.n_simulations / len(study.space):.2f}% of the "
-          f"space) in {elapsed:.0f}s")
+    # the run summary: simulations used, error trajectory, time per phase
+    report = TelemetryReport(
+        telemetry, metrics, title=f"quickstart: {benchmark}"
+    )
+    print(report.to_markdown())
 
     # predict the whole space and pick the best configuration
     predictions = result.predict_space()
     best_index = int(np.argmax(predictions))
     best = study.space.config_at(best_index)
-    print(f"\npredicted-best configuration (IPC {predictions[best_index]:.3f}):")
+    print(f"predicted-best configuration (IPC {predictions[best_index]:.3f}):")
     for key, value in best.items():
         print(f"  {key:>20} = {value}")
 

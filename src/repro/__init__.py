@@ -62,6 +62,14 @@ from .experiments import (
     make_simulate_fn,
     run_learning_curve,
 )
+from .obs import (
+    METRICS,
+    MetricsRegistry,
+    PhaseProfiler,
+    RunTelemetry,
+    TelemetryReport,
+    enable_metrics,
+)
 from .simpoint import SimPointSelection, SimPointSimulator, select_simpoints
 from .workloads import SPEC_WORKLOADS, Trace, generate_trace, get_workload
 
@@ -83,13 +91,18 @@ __all__ = [
     "ExplorationResult",
     "FeedForwardNetwork",
     "IntervalSimulator",
+    "METRICS",
     "MachineConfig",
+    "MetricsRegistry",
     "MultiTaskNetwork",
     "NominalParameter",
     "ParameterEncoder",
+    "PhaseProfiler",
     "PlackettBurmanStudy",
     "PredicateConstraint",
     "QueryByCommitteeSampler",
+    "RunTelemetry",
+    "TelemetryReport",
     "SPEC_WORKLOADS",
     "STUDY_NAMES",
     "SimPointSelection",
@@ -100,6 +113,7 @@ __all__ = [
     "TargetScaler",
     "Trace",
     "TrainingConfig",
+    "enable_metrics",
     "full_space_ground_truth",
     "generate_trace",
     "get_application_profile",

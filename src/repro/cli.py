@@ -8,7 +8,14 @@ writing Python:
 * ``rank``     — Plackett-Burman parameter ranking for a study;
 * ``table51``  — regenerate Table 5.1;
 * ``figure``   — regenerate one of the evaluation figures (5.1, 5.2/5.3,
-  5.4/5.5, 5.6, 5.7, 5.8).
+  5.4/5.5, 5.6, 5.7, 5.8);
+* ``profile``  — run a small exploration and print a phase-by-phase
+  time/allocation breakdown.
+
+Every subcommand accepts ``--telemetry-out PATH`` (full run document:
+events, per-phase wall-clock timings, metrics; Markdown if the path ends
+in ``.md``, JSON otherwise) and ``--metrics-out PATH`` (counters/timers
+snapshot as JSON).  Schemas are described in ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -42,7 +49,28 @@ from .experiments import (
 from .experiments.reporting import format_table
 from .experiments.summary import generate_experiments_md
 from .experiments.studies import STUDY_NAMES
+from .obs import (
+    METRICS,
+    NULL_TELEMETRY,
+    PhaseProfiler,
+    RunTelemetry,
+    TelemetryReport,
+    disable_metrics,
+    enable_metrics,
+)
 from .workloads.spec import SPEC_WORKLOADS
+
+
+#: training-recipe presets selectable from the command line
+TRAINING_PRESETS = ("default", "fast", "paper")
+
+
+def _training_config(preset: str) -> TrainingConfig:
+    if preset == "fast":
+        return TrainingConfig.fast_settings()
+    if preset == "paper":
+        return TrainingConfig.paper_settings()
+    return TrainingConfig()
 
 
 def _parse_benchmarks(raw: Optional[str]) -> Optional[List[str]]:
@@ -65,8 +93,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
         study.space,
         make_simulate_fn(study, args.benchmark),
         batch_size=args.batch_size,
-        training=TrainingConfig(),
+        training=_training_config(args.training),
         rng=np.random.default_rng(args.seed),
+        telemetry=args.telemetry,
+        metrics=args.metrics,
     )
     result = explorer.explore(
         target_error=args.target_error, max_simulations=args.max_simulations
@@ -161,12 +191,86 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a small exploration and print a phase-by-phase breakdown.
+
+    Phases cover workload profiling, the exploration loop (further split
+    into simulation vs training via telemetry phases) and full-space
+    prediction; each row reports wall seconds and, unless
+    ``--no-alloc``, tracemalloc peak/net allocations.
+    """
+    study = get_study(args.study)
+    telemetry = args.telemetry
+    profiler = PhaseProfiler(trace_allocations=not args.no_alloc)
+    with profiler:
+        with profiler.phase("workload.profile"):
+            simulate = make_simulate_fn(study, args.benchmark)
+            get_interval_simulator(args.benchmark)
+        with profiler.phase("explore"):
+            explorer = DesignSpaceExplorer(
+                study.space,
+                simulate,
+                batch_size=args.batch_size,
+                training=_training_config(args.training),
+                rng=np.random.default_rng(args.seed),
+                telemetry=telemetry,
+                metrics=args.metrics,
+            )
+            result = explorer.explore(
+                target_error=args.target_error,
+                max_simulations=args.max_simulations,
+            )
+        with profiler.phase("predict.space"):
+            result.predict_space()
+
+    print(
+        f"profile: {study.name} study, {args.benchmark}, "
+        f"{result.n_simulations} simulations, "
+        f"{len(result.rounds)} rounds, "
+        f"final estimate {result.final_estimate.mean:.2f}%"
+    )
+    print()
+    print(profiler.render())
+    if telemetry.phases:
+        print()
+        print("explore sub-phases (accumulated over rounds):")
+        for name in sorted(telemetry.phases):
+            stats = telemetry.phases[name]
+            print(
+                f"  {name:<20} {stats.total_s:8.3f}s over {stats.count} calls"
+            )
+    counters = args.metrics.counters
+    if counters:
+        print()
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name:<28} {counters[name]:,.0f}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Write the paper-vs-measured EXPERIMENTS.md report."""
     benchmarks = _parse_benchmarks(args.benchmarks)
     generate_experiments_md(args.output, benchmarks=benchmarks, seed=args.seed)
     print(f"wrote {args.output}")
     return 0
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability flags every subcommand supports."""
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's telemetry document (.md renders Markdown, "
+        "anything else JSON)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the counters/timers snapshot as JSON",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--max-simulations", type=int, default=1000)
     explore.add_argument("--batch-size", type=int, default=50)
     explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--training", choices=TRAINING_PRESETS, default="default",
+        help="training-recipe preset (fast = cheap sweeps, paper = "
+        "Section 3.1's literal hyperparameters)",
+    )
     explore.set_defaults(func=cmd_explore)
 
     simulate = sub.add_parser("simulate", help="evaluate one design point")
@@ -223,13 +332,75 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.set_defaults(func=cmd_report)
 
+    profile = sub.add_parser(
+        "profile", help="phase-by-phase time/allocation breakdown"
+    )
+    profile.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
+    profile.add_argument("--benchmark", default="mcf")
+    profile.add_argument("--target-error", type=float, default=2.0)
+    profile.add_argument("--max-simulations", type=int, default=100)
+    profile.add_argument("--batch-size", type=int, default=50)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--training", choices=TRAINING_PRESETS, default="fast",
+        help="training-recipe preset (profiling defaults to fast)",
+    )
+    profile.add_argument(
+        "--no-alloc", action="store_true",
+        help="skip tracemalloc (pure wall-clock profiling)",
+    )
+    profile.set_defaults(func=cmd_profile)
+
+    for subparser in sub.choices.values():
+        _add_obs_args(subparser)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When ``--telemetry-out`` / ``--metrics-out`` is given (or the
+    command is ``profile``), the global metrics registry is enabled for
+    the duration of the command and a :class:`RunTelemetry` stream is
+    threaded to the subcommand via ``args.telemetry``; the requested
+    files are written after the command finishes, even on error.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    observing = bool(telemetry_out or metrics_out) or args.command == "profile"
+    if observing:
+        enable_metrics()
+        telemetry = RunTelemetry(metrics=METRICS)
+    else:
+        telemetry = NULL_TELEMETRY
+    args.telemetry = telemetry
+    args.metrics = METRICS
+    write_error: Optional[OSError] = None
+    try:
+        with telemetry.phase(f"cli.{args.command}"):
+            code = args.func(args)
+    finally:
+        try:
+            if telemetry_out:
+                TelemetryReport(
+                    telemetry, METRICS, title=f"repro {args.command}"
+                ).write(telemetry_out)
+                print(f"wrote telemetry to {telemetry_out}")
+            if metrics_out:
+                METRICS.write_json(metrics_out)
+                print(f"wrote metrics to {metrics_out}")
+        except OSError as exc:
+            write_error = exc
+        finally:
+            if observing:
+                disable_metrics()
+    if write_error is not None:
+        raise SystemExit(
+            f"could not write observability output: {write_error}"
+        )
+    return code
 
 
 if __name__ == "__main__":

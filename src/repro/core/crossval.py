@@ -12,11 +12,14 @@ percentage errors the members make on their held-out test folds.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 from .encoding import TargetScaler
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, percentage_errors
@@ -41,9 +44,19 @@ def default_n_jobs() -> int:
 
 def _train_one_fold(
     args: Tuple,
-) -> Tuple[FeedForwardNetwork, np.ndarray]:
-    """Train one fold's network (module-level for multiprocessing)."""
-    (x, y, train_idx, es_idx, test_idx, training, scaler, seed) = args
+) -> Tuple[FeedForwardNetwork, np.ndarray, float, int]:
+    """Train one fold's network (module-level for multiprocessing).
+
+    Returns ``(network, test_errors, wall_seconds, epochs_run)``; the
+    wall time is measured inside the worker so fold timings stay exact
+    under process-pool execution.
+    """
+    (x, y, train_idx, es_idx, test_idx, training, scaler, seed) = args[:8]
+    # in-process callers append (telemetry, metrics); worker processes get
+    # the 8-tuple and fall back to the defaults (both disabled there)
+    telemetry = args[8] if len(args) > 8 else None
+    metrics = args[9] if len(args) > 9 else None
+    started = time.perf_counter()
     rng = np.random.default_rng(seed)
     network = FeedForwardNetwork(
         n_inputs=x.shape[1],
@@ -52,10 +65,18 @@ def _train_one_fold(
         rng=rng,
         init_range=training.init_range,
     )
-    trainer = EarlyStoppingTrainer(training, rng)
-    trainer.train(network, x[train_idx], y[train_idx], x[es_idx], y[es_idx], scaler)
+    trainer = EarlyStoppingTrainer(training, rng, telemetry, metrics)
+    history = trainer.train(
+        network, x[train_idx], y[train_idx], x[es_idx], y[es_idx], scaler
+    )
     test_predictions = scaler.inverse_transform(network.predict(x[test_idx])[:, 0])
-    return network, percentage_errors(test_predictions, y[test_idx])
+    wall = time.perf_counter() - started
+    return (
+        network,
+        percentage_errors(test_predictions, y[test_idx]),
+        wall,
+        history.epochs_run,
+    )
 
 
 def make_folds(
@@ -86,6 +107,15 @@ class CrossValidationEnsemble:
     rng:
         Drives fold shuffling, weight initialization and presentation
         order; pass a seeded generator for reproducibility.
+    telemetry:
+        Optional event stream; each :meth:`fit` emits per-fold
+        ``crossval.fold`` events (wall time, epochs) and one
+        ``crossval.fit`` event carrying the worker-utilization summary.
+        Per-check ``train.check`` events flow only when folds train
+        in-process (``n_jobs == 1``).
+    metrics:
+        Registry receiving ``train.fold`` timings and ``crossval.*``
+        counters; defaults to the global registry.
     """
 
     def __init__(
@@ -94,11 +124,15 @@ class CrossValidationEnsemble:
         training: Optional[TrainingConfig] = None,
         rng: Optional[np.random.Generator] = None,
         n_jobs: Optional[int] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.k = k
         self.training = training or TrainingConfig()
         self.rng = rng or np.random.default_rng()
         self.n_jobs = n_jobs if n_jobs is not None else default_n_jobs()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
         self.predictor: Optional[EnsemblePredictor] = None
         self.estimate: Optional[ErrorEstimate] = None
 
@@ -132,17 +166,51 @@ class CrossValidationEnsemble:
         n = len(x)
         scaler = TargetScaler().fit(y)
         tasks = self._fold_tasks(x, y, scaler)
+        fit_start = time.perf_counter()
 
         if self.n_jobs > 1:
-            with ProcessPoolExecutor(max_workers=min(self.n_jobs, self.k)) as pool:
+            n_workers = min(self.n_jobs, self.k)
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 outcomes = list(pool.map(_train_one_fold, tasks))
         else:
-            outcomes = [_train_one_fold(task) for task in tasks]
+            n_workers = 1
+            # in-process: thread the observability hooks into the trainer
+            outcomes = [
+                _train_one_fold(task + (self.telemetry, self.metrics))
+                for task in tasks
+            ]
+        wall_s = time.perf_counter() - fit_start
 
-        networks: List[FeedForwardNetwork] = [net for net, _ in outcomes]
-        fold_errors: List[np.ndarray] = [errors for _, errors in outcomes]
+        networks: List[FeedForwardNetwork] = [net for net, _, _, _ in outcomes]
+        fold_errors: List[np.ndarray] = [errors for _, errors, _, _ in outcomes]
+        fold_seconds = [seconds for _, _, seconds, _ in outcomes]
+        fold_epochs = [epochs for _, _, _, epochs in outcomes]
         self.predictor = EnsemblePredictor(networks=networks, scaler=scaler)
         self.estimate = ErrorEstimate.from_fold_errors(fold_errors, n_training=n)
+
+        for seconds in fold_seconds:
+            self.metrics.observe("train.fold", seconds)
+        self.metrics.inc("crossval.fits")
+        self.metrics.inc("crossval.epochs", sum(fold_epochs))
+        busy_s = sum(fold_seconds)
+        # fraction of the worker-seconds the pool had available that fold
+        # training actually used (the paper's 10-node cluster view)
+        utilization = busy_s / (wall_s * n_workers) if wall_s > 0 else 0.0
+        for i, (seconds, epochs) in enumerate(zip(fold_seconds, fold_epochs)):
+            self.telemetry.emit(
+                "crossval.fold", fold=i, wall_s=seconds, epochs=epochs
+            )
+        self.telemetry.emit(
+            "crossval.fit",
+            k=self.k,
+            n_points=n,
+            n_workers=n_workers,
+            wall_s=wall_s,
+            busy_s=busy_s,
+            worker_utilization=utilization,
+            error_mean=self.estimate.mean,
+            error_std=self.estimate.std,
+        )
         return self.estimate
 
     def predict(self, x: np.ndarray) -> np.ndarray:

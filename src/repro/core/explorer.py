@@ -15,12 +15,15 @@ estimated-vs-true studies fall out of its history.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..designspace.space import Config, DesignSpace
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble
 from .encoding import ParameterEncoder
 from .ensemble import EnsemblePredictor
@@ -141,6 +144,17 @@ class DesignSpaceExplorer:
         Optional replacement for uniform random sampling; called as
         ``sampler(space, n, rng, exclude, state)`` and must return new
         design-space indices.  Used by the active-learning extension.
+    telemetry:
+        Optional event stream.  Each training round emits one
+        ``explore.round`` event (cumulative simulation count, estimated
+        error mean/SD, round wall time), bracketed by ``explore.start``
+        and ``explore.done``; simulation and training wall time
+        accumulate under the ``explore.simulate`` / ``explore.train``
+        phases.  The stream is forwarded to the cross-validation
+        ensembles the loop trains.
+    metrics:
+        Registry receiving the ``explore.simulations`` counter and
+        round timers; defaults to the (normally disabled) global one.
     """
 
     def __init__(
@@ -152,6 +166,8 @@ class DesignSpaceExplorer:
         training: Optional[TrainingConfig] = None,
         rng: Optional[np.random.Generator] = None,
         sampler: Optional[Callable] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -162,6 +178,8 @@ class DesignSpaceExplorer:
         self.training = training or TrainingConfig()
         self.rng = rng or np.random.default_rng()
         self.sampler = sampler
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
         self.encoder = ParameterEncoder(space)
 
     # ------------------------------------------------------------------
@@ -196,32 +214,70 @@ class DesignSpaceExplorer:
         predictor: Optional[EnsemblePredictor] = None
         converged = False
 
+        telemetry = self.telemetry
+        explore_start = time.perf_counter()
+        telemetry.emit(
+            "explore.start",
+            space=self.space.name,
+            space_size=len(self.space),
+            batch_size=self.batch_size,
+            k=self.k,
+            target_error=target_error,
+            max_simulations=max_simulations,
+        )
+
         while True:
+            round_start = time.perf_counter()
             want = initial if not sampled else self.batch_size
             want = min(want, max_simulations - len(sampled))
             if want > 0:
-                new_indices = self._draw_batch(want, sampled, predictor)
-                for index in new_indices:
-                    sampled.append(index)
-                    targets.append(
-                        float(self.simulate(self.space.config_at(index)))
-                    )
-            x = self.encoder.encode_many(
-                [self.space.config_at(i) for i in sampled]
-            )
-            y = np.asarray(targets)
-            ensemble = CrossValidationEnsemble(
-                k=self.k, training=self.training, rng=self.rng
-            )
-            estimate = ensemble.fit(x, y)
+                with telemetry.phase("explore.simulate"):
+                    new_indices = self._draw_batch(want, sampled, predictor)
+                    for index in new_indices:
+                        sampled.append(index)
+                        targets.append(
+                            float(self.simulate(self.space.config_at(index)))
+                        )
+                self.metrics.inc("explore.simulations", want)
+            with telemetry.phase("explore.train"):
+                x = self.encoder.encode_many(
+                    [self.space.config_at(i) for i in sampled]
+                )
+                y = np.asarray(targets)
+                ensemble = CrossValidationEnsemble(
+                    k=self.k,
+                    training=self.training,
+                    rng=self.rng,
+                    telemetry=telemetry,
+                    metrics=self.metrics,
+                )
+                estimate = ensemble.fit(x, y)
             predictor = ensemble.predictor
             rounds.append(ExplorationRound(len(sampled), estimate))
+            round_elapsed = time.perf_counter() - round_start
+            self.metrics.observe("explore.round", round_elapsed)
+            telemetry.emit(
+                "explore.round",
+                round=len(rounds),
+                n_new=max(want, 0),
+                n_simulations=len(sampled),
+                error_mean=estimate.mean,
+                error_std=estimate.std,
+                elapsed_s=round_elapsed,
+            )
             if estimate.meets(target_error):
                 converged = True
                 break
             if len(sampled) >= max_simulations:
                 break
 
+        telemetry.emit(
+            "explore.done",
+            converged=converged,
+            n_simulations=len(sampled),
+            n_rounds=len(rounds),
+            elapsed_s=time.perf_counter() - explore_start,
+        )
         assert predictor is not None
         return ExplorationResult(
             space=self.space,

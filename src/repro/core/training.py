@@ -13,11 +13,14 @@ Implements Section 3.1-3.3's training recipe:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 from .encoding import TargetScaler
 from .error import percentage_errors
 from .network import (
@@ -113,15 +116,27 @@ class EarlyStoppingTrainer:
         Hyperparameters.
     rng:
         Generator driving weighted presentation order.
+    telemetry:
+        Optional event stream; when enabled the trainer emits one
+        ``train.check`` event per early-stopping evaluation (the
+        percentage-error "loss" the recipe tracks) and one
+        ``train.stop`` event per run.
+    metrics:
+        Registry receiving the ``train.epochs`` counter and the
+        ``train.fit`` timer; defaults to the global registry.
     """
 
     def __init__(
         self,
         config: Optional[TrainingConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config or TrainingConfig()
         self.rng = rng or np.random.default_rng()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
 
     def presentation_probabilities(self, targets: np.ndarray) -> np.ndarray:
         """Per-point presentation frequency, proportional to 1/target."""
@@ -164,6 +179,7 @@ class EarlyStoppingTrainer:
         y_norm = scaler.transform(y_train)[:, None]
         probabilities = self.presentation_probabilities(y_train)
         n = len(x_train)
+        fit_start = time.perf_counter()
         history = TrainingHistory()
         best_weights = network.get_weights()
         checks_without_improvement = 0
@@ -189,6 +205,13 @@ class EarlyStoppingTrainer:
             )
             es_error = float(np.mean(percentage_errors(predictions, y_es)))
             history.es_errors.append(es_error)
+            self.telemetry.emit(
+                "train.check",
+                epoch=epoch,
+                es_error=es_error,
+                best_error=min(history.best_error, es_error),
+                learning_rate=learning_rate,
+            )
             if es_error < history.best_error - 1e-12:
                 history.best_error = es_error
                 history.best_epoch = epoch
@@ -210,4 +233,15 @@ class EarlyStoppingTrainer:
                     break
 
         network.set_weights(best_weights)
+        self.metrics.inc("train.epochs", history.epochs_run)
+        self.metrics.observe("train.fit", time.perf_counter() - fit_start)
+        self.telemetry.emit(
+            "train.stop",
+            epochs_run=history.epochs_run,
+            best_epoch=history.best_epoch,
+            best_error=history.best_error,
+            stopped_early=history.stopped_early,
+            n_train=n,
+            n_es=len(x_es),
+        )
         return history

@@ -10,7 +10,7 @@ frequency, the branch misprediction penalty uses the 11-cycle (2 GHz) /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from ..memory import cacti

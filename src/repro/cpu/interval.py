@@ -30,6 +30,7 @@ import numpy as np
 from ..memory.bus import queueing_delay_factor
 from ..memory.cacti import l1_access_time_ns, l2_access_time_ns
 from ..memory.stackdist import ReuseProfile, compute_stack_distances
+from ..obs.metrics import METRICS
 from ..workloads.trace import OpClass, Trace
 from .branch import (
     btb_miss_flags,
@@ -413,6 +414,10 @@ class IntervalSimulator:
     # ------------------------------------------------------------------
     def evaluate_ipc(self, cfg: MachineConfig) -> float:
         """Predicted IPC of this application at design point ``cfg``."""
+        # one analytic evaluation stands in for a full simulated run of
+        # the profiled trace; account it in simulated instructions
+        METRICS.inc("sim.interval.evaluations")
+        METRICS.inc("sim.interval.instructions", self.profile.n_instructions)
         profile = self.profile
         mix = profile.mix
         window = self._effective_window(cfg)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..memory.hierarchy import MemoryHierarchy
+from ..obs.metrics import METRICS
 from ..workloads.trace import OpClass, Trace
 from .branch import BranchTargetBuffer, TournamentPredictor
 from .config import MachineConfig
@@ -235,6 +236,9 @@ class CycleSimulator:
                 branch_window.occupy(complete[i])
 
         cycles = commit[-1] if n else 0.0
+        METRICS.inc("sim.cycle.runs")
+        METRICS.inc("sim.cycle.instructions", n)
+        hierarchy.publish_metrics()
         stats = hierarchy.stats
         return SimulationResult(
             benchmark=trace.name,

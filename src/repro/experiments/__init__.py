@@ -109,4 +109,5 @@ __all__ = [
     "render_table51",
     "render_training_times",
     "run_learning_curve",
+    "simpoint_curves",
 ]

@@ -9,7 +9,9 @@ modeled at every level via busy-until bus scheduling.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from ..obs.metrics import METRICS, MetricsRegistry
 from .bus import Bus
 from .cache import Cache
 from .dram import SDRAM
@@ -174,6 +176,27 @@ class MemoryHierarchy:
             self.l2.access(result.victim_addr, is_write=True)
         ready = self._l2_fill(ready, addr, self.l1d.block_bytes)
         return ready
+
+    def publish_metrics(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        """Fold this hierarchy's aggregate traffic into a metrics registry.
+
+        Called once per simulation run (not per access) so the detailed
+        engine's hot path stays untouched; ``mem.*`` counter names are
+        documented in ``docs/observability.md``.
+        """
+        registry = metrics if metrics is not None else METRICS
+        if not registry.enabled:
+            return
+        stats = self.stats
+        registry.inc("mem.l1i.accesses", stats.l1i_accesses)
+        registry.inc("mem.l1i.misses", stats.l1i_misses)
+        registry.inc("mem.l1d.accesses", stats.l1d_accesses)
+        registry.inc("mem.l1d.misses", stats.l1d_misses)
+        registry.inc("mem.l2.accesses", stats.l2_accesses)
+        registry.inc("mem.l2.misses", stats.l2_misses)
+        registry.inc("mem.requests", stats.memory_requests)
+        registry.inc("mem.l2_bus.bytes", stats.l2_bus_bytes)
+        registry.inc("mem.fsb.bytes", stats.fsb_bytes)
 
     def reset_stats(self) -> None:
         """Zero all statistics across the hierarchy."""

@@ -1,0 +1,52 @@
+"""Observability: metrics, run telemetry, reports and profiling.
+
+The paper's evaluation is an exercise in cost accounting — simulations,
+epochs and seconds traded for accuracy (Table 5.1, Figure 5.8).  This
+package is the substrate that accounting flows through at runtime:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histogram timers
+  (:class:`MetricsRegistry`), cheap enough to leave permanently in hot
+  paths (no-op when disabled), with a process-global instance
+  (:data:`METRICS`) for simulator-level counters;
+* :mod:`repro.obs.telemetry` — the :class:`RunTelemetry` event stream
+  training, cross-validation and the explorer emit into;
+* :mod:`repro.obs.report` — :class:`TelemetryReport`, rendering a run
+  summary as Markdown or the stable JSON document CI diffs;
+* :mod:`repro.obs.profile` — :class:`PhaseProfiler` behind the
+  ``repro profile`` subcommand.
+
+Event and metric names are documented in ``docs/observability.md``.
+This package deliberately imports nothing from the rest of ``repro`` so
+every layer (core, simulators, CLI) can depend on it without cycles.
+"""
+
+from .metrics import (
+    METRICS,
+    MetricsRegistry,
+    TimerStats,
+    disable_metrics,
+    enable_metrics,
+)
+from .profile import PhaseProfiler, PhaseRecord
+from .report import TelemetryReport
+from .telemetry import (
+    NULL_TELEMETRY,
+    PhaseStats,
+    RunTelemetry,
+    TelemetryEvent,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "PhaseStats",
+    "RunTelemetry",
+    "TelemetryEvent",
+    "TelemetryReport",
+    "TimerStats",
+    "disable_metrics",
+    "enable_metrics",
+]

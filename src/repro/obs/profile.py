@@ -1,0 +1,139 @@
+"""Phase-by-phase wall-time and allocation profiling.
+
+``repro profile`` answers "where does an exploration run spend its time
+and memory?" — the question behind the ROADMAP's "fast as the hardware
+allows" goal and the paper's own training-time analysis (Section 5.4).
+:class:`PhaseProfiler` wraps coarse run phases (workload profiling,
+simulation, training) in context managers that capture wall-clock
+duration via ``perf_counter`` and allocation churn via ``tracemalloc``
+(peak and net bytes per phase).
+
+Tracing allocations costs real time, so ``trace_allocations=False``
+degrades gracefully to wall-clock-only profiling; the renderer then
+omits the memory columns.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class PhaseRecord:
+    """Measurements of one profiled phase."""
+
+    name: str
+    seconds: float
+    alloc_peak_kb: Optional[float] = None
+    alloc_net_kb: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "alloc_peak_kb": self.alloc_peak_kb,
+            "alloc_net_kb": self.alloc_net_kb,
+        }
+
+
+class PhaseProfiler:
+    """Measure a sequence of named phases (time + allocations).
+
+    Parameters
+    ----------
+    trace_allocations:
+        Capture tracemalloc peak/net per phase.  Costs a constant factor
+        of extra time; disable for pure wall-clock profiling.
+    """
+
+    def __init__(self, trace_allocations: bool = True):
+        self.trace_allocations = trace_allocations
+        self.records: List[PhaseRecord] = []
+        self._owns_tracemalloc = False
+
+    def __enter__(self) -> "PhaseProfiler":
+        if self.trace_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._owns_tracemalloc:
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Profile one phase; repeated names accumulate separate records."""
+        tracing = self.trace_allocations and tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
+            current_before, _ = tracemalloc.get_traced_memory()
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            seconds = time.perf_counter() - start
+            record = PhaseRecord(name=name, seconds=seconds)
+            if tracing:
+                current_after, peak = tracemalloc.get_traced_memory()
+                record.alloc_peak_kb = (peak - current_before) / 1024.0
+                record.alloc_net_kb = (current_after - current_before) / 1024.0
+            self.records.append(record)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over all recorded phases."""
+        return sum(record.seconds for record in self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready list of phase records."""
+        return {"phases": [record.to_dict() for record in self.records]}
+
+    def render(self) -> str:
+        """Plain-text phase table (the ``repro profile`` output)."""
+        total = self.total_seconds
+        with_alloc = any(
+            record.alloc_peak_kb is not None for record in self.records
+        )
+        header = ["phase", "seconds", "share"]
+        if with_alloc:
+            header += ["peak alloc", "net alloc"]
+        rows = []
+        for record in self.records:
+            share = 100.0 * record.seconds / total if total else 0.0
+            row = [record.name, f"{record.seconds:8.3f}", f"{share:5.1f}%"]
+            if with_alloc:
+                row.append(
+                    f"{record.alloc_peak_kb:,.0f} KB"
+                    if record.alloc_peak_kb is not None
+                    else "-"
+                )
+                row.append(
+                    f"{record.alloc_net_kb:+,.0f} KB"
+                    if record.alloc_net_kb is not None
+                    else "-"
+                )
+            rows.append(row)
+        rows.append(
+            ["total", f"{total:8.3f}", "100.0%"] + (["", ""] if with_alloc else [])
+        )
+
+        widths = [
+            max(len(str(row[i])) for row in rows + [header])
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)

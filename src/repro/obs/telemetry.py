@@ -1,0 +1,198 @@
+"""Structured event stream describing one run end to end.
+
+Where :mod:`repro.obs.metrics` aggregates (how many, how long in total),
+:class:`RunTelemetry` *narrates*: an append-only stream of timestamped
+events — one per exploration round, per cross-validation fit, per
+training early-stopping check — that downstream tooling can replay to
+reconstruct exactly how a run spent its simulation and training budget.
+This is the machine-readable form of the paper's cost accounting: the
+``explore.round`` events carry the (simulations, estimated error)
+trajectory behind Table 5.1, and ``crossval.fit`` events the per-fit
+wall times behind Figure 5.8.
+
+Event names and payload fields are documented in
+``docs/observability.md``; the JSON form round-trips through
+:meth:`RunTelemetry.to_json` / :meth:`RunTelemetry.from_json`.
+
+A disabled stream (or the shared :data:`NULL_TELEMETRY`) makes ``emit``
+and ``phase`` no-ops, so instrumentation hooks can be unconditional in
+library code.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .metrics import MetricsRegistry
+
+#: bump when event names or payload fields change incompatibly
+SCHEMA_VERSION = 1
+
+#: events kept in memory before further emits only count drops
+MAX_EVENTS = 100_000
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One timestamped event.
+
+    ``t`` is seconds since the stream was created (monotonic clock), so
+    event spacing is meaningful even if the wall clock steps.
+    """
+
+    name: str
+    t: float
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form."""
+        return {"name": self.name, "t": self.t, "payload": dict(self.payload)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TelemetryEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            t=float(data["t"]),
+            payload=dict(data.get("payload", {})),
+        )
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated wall time of one named phase."""
+
+    count: int = 0
+    total_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready form."""
+        return {"count": self.count, "total_s": self.total_s}
+
+
+class RunTelemetry:
+    """Append-only event stream plus per-phase wall-clock accounting.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`emit` and :meth:`phase` are no-ops.
+    metrics:
+        Optional registry that phase durations are mirrored into (as
+        ``phase.<name>`` timers), keeping the two views consistent.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.enabled = enabled
+        self.metrics = metrics
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self.events: List[TelemetryEvent] = []
+        self.phases: Dict[str, PhaseStats] = {}
+        self.dropped = 0
+        self._subscribers: List[Callable[[TelemetryEvent], None]] = []
+
+    # -- producing -----------------------------------------------------
+    def emit(self, name: str, **payload: object) -> None:
+        """Append one event (dropped with a count past :data:`MAX_EVENTS`)."""
+        if not self.enabled:
+            return
+        if len(self.events) >= MAX_EVENTS:
+            self.dropped += 1
+            return
+        event = TelemetryEvent(
+            name=name, t=time.perf_counter() - self._t0, payload=payload
+        )
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase of the run.
+
+        Repeated phases accumulate (``explore.train`` across rounds);
+        durations are mirrored into the attached metrics registry as
+        ``phase.<name>`` timers when one is present.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stats = self.phases.get(name)
+            if stats is None:
+                stats = self.phases[name] = PhaseStats()
+            stats.count += 1
+            stats.total_s += elapsed
+            if self.metrics is not None:
+                self.metrics.observe(f"phase.{name}", elapsed)
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        """Invoke ``callback`` with every subsequently emitted event."""
+        self._subscribers.append(callback)
+
+    # -- consuming -----------------------------------------------------
+    def events_named(self, name: str) -> List[TelemetryEvent]:
+        """All events with the given name, in emission order."""
+        return [event for event in self.events if event.name == name]
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since the stream was created."""
+        return time.perf_counter() - self._t0
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the full stream."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "started_at": self.started_at,
+            "elapsed_s": self.elapsed_s,
+            "dropped": self.dropped,
+            "phases": {
+                name: stats.to_dict() for name, stats in self.phases.items()
+            },
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize :meth:`to_dict` as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunTelemetry":
+        """Rebuild a stream from :meth:`to_dict` output (for analysis;
+        the rebuilt stream's clock restarts, but stored events keep
+        their original relative timestamps)."""
+        stream = cls(enabled=True)
+        stream.started_at = float(data.get("started_at", 0.0))
+        stream.dropped = int(data.get("dropped", 0))
+        stream.events = [
+            TelemetryEvent.from_dict(e) for e in data.get("events", [])
+        ]
+        for name, stats in dict(data.get("phases", {})).items():
+            stream.phases[name] = PhaseStats(
+                count=int(stats["count"]), total_s=float(stats["total_s"])
+            )
+        return stream
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunTelemetry":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+#: shared disabled stream: the default hook target in library code
+NULL_TELEMETRY = RunTelemetry(enabled=False)

@@ -1,6 +1,5 @@
 """Tests for the set-associative LRU cache model."""
 
-import numpy as np
 import pytest
 
 from repro.memory import Cache

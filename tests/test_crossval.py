@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CrossValidationEnsemble, make_folds
-from repro.core.training import TrainingConfig
 
 
 def make_problem(rng, n=250):

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core import MultiTargetScaler, ParameterEncoder, TargetScaler
 from repro.designspace import (
-    BooleanParameter,
     CardinalParameter,
     DesignSpace,
     NominalParameter,

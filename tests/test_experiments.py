@@ -21,10 +21,9 @@ from repro.experiments import (
     render_simpoint_curves,
     render_table51,
     render_training_times,
-    run_learning_curve,
     simpoint_curves,
 )
-from repro.experiments.runner import LearningCurve, CurvePoint
+from repro.experiments.runner import CurvePoint, LearningCurve
 
 FAST = TrainingConfig(
     hidden_layers=(8,), max_epochs=150, patience=5, check_interval=10

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simpoint import KMeansResult, bic_score, kmeans, select_k
+from repro.simpoint import bic_score, kmeans, select_k
 
 
 def three_blobs(rng, n_per=30, spread=0.05):

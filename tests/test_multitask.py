@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import MultiTaskNetwork, TrainingConfig, auxiliary_target_names
+from repro.core import MultiTaskNetwork, auxiliary_target_names
 
 
 def make_multitask_problem(rng, n=300):

@@ -1,7 +1,6 @@
 """Focused behavioural tests of cycle-engine mechanisms."""
 
 import numpy as np
-import pytest
 
 from repro.cpu import CycleSimulator, MachineConfig
 from repro.workloads import OpClass, Trace

@@ -1,13 +1,11 @@
 """Tests for the shared experiment runner (learning-curve machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.core.training import TrainingConfig
 from repro.experiments import (
     curve_sizes,
     full_scale,
-    get_study,
     run_learning_curve,
 )
 from repro.experiments.runner import DEFAULT_SIZES, PAPER_SIZES

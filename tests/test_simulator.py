@@ -1,6 +1,5 @@
 """Tests for the SIM(p, A) facade and its caches."""
 
-import numpy as np
 import pytest
 
 from repro.cpu import (

@@ -1,7 +1,5 @@
 """Tests for the EXPERIMENTS.md generator (paper constants + rendering)."""
 
-import pytest
-
 from repro.experiments.summary import (
     PAPER_GAINS,
     PAPER_TABLE51,
