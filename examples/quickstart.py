@@ -26,6 +26,7 @@ import numpy as np
 
 from repro import (
     DesignSpaceExplorer,
+    RunContext,
     RunTelemetry,
     TelemetryReport,
     enable_metrics,
@@ -45,9 +46,12 @@ def main() -> None:
     print(f"benchmark:    {benchmark}")
     print(f"target:       {target_error:.1f}% estimated mean error\n")
 
-    # observability: metrics count what happened, telemetry narrates it
+    # observability: metrics count what happened, telemetry narrates it;
+    # a RunContext bundles them with the seeded rng so every layer
+    # (explorer, ensemble, trainer) shares the same hooks
     metrics = enable_metrics()
     telemetry = RunTelemetry(metrics=metrics)
+    context = RunContext.seeded(42, telemetry=telemetry, metrics=metrics)
 
     simulate = make_simulate_fn(study, benchmark)
     explorer = DesignSpaceExplorer(
@@ -55,9 +59,7 @@ def main() -> None:
         simulate,
         batch_size=50,  # the paper collects results in batches of 50
         training=TrainingConfig(),
-        rng=np.random.default_rng(42),
-        telemetry=telemetry,
-        metrics=metrics,
+        context=context,
     )
     result = explorer.explore(target_error=target_error, max_simulations=800)
 

@@ -20,19 +20,26 @@ Quick start::
 """
 
 from .core import (
+    CachingBackend,
     CrossApplicationModel,
     CrossValidationEnsemble,
     DesignSpaceExplorer,
     EnsemblePredictor,
     ErrorEstimate,
     ErrorStatistics,
+    EvaluationBackend,
+    EvaluationError,
     ExplorationResult,
     FeedForwardNetwork,
     MultiTaskNetwork,
     ParameterEncoder,
+    ProcessPoolBackend,
     QueryByCommitteeSampler,
+    RunContext,
+    SerialBackend,
     TargetScaler,
     TrainingConfig,
+    as_backend,
     percentage_errors,
 )
 from .cpu import (
@@ -77,6 +84,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BooleanParameter",
+    "CachingBackend",
     "CardinalParameter",
     "ContinuousParameter",
     "CrossApplicationModel",
@@ -88,6 +96,8 @@ __all__ = [
     "EnsemblePredictor",
     "ErrorEstimate",
     "ErrorStatistics",
+    "EvaluationBackend",
+    "EvaluationError",
     "ExplorationResult",
     "FeedForwardNetwork",
     "IntervalSimulator",
@@ -100,8 +110,11 @@ __all__ = [
     "PhaseProfiler",
     "PlackettBurmanStudy",
     "PredicateConstraint",
+    "ProcessPoolBackend",
     "QueryByCommitteeSampler",
+    "RunContext",
     "RunTelemetry",
+    "SerialBackend",
     "TelemetryReport",
     "SPEC_WORKLOADS",
     "STUDY_NAMES",
@@ -113,6 +126,7 @@ __all__ = [
     "TargetScaler",
     "Trace",
     "TrainingConfig",
+    "as_backend",
     "enable_metrics",
     "full_space_ground_truth",
     "generate_trace",

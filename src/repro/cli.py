@@ -26,7 +26,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from .core import DesignSpaceExplorer, TrainingConfig
+from .core import (
+    DesignSpaceExplorer,
+    ProcessPoolBackend,
+    RunContext,
+    SerialBackend,
+    TrainingConfig,
+)
 from .cpu import Simulator, get_interval_simulator
 from .doe import PlackettBurmanStudy
 from .experiments import (
@@ -86,21 +92,41 @@ def _parse_benchmarks(raw: Optional[str]) -> Optional[List[str]]:
     return names
 
 
-def cmd_explore(args: argparse.Namespace) -> int:
-    """Run the incremental modeling loop and report the best point."""
-    study = get_study(args.study)
-    explorer = DesignSpaceExplorer(
-        study.space,
-        make_simulate_fn(study, args.benchmark),
-        batch_size=args.batch_size,
-        training=_training_config(args.training),
+def _run_context(args: argparse.Namespace) -> RunContext:
+    """The RunContext a subcommand threads through every layer."""
+    return RunContext(
         rng=np.random.default_rng(args.seed),
         telemetry=args.telemetry,
         metrics=args.metrics,
+        n_jobs=getattr(args, "n_jobs", None),
     )
-    result = explorer.explore(
-        target_error=args.target_error, max_simulations=args.max_simulations
-    )
+
+
+def _evaluation_backend(args: argparse.Namespace, context: RunContext):
+    """Serial below the parallel threshold, a persistent pool above it."""
+    study = get_study(args.study)
+    simulate = make_simulate_fn(study, args.benchmark)
+    if context.n_jobs > 1:
+        return ProcessPoolBackend(simulate, n_jobs=context.n_jobs)
+    return SerialBackend(simulate)
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run the incremental modeling loop and report the best point."""
+    study = get_study(args.study)
+    context = _run_context(args)
+    with _evaluation_backend(args, context) as backend:
+        explorer = DesignSpaceExplorer(
+            study.space,
+            backend,
+            batch_size=args.batch_size,
+            training=_training_config(args.training),
+            context=context,
+        )
+        result = explorer.explore(
+            target_error=args.target_error,
+            max_simulations=args.max_simulations,
+        )
     for i, round_ in enumerate(result.rounds, 1):
         print(
             f"round {i:>2}: {round_.n_samples:>5} sims -> estimated "
@@ -202,24 +228,23 @@ def cmd_profile(args: argparse.Namespace) -> int:
     study = get_study(args.study)
     telemetry = args.telemetry
     profiler = PhaseProfiler(trace_allocations=not args.no_alloc)
+    context = _run_context(args)
     with profiler:
         with profiler.phase("workload.profile"):
-            simulate = make_simulate_fn(study, args.benchmark)
             get_interval_simulator(args.benchmark)
-        with profiler.phase("explore"):
-            explorer = DesignSpaceExplorer(
-                study.space,
-                simulate,
-                batch_size=args.batch_size,
-                training=_training_config(args.training),
-                rng=np.random.default_rng(args.seed),
-                telemetry=telemetry,
-                metrics=args.metrics,
-            )
-            result = explorer.explore(
-                target_error=args.target_error,
-                max_simulations=args.max_simulations,
-            )
+        with _evaluation_backend(args, context) as backend:
+            with profiler.phase("explore"):
+                explorer = DesignSpaceExplorer(
+                    study.space,
+                    backend,
+                    batch_size=args.batch_size,
+                    training=_training_config(args.training),
+                    context=context,
+                )
+                result = explorer.explore(
+                    target_error=args.target_error,
+                    max_simulations=args.max_simulations,
+                )
         with profiler.phase("predict.space"):
             result.predict_space()
 
@@ -296,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="training-recipe preset (fast = cheap sweeps, paper = "
         "Section 3.1's literal hyperparameters)",
     )
+    explore.add_argument(
+        "--n-jobs", type=int, default=None, metavar="N",
+        help="worker processes for batch simulation and fold training "
+        "(default: REPRO_N_JOBS or 1; >1 evaluates batches through a "
+        "persistent process-pool backend)",
+    )
     explore.set_defaults(func=cmd_explore)
 
     simulate = sub.add_parser("simulate", help="evaluate one design point")
@@ -348,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--no-alloc", action="store_true",
         help="skip tracemalloc (pure wall-clock profiling)",
+    )
+    profile.add_argument(
+        "--n-jobs", type=int, default=None, metavar="N",
+        help="worker processes for batch simulation and fold training "
+        "(default: REPRO_N_JOBS or 1)",
     )
     profile.set_defaults(func=cmd_profile)
 

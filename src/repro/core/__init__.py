@@ -2,9 +2,19 @@
 
 from .activation import Activation, Identity, Sigmoid, Tanh, get_activation
 from .active import QueryByCommitteeSampler
+from .backend import (
+    CachingBackend,
+    EvaluationBackend,
+    EvaluationError,
+    ProcessPoolBackend,
+    SerialBackend,
+    as_backend,
+)
 from .baselines import KNNRegressor, LinearRegression, PolynomialRegression
+from .context import RunContext, default_cache_dir, default_n_jobs
 from .crossapp import CrossApplicationModel
 from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble, make_folds
+from .fitting import FitOutcome, evaluate_batch, fit_cv_round
 from .encoding import MultiTargetScaler, ParameterEncoder, TargetScaler
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, ErrorStatistics, percentage_errors
@@ -27,6 +37,7 @@ from .training import EarlyStoppingTrainer, TrainingConfig, TrainingHistory
 
 __all__ = [
     "Activation",
+    "CachingBackend",
     "CrossApplicationModel",
     "CrossValidationEnsemble",
     "DEFAULT_BATCH_SIZE",
@@ -38,12 +49,15 @@ __all__ = [
     "DesignSpaceExplorer",
     "EarlyStoppingTrainer",
     "EnsemblePredictor",
+    "EvaluationBackend",
+    "EvaluationError",
     "FORMAT_VERSION",
     "ErrorEstimate",
     "ErrorStatistics",
     "ExplorationResult",
     "ExplorationRound",
     "FeedForwardNetwork",
+    "FitOutcome",
     "Identity",
     "KNNRegressor",
     "LinearRegression",
@@ -51,13 +65,21 @@ __all__ = [
     "MultiTaskNetwork",
     "ParameterEncoder",
     "PolynomialRegression",
+    "ProcessPoolBackend",
     "QueryByCommitteeSampler",
+    "RunContext",
+    "SerialBackend",
     "Sigmoid",
     "Tanh",
     "TargetScaler",
     "TrainingConfig",
     "TrainingHistory",
+    "as_backend",
     "auxiliary_target_names",
+    "default_cache_dir",
+    "default_n_jobs",
+    "evaluate_batch",
+    "fit_cv_round",
     "get_activation",
     "load_predictor",
     "make_folds",

@@ -7,55 +7,64 @@ early-stopping set and once as the test set.  The ``k`` models form an
 ensemble whose prediction is the average of the members' predictions, and
 whose accuracy on the full design space is estimated from the per-point
 percentage errors the members make on their held-out test folds.
+
+Fold training parallelizes across worker processes (the paper trains its
+10 folds on a 10-node cluster, Section 5.4).  The dataset is shipped to
+each worker once, through the pool initializer, and tasks carry only
+index arrays and seeds; workers record their telemetry events and
+metrics locally and return them with the fold result, which the parent
+replays, so the observability stream is identical regardless of
+``n_jobs``.
 """
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..obs.metrics import METRICS, MetricsRegistry
-from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import RunTelemetry
+from .context import RunContext, default_n_jobs, resolve_context
 from .encoding import TargetScaler
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, percentage_errors
 from .network import FeedForwardNetwork
 from .training import EarlyStoppingTrainer, TrainingConfig
 
+__all__ = [
+    "DEFAULT_FOLDS",
+    "CrossValidationEnsemble",
+    "FoldResult",
+    "default_n_jobs",
+    "make_folds",
+]
+
 #: the paper uses 10-fold cross validation throughout
 DEFAULT_FOLDS = 10
 
 
-def default_n_jobs() -> int:
-    """Worker processes for fold training: ``REPRO_N_JOBS`` env var, or 1.
-
-    The paper trains its 10 folds in parallel on a 10-node cluster
-    (Section 5.4); fold training here is embarrassingly parallel too.
-    """
-    env = os.environ.get("REPRO_N_JOBS", "")
-    if env:
-        return max(1, int(env))
-    return 1
-
-
 def _train_one_fold(
-    args: Tuple,
+    x: np.ndarray,
+    y: np.ndarray,
+    train_idx: np.ndarray,
+    es_idx: np.ndarray,
+    test_idx: np.ndarray,
+    training: TrainingConfig,
+    scaler: TargetScaler,
+    seed: int,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[FeedForwardNetwork, np.ndarray, float, int]:
-    """Train one fold's network (module-level for multiprocessing).
+    """Train one fold's network.
 
     Returns ``(network, test_errors, wall_seconds, epochs_run)``; the
-    wall time is measured inside the worker so fold timings stay exact
-    under process-pool execution.
+    wall time is measured here so fold timings stay exact under
+    process-pool execution.
     """
-    (x, y, train_idx, es_idx, test_idx, training, scaler, seed) = args[:8]
-    # in-process callers append (telemetry, metrics); worker processes get
-    # the 8-tuple and fall back to the defaults (both disabled there)
-    telemetry = args[8] if len(args) > 8 else None
-    metrics = args[9] if len(args) > 9 else None
     started = time.perf_counter()
     rng = np.random.default_rng(seed)
     network = FeedForwardNetwork(
@@ -77,6 +86,73 @@ def _train_one_fold(
         wall,
         history.epochs_run,
     )
+
+
+@dataclass
+class FoldResult:
+    """One trained fold plus the observability it recorded.
+
+    ``events`` carries the fold's telemetry as ``(name, payload)`` pairs
+    and ``metrics`` its local registry; both are ``replay``-ed into the
+    parent's hooks after process-pool training, so ``train.check`` /
+    ``train.stop`` events and ``train.epochs`` counters are identical
+    whether folds trained in-process or in workers.
+    """
+
+    network: FeedForwardNetwork
+    test_errors: np.ndarray
+    wall_s: float
+    epochs: int
+    events: List[Tuple[str, Dict[str, object]]] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+
+    def replay(self, telemetry: RunTelemetry, metrics: MetricsRegistry) -> None:
+        """Re-emit recorded events and merge recorded metrics."""
+        for name, payload in self.events:
+            telemetry.emit(name, **payload)
+        if self.metrics is not None:
+            metrics.merge(self.metrics)
+
+
+# ----------------------------------------------------------------------
+# worker-process plumbing: the dataset is installed once per worker via
+# the pool initializer; tasks then carry only index arrays and seeds
+# ----------------------------------------------------------------------
+_FOLD_STATE: Optional[Tuple] = None
+
+
+def _init_fold_worker(
+    x: np.ndarray,
+    y: np.ndarray,
+    scaler: TargetScaler,
+    training: TrainingConfig,
+    capture_telemetry: bool,
+    capture_metrics: bool,
+) -> None:
+    """Pool initializer: receive the shared dataset once per worker."""
+    global _FOLD_STATE
+    _FOLD_STATE = (x, y, scaler, training, capture_telemetry, capture_metrics)
+
+
+def _run_fold_task(
+    task: Tuple[np.ndarray, np.ndarray, np.ndarray, int],
+) -> FoldResult:
+    """Worker task: train one fold against the installed dataset."""
+    assert _FOLD_STATE is not None, "fold-worker initializer did not run"
+    x, y, scaler, training, capture_telemetry, capture_metrics = _FOLD_STATE
+    train_idx, es_idx, test_idx, seed = task
+    telemetry = RunTelemetry(enabled=True) if capture_telemetry else None
+    metrics = MetricsRegistry(enabled=True) if capture_metrics else None
+    network, errors, wall, epochs = _train_one_fold(
+        x, y, train_idx, es_idx, test_idx, training, scaler, seed,
+        telemetry, metrics,
+    )
+    events = (
+        [(event.name, dict(event.payload)) for event in telemetry.events]
+        if telemetry is not None
+        else []
+    )
+    return FoldResult(network, errors, wall, epochs, events, metrics)
 
 
 def make_folds(
@@ -104,6 +180,12 @@ class CrossValidationEnsemble:
         Number of folds (and ensemble members).
     training:
         Hyperparameters shared by all members.
+    context:
+        :class:`~repro.core.context.RunContext` supplying the generator,
+        observability hooks and the fold-training worker budget.  The
+        legacy ``rng`` / ``n_jobs`` / ``telemetry`` / ``metrics``
+        keywords remain supported for callers that predate the context
+        (pass either the context or the individual fields, not both).
     rng:
         Drives fold shuffling, weight initialization and presentation
         order; pass a seeded generator for reproducibility.
@@ -111,8 +193,9 @@ class CrossValidationEnsemble:
         Optional event stream; each :meth:`fit` emits per-fold
         ``crossval.fold`` events (wall time, epochs) and one
         ``crossval.fit`` event carrying the worker-utilization summary.
-        Per-check ``train.check`` events flow only when folds train
-        in-process (``n_jobs == 1``).
+        Per-check ``train.check`` events are recorded in-process or in
+        the workers and replayed, so the stream's contents do not depend
+        on ``n_jobs``.
     metrics:
         Registry receiving ``train.fold`` timings and ``crossval.*``
         counters; defaults to the global registry.
@@ -126,18 +209,41 @@ class CrossValidationEnsemble:
         n_jobs: Optional[int] = None,
         telemetry: Optional[RunTelemetry] = None,
         metrics: Optional[MetricsRegistry] = None,
+        context: Optional[RunContext] = None,
     ):
         self.k = k
         self.training = training or TrainingConfig()
-        self.rng = rng or np.random.default_rng()
-        self.n_jobs = n_jobs if n_jobs is not None else default_n_jobs()
-        self.telemetry = telemetry or NULL_TELEMETRY
-        self.metrics = metrics if metrics is not None else METRICS
+        self.context = resolve_context(
+            context, rng=rng, telemetry=telemetry, metrics=metrics,
+            n_jobs=n_jobs,
+        )
         self.predictor: Optional[EnsemblePredictor] = None
         self.estimate: Optional[ErrorEstimate] = None
 
-    def _fold_tasks(self, x: np.ndarray, y: np.ndarray, scaler: TargetScaler):
-        folds = make_folds(len(x), self.k, self.rng)
+    # -- context accessors (kept for pre-context call sites) -----------
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.context.rng
+
+    @property
+    def n_jobs(self) -> int:
+        return self.context.n_jobs
+
+    @property
+    def telemetry(self) -> RunTelemetry:
+        return self.context.telemetry
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.context.metrics
+
+    def _fold_tasks(self, n: int):
+        """Per-fold ``(train_idx, es_idx, test_idx, seed)`` tuples.
+
+        Tasks carry only index arrays — the dataset itself is shared
+        with workers once, through the pool initializer.
+        """
+        folds = make_folds(n, self.k, self.rng)
         seeds = self.rng.integers(0, 2**63 - 1, size=self.k)
         tasks = []
         for i in range(self.k):
@@ -148,43 +254,55 @@ class CrossValidationEnsemble:
             train_idx = np.concatenate(
                 [folds[j] for j in range(self.k) if j not in (es, test)]
             )
-            tasks.append(
-                (x, y, train_idx, folds[es], folds[test], self.training,
-                 scaler, int(seeds[i]))
-            )
+            tasks.append((train_idx, folds[es], folds[test], int(seeds[i])))
         return tasks
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> ErrorEstimate:
         """Train the ensemble on raw targets; returns the CV error estimate.
 
-        Folds train in parallel when ``n_jobs > 1`` (the paper trains its
-        folds on a 10-node cluster)."""
+        Folds train in parallel when the context's ``n_jobs`` > 1 (the
+        paper trains its folds on a 10-node cluster); results,
+        telemetry and metrics are bit-identical either way."""
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).reshape(-1)
         if len(x) != len(y):
             raise ValueError("x and y must have equal length")
         n = len(x)
         scaler = TargetScaler().fit(y)
-        tasks = self._fold_tasks(x, y, scaler)
+        tasks = self._fold_tasks(n)
         fit_start = time.perf_counter()
 
         if self.n_jobs > 1:
             n_workers = min(self.n_jobs, self.k)
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                outcomes = list(pool.map(_train_one_fold, tasks))
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_fold_worker,
+                initargs=(
+                    x, y, scaler, self.training,
+                    self.telemetry.enabled, self.metrics.enabled,
+                ),
+            ) as pool:
+                results = list(pool.map(_run_fold_task, tasks))
+            for result in results:
+                result.replay(self.telemetry, self.metrics)
         else:
             n_workers = 1
             # in-process: thread the observability hooks into the trainer
-            outcomes = [
-                _train_one_fold(task + (self.telemetry, self.metrics))
+            results = [
+                FoldResult(
+                    *_train_one_fold(
+                        x, y, *task[:3], self.training, scaler, task[3],
+                        self.telemetry, self.metrics,
+                    )
+                )
                 for task in tasks
             ]
         wall_s = time.perf_counter() - fit_start
 
-        networks: List[FeedForwardNetwork] = [net for net, _, _, _ in outcomes]
-        fold_errors: List[np.ndarray] = [errors for _, errors, _, _ in outcomes]
-        fold_seconds = [seconds for _, _, seconds, _ in outcomes]
-        fold_epochs = [epochs for _, _, _, epochs in outcomes]
+        networks = [result.network for result in results]
+        fold_errors = [result.test_errors for result in results]
+        fold_seconds = [result.wall_s for result in results]
+        fold_epochs = [result.epochs for result in results]
         self.predictor = EnsemblePredictor(networks=networks, scaler=scaler)
         self.estimate = ErrorEstimate.from_fold_errors(fold_errors, n_training=n)
 

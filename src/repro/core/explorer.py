@@ -7,10 +7,13 @@
 7. if the estimate is too high, simulate N more points and repeat;
 8. predict any point by averaging the ensemble.
 
-:class:`DesignSpaceExplorer` drives this loop against any simulator
-callable (interval engine, cycle engine, or a SimPoint-reduced engine),
-recording the error-estimate trajectory so learning curves and
-estimated-vs-true studies fall out of its history.
+:class:`DesignSpaceExplorer` drives this loop against an
+:class:`~repro.core.backend.EvaluationBackend` — every round's batch of
+configurations is evaluated in one call, so serial, process-pool and
+caching evaluation are interchangeable (plain simulate callables are
+adapted automatically).  The loop records the error-estimate trajectory
+so learning curves and estimated-vs-true studies fall out of its
+history.
 """
 
 from __future__ import annotations
@@ -22,12 +25,15 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..designspace.space import Config, DesignSpace
-from ..obs.metrics import METRICS, MetricsRegistry
-from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
-from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import RunTelemetry
+from .backend import EvaluationBackend, as_backend
+from .context import RunContext, resolve_context
+from .crossval import DEFAULT_FOLDS
 from .encoding import ParameterEncoder
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate
+from .fitting import evaluate_batch, fit_cv_round
 from .training import TrainingConfig
 
 #: the paper collects simulation results in batches of 50
@@ -130,14 +136,28 @@ class DesignSpaceExplorer:
     space:
         The parameter space under study.
     simulate:
-        Callable evaluating one configuration (a cycle-by-cycle simulation
-        in the paper; any engine here).
+        What evaluates configurations: an
+        :class:`~repro.core.backend.EvaluationBackend` (serial,
+        process-pool, caching, ...) or a plain
+        ``Callable[[Config], float]``, which is adapted with
+        :func:`~repro.core.backend.as_backend`.  The explorer always
+        evaluates whole batches through the backend, so swapping
+        backends never changes results — only where/how fast they are
+        computed.  The explorer does not close backends it is given;
+        the caller owns their lifetime.
     batch_size:
         Simulations added per round (the paper uses 50).
     k:
         Cross-validation folds.
     training:
         ANN hyperparameters.
+    context:
+        :class:`~repro.core.context.RunContext` carrying the seeded
+        generator, telemetry, metrics and the fold-training worker
+        budget; forwarded whole to the ensembles the loop trains.  The
+        legacy ``rng`` / ``telemetry`` / ``metrics`` keywords remain
+        supported (pass either the context or the individual fields,
+        not both).
     rng:
         Seeded generator for reproducible sampling and training.
     sampler:
@@ -160,7 +180,7 @@ class DesignSpaceExplorer:
     def __init__(
         self,
         space: DesignSpace,
-        simulate: SimulateFn,
+        simulate: object,
         batch_size: int = DEFAULT_BATCH_SIZE,
         k: int = DEFAULT_FOLDS,
         training: Optional[TrainingConfig] = None,
@@ -168,19 +188,34 @@ class DesignSpaceExplorer:
         sampler: Optional[Callable] = None,
         telemetry: Optional[RunTelemetry] = None,
         metrics: Optional[MetricsRegistry] = None,
+        context: Optional[RunContext] = None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.space = space
         self.simulate = simulate
+        self.backend: EvaluationBackend = as_backend(simulate)
         self.batch_size = batch_size
         self.k = k
         self.training = training or TrainingConfig()
-        self.rng = rng or np.random.default_rng()
+        self.context = resolve_context(
+            context, rng=rng, telemetry=telemetry, metrics=metrics
+        )
         self.sampler = sampler
-        self.telemetry = telemetry or NULL_TELEMETRY
-        self.metrics = metrics if metrics is not None else METRICS
         self.encoder = ParameterEncoder(space)
+
+    # -- context accessors (kept for pre-context call sites) -----------
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.context.rng
+
+    @property
+    def telemetry(self) -> RunTelemetry:
+        return self.context.telemetry
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.context.metrics
 
     # ------------------------------------------------------------------
     def _draw_batch(
@@ -224,6 +259,7 @@ class DesignSpaceExplorer:
             k=self.k,
             target_error=target_error,
             max_simulations=max_simulations,
+            backend=type(self.backend).__name__,
         )
 
         while True:
@@ -231,28 +267,25 @@ class DesignSpaceExplorer:
             want = initial if not sampled else self.batch_size
             want = min(want, max_simulations - len(sampled))
             if want > 0:
-                with telemetry.phase("explore.simulate"):
-                    new_indices = self._draw_batch(want, sampled, predictor)
-                    for index in new_indices:
-                        sampled.append(index)
-                        targets.append(
-                            float(self.simulate(self.space.config_at(index)))
-                        )
-                self.metrics.inc("explore.simulations", want)
+                new_indices = self._draw_batch(want, sampled, predictor)
+                values = evaluate_batch(
+                    self.backend,
+                    [self.space.config_at(i) for i in new_indices],
+                    context=self.context,
+                )
+                sampled.extend(new_indices)
+                targets.extend(float(v) for v in values)
             with telemetry.phase("explore.train"):
                 x = self.encoder.encode_many(
                     [self.space.config_at(i) for i in sampled]
                 )
                 y = np.asarray(targets)
-                ensemble = CrossValidationEnsemble(
-                    k=self.k,
-                    training=self.training,
-                    rng=self.rng,
-                    telemetry=telemetry,
-                    metrics=self.metrics,
+                outcome = fit_cv_round(
+                    x, y, k=self.k, training=self.training,
+                    context=self.context,
                 )
-                estimate = ensemble.fit(x, y)
-            predictor = ensemble.predictor
+                estimate = outcome.estimate
+            predictor = outcome.ensemble.predictor
             rounds.append(ExplorationRound(len(sampled), estimate))
             round_elapsed = time.perf_counter() - round_start
             self.metrics.observe("explore.round", round_elapsed)

@@ -1,0 +1,92 @@
+"""The shared fitting core behind exploration and the experiment runner.
+
+Both consumers of trained ensembles — the incremental exploration loop
+(:class:`repro.core.explorer.DesignSpaceExplorer`) and the
+learning-curve runner (:func:`repro.experiments.runner.run_learning_curve`)
+— perform the same two primitives per round:
+
+1. :func:`evaluate_batch` — obtain targets for a batch of design points
+   through an :class:`~repro.core.backend.EvaluationBackend`, timing the
+   work under a telemetry phase and counting evaluated points;
+2. :func:`fit_cv_round` — train one k-fold cross-validation ensemble
+   under a :class:`~repro.core.context.RunContext`.
+
+Keeping these here (rather than re-implemented in each loop, as they
+were before the backend refactor) guarantees that parallel fold
+training, caching and telemetry behave identically in the exploration
+loop, the learning-curve experiments and the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..designspace.space import Config
+from .backend import EvaluationBackend
+from .context import RunContext
+from .crossval import CrossValidationEnsemble
+from .error import ErrorEstimate
+from .training import TrainingConfig
+
+
+def evaluate_batch(
+    backend: EvaluationBackend,
+    configs: Sequence[Config],
+    *,
+    context: RunContext,
+    phase: str = "explore.simulate",
+    counter: str = "explore.simulations",
+) -> np.ndarray:
+    """Evaluate ``configs`` through ``backend`` with uniform accounting.
+
+    Wall time accumulates under the ``phase`` telemetry phase and the
+    batch size under the ``counter`` metrics counter, so every consumer
+    reports simulation cost the same way.  Returns one float per
+    configuration, in input order.
+    """
+    with context.telemetry.phase(phase):
+        values = backend.evaluate(configs)
+    if len(configs):
+        context.metrics.inc(counter, len(configs))
+    return values
+
+
+@dataclass
+class FitOutcome:
+    """One trained ensemble plus its estimate and measured cost."""
+
+    ensemble: CrossValidationEnsemble
+    estimate: ErrorEstimate
+    wall_s: float
+
+
+def fit_cv_round(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    k: Optional[int] = None,
+    training: Optional[TrainingConfig] = None,
+    context: RunContext,
+) -> FitOutcome:
+    """Train one cross-validation ensemble under ``context``.
+
+    The context supplies the generator (fold shuffling, member seeds),
+    the telemetry/metrics hooks and the fold-training worker budget, so
+    a round fitted here behaves identically whether the caller is the
+    exploration loop, the learning-curve runner or the CLI.
+    """
+    started = time.perf_counter()
+    kwargs = {} if k is None else {"k": k}
+    ensemble = CrossValidationEnsemble(
+        training=training, context=context, **kwargs
+    )
+    estimate = ensemble.fit(x, y)
+    return FitOutcome(
+        ensemble=ensemble,
+        estimate=estimate,
+        wall_s=time.perf_counter() - started,
+    )

@@ -19,8 +19,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..obs.metrics import METRICS, MetricsRegistry
-from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import RunTelemetry
+from .context import RunContext, resolve_context
 from .encoding import TargetScaler
 from .error import percentage_errors
 from .network import (
@@ -124,6 +125,11 @@ class EarlyStoppingTrainer:
     metrics:
         Registry receiving the ``train.epochs`` counter and the
         ``train.fit`` timer; defaults to the global registry.
+    context:
+        Alternative to the individual ``rng`` / ``telemetry`` /
+        ``metrics`` parameters: one
+        :class:`~repro.core.context.RunContext` supplying all three
+        (pass either the context or the individual fields, not both).
     """
 
     def __init__(
@@ -132,11 +138,15 @@ class EarlyStoppingTrainer:
         rng: Optional[np.random.Generator] = None,
         telemetry: Optional[RunTelemetry] = None,
         metrics: Optional[MetricsRegistry] = None,
+        context: Optional[RunContext] = None,
     ):
+        ctx = resolve_context(
+            context, rng=rng, telemetry=telemetry, metrics=metrics
+        )
         self.config = config or TrainingConfig()
-        self.rng = rng or np.random.default_rng()
-        self.telemetry = telemetry or NULL_TELEMETRY
-        self.metrics = metrics if metrics is not None else METRICS
+        self.rng = ctx.rng
+        self.telemetry = ctx.telemetry
+        self.metrics = ctx.metrics
 
     def presentation_probabilities(self, targets: np.ndarray) -> np.ndarray:
         """Per-point presentation frequency, proportional to 1/target."""

@@ -23,6 +23,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from ..core.context import default_cache_dir
 from ..workloads.generator import generate_trace
 from ..workloads.spec import get_workload
 from .config import MachineConfig
@@ -39,16 +40,13 @@ _INTERVAL_CACHE: Dict[Tuple[str, int], IntervalSimulator] = {}
 
 
 def _profile_cache_dir() -> Optional[Path]:
-    """On-disk profile cache location; None disables disk caching."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env == "":
-        return None
-    base = Path(env) if env else Path.home() / ".cache" / "repro-asplos06"
-    try:
-        base.mkdir(parents=True, exist_ok=True)
-    except OSError:
-        return None
-    return base
+    """On-disk profile cache location; None disables disk caching.
+
+    Kept as an alias of :func:`repro.core.context.default_cache_dir`,
+    the single source of truth a :class:`~repro.core.context.RunContext`
+    resolves its ``cache_dir`` from.
+    """
+    return default_cache_dir()
 
 
 def _load_cached_profile(path: Path) -> Optional[ApplicationProfile]:

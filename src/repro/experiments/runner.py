@@ -8,6 +8,14 @@ measured on the full space.  ``run_learning_curve`` produces that
 trajectory once per (study, benchmark, data source) and caches it on disk;
 the figure/table modules then render their particular views.
 
+The runner is built on the same primitives as the exploration loop
+(:mod:`repro.core.fitting`): training targets are batch-evaluated
+through an :class:`~repro.core.backend.EvaluationBackend` and every
+ensemble trains under the caller's
+:class:`~repro.core.context.RunContext`, so parallel fold training,
+caching and telemetry behave identically here, in
+:class:`~repro.core.explorer.DesignSpaceExplorer` and in the CLI.
+
 Data sources:
 
 * ``"true"`` — training targets come from the full simulator (the plain
@@ -23,20 +31,25 @@ import hashlib
 import os
 import pickle
 import tempfile
-import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.crossval import CrossValidationEnsemble
+from ..core.backend import ProcessPoolBackend, as_backend
+from ..core.context import RunContext
 from ..core.encoding import ParameterEncoder
 from ..core.error import percentage_errors
+from ..core.fitting import evaluate_batch, fit_cv_round
 from ..core.training import TrainingConfig
-from ..cpu.simulator import _profile_cache_dir
-from ..simpoint.simpoint import SimPointSimulator
 from ..workloads.spec import get_workload
-from .studies import Study, full_space_ground_truth, get_study
+from .studies import (
+    SimPointStudySimulator,
+    Study,
+    full_space_ground_truth,
+    get_study,
+)
 
 #: bump when the experiment pipeline changes incompatibly
 RUNNER_VERSION = 2
@@ -126,8 +139,8 @@ def _curve_cache_path(
     sizes: Sequence[int],
     seed: int,
     training: TrainingConfig,
+    cache_dir: Optional[Path],
 ):
-    cache_dir = _profile_cache_dir()
     if cache_dir is None:
         return None
     sizes_digest = hashlib.sha256(repr(tuple(sizes)).encode()).hexdigest()[:10]
@@ -138,18 +151,71 @@ def _curve_cache_path(
     )
 
 
-def _simpoint_targets(
-    study: Study, benchmark: str, indices: np.ndarray
-) -> np.ndarray:
-    simulator = SimPointSimulator(benchmark)
-    return np.fromiter(
-        (
-            simulator.simulate_ipc(study.machine_at(int(i)))
-            for i in indices
-        ),
-        dtype=np.float64,
-        count=len(indices),
-    )
+def _load_cached_curve(
+    path: Path, n_sizes: int, context: RunContext
+) -> Optional[LearningCurve]:
+    """Load a cached curve, narrating hits/misses/corruption.
+
+    A missing file emits ``cache.miss``; an unreadable or
+    incompatible one emits ``cache.read_error`` — both with matching
+    counters — so corrupted caches are visible in the telemetry report
+    instead of silently forcing a re-run.
+    """
+    telemetry, metrics = context.telemetry, context.metrics
+    if not path.exists():
+        telemetry.emit("cache.miss", kind="curve", path=str(path))
+        metrics.inc("cache.misses")
+        return None
+    try:
+        with open(path, "rb") as handle:
+            cached = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        telemetry.emit(
+            "cache.read_error", kind="curve", path=str(path),
+            error=repr(exc),
+        )
+        metrics.inc("cache.read_errors")
+        return None
+    if not isinstance(cached, LearningCurve) or len(cached.points) != n_sizes:
+        telemetry.emit(
+            "cache.read_error", kind="curve", path=str(path),
+            error="stale or incompatible cached curve",
+        )
+        metrics.inc("cache.read_errors")
+        return None
+    telemetry.emit("cache.hit", kind="curve", path=str(path))
+    metrics.inc("cache.hits")
+    return cached
+
+
+def _store_cached_curve(
+    path: Path, curve: LearningCurve, context: RunContext
+) -> None:
+    """Write a curve atomically, narrating write failures."""
+    try:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(curve, handle, pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError as exc:
+        context.telemetry.emit(
+            "cache.write_error", kind="curve", path=str(path),
+            error=repr(exc),
+        )
+        context.metrics.inc("cache.write_errors")
+
+
+def _target_backend(study: Study, benchmark: str, context: RunContext):
+    """The backend that produces SimPoint training targets.
+
+    Serial below the parallel threshold; above it, a process pool whose
+    workers each build the SimPoint state once (selection + interval
+    profiles) and then evaluate their share of the batch.
+    """
+    fn = SimPointStudySimulator(study.name, benchmark)
+    if context.n_jobs > 1:
+        return ProcessPoolBackend(fn, n_jobs=context.n_jobs)
+    return as_backend(fn)
 
 
 def run_learning_curve(
@@ -160,6 +226,7 @@ def run_learning_curve(
     seed: int = 0,
     training: Optional[TrainingConfig] = None,
     use_cache: bool = True,
+    context: Optional[RunContext] = None,
 ) -> LearningCurve:
     """Produce (or load) the learning curve for one benchmark.
 
@@ -167,31 +234,42 @@ def run_learning_curve(
     once; each training round uses its first ``size`` elements, so later
     rounds *extend* earlier ones exactly as the incremental framework
     collects results in batches.
+
+    ``context`` supplies telemetry/metrics, the fold-training worker
+    budget and the on-disk cache root; randomness stays governed by
+    ``seed`` (it is part of the cache key), so two contexts with
+    different generators still produce identical curves.
     """
     if source not in DATA_SOURCES:
         raise ValueError(f"source must be one of {DATA_SOURCES}, got {source!r}")
+    context = context if context is not None else RunContext.seeded(seed)
     study = get_study(study_name)
     sizes = tuple(sizes) if sizes is not None else curve_sizes()
     if not sizes or any(b <= a for a, b in zip(sizes, sizes[1:])):
         raise ValueError(f"sizes must be strictly increasing, got {sizes}")
     training = training or TrainingConfig()
 
-    path = _curve_cache_path(study, benchmark, source, sizes, seed, training)
-    if use_cache and path is not None and path.exists():
-        try:
-            with open(path, "rb") as handle:
-                cached = pickle.load(handle)
-            if isinstance(cached, LearningCurve) and len(cached.points) == len(sizes):
-                return cached
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            pass
+    path = _curve_cache_path(
+        study, benchmark, source, sizes, seed, training, context.cache_dir
+    )
+    if use_cache and path is not None:
+        cached = _load_cached_curve(path, len(sizes), context)
+        if cached is not None:
+            return cached
 
     truth = full_space_ground_truth(study, benchmark)
     x_full = encoded_space(study)
     rng = np.random.default_rng(seed)
     order = rng.choice(len(study.space), size=max(sizes), replace=False)
     if source == "simpoint":
-        targets = _simpoint_targets(study, benchmark, order)
+        with _target_backend(study, benchmark, context) as backend:
+            targets = evaluate_batch(
+                backend,
+                [study.space.config_at(int(i)) for i in order],
+                context=context,
+                phase="curve.simulate",
+                counter="curve.simulations",
+            )
     else:
         targets = truth[order]
 
@@ -200,17 +278,18 @@ def run_learning_curve(
     )
     for size in sizes:
         train_idx = order[:size]
-        started = time.perf_counter()
-        ensemble = CrossValidationEnsemble(
-            training=training, rng=np.random.default_rng(seed + size)
-        )
-        estimate = ensemble.fit(x_full[train_idx], targets[:size])
-        elapsed = time.perf_counter() - started
+        with context.telemetry.phase("curve.train"):
+            outcome = fit_cv_round(
+                x_full[train_idx],
+                targets[:size],
+                training=training,
+                context=context.fork(seed + size),
+            )
 
         heldout = np.ones(len(truth), dtype=bool)
         heldout[train_idx] = False
         errors = percentage_errors(
-            ensemble.predict(x_full[heldout]), truth[heldout]
+            outcome.ensemble.predict(x_full[heldout]), truth[heldout]
         )
         curve.points.append(
             CurvePoint(
@@ -218,18 +297,22 @@ def run_learning_curve(
                 fraction=study.sample_fraction(size),
                 true_mean=float(errors.mean()),
                 true_std=float(errors.std(ddof=0)),
-                estimated_mean=estimate.mean,
-                estimated_std=estimate.std,
-                training_seconds=elapsed,
+                estimated_mean=outcome.estimate.mean,
+                estimated_std=outcome.estimate.std,
+                training_seconds=outcome.wall_s,
             )
+        )
+        context.telemetry.emit(
+            "curve.point",
+            study=study.name,
+            benchmark=benchmark,
+            source=source,
+            n_samples=size,
+            estimated_mean=outcome.estimate.mean,
+            true_mean=curve.points[-1].true_mean,
+            training_seconds=outcome.wall_s,
         )
 
     if use_cache and path is not None:
-        try:
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(curve, handle, pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
-            pass
+        _store_cached_curve(path, curve, context)
     return curve

@@ -22,7 +22,12 @@ from ..cpu.config import (
     dependent_l1_associativity,
     dependent_l2_associativity,
 )
-from ..cpu.simulator import Simulator, _profile_cache_dir, get_interval_simulator
+from ..cpu.simulator import (
+    ENGINES,
+    Simulator,
+    _profile_cache_dir,
+    get_interval_simulator,
+)
 from ..designspace import (
     CardinalParameter,
     ContinuousParameter,
@@ -216,18 +221,61 @@ STUDY_NAMES = ("memory-system", "processor")
 # ----------------------------------------------------------------------
 # simulation endpoints and full-space ground truth
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StudySimulator:
+    """Picklable ``SIM(p, A)`` callable for one (study, benchmark) pair.
+
+    Holds only names, so shipping one to a worker process costs a few
+    bytes; the worker resolves the study and the memoized interval
+    simulator locally, which is how process-pool backends initialize
+    simulator state once per worker instead of pickling it per task.
+    """
+
+    study_name: str
+    benchmark: str
+    engine: str = "interval"
+
+    def __call__(self, point: Config) -> float:
+        study = get_study(self.study_name)
+        return Simulator(self.engine).simulate_ipc(
+            study.to_machine(point), self.benchmark
+        )
+
+
+@dataclass(frozen=True)
+class SimPointStudySimulator:
+    """Picklable SimPoint-estimate callable for one (study, benchmark).
+
+    The (expensive) SimPoint selection and interval profiles are built
+    lazily in whichever process first evaluates a point, through the
+    memoized :func:`repro.simpoint.get_simpoint_simulator` — once per
+    worker under a process-pool backend.
+    """
+
+    study_name: str
+    benchmark: str
+
+    def __call__(self, point: Config) -> float:
+        from ..simpoint.simpoint import get_simpoint_simulator
+
+        study = get_study(self.study_name)
+        simulator = get_simpoint_simulator(self.benchmark)
+        return simulator.simulate_ipc(study.to_machine(point))
+
+
 def make_simulate_fn(
     study: Study, benchmark: str, engine: str = "interval"
 ) -> Callable[[Config], float]:
-    """The ``SIM(p, A)`` callable the explorer drives for one benchmark."""
+    """The ``SIM(p, A)`` callable the explorer drives for one benchmark.
+
+    The returned callable is picklable, so it can back a
+    :class:`~repro.core.backend.ProcessPoolBackend` directly.
+    """
     if benchmark not in SPEC_WORKLOADS:
         raise KeyError(f"unknown benchmark {benchmark!r}")
-    simulator = Simulator(engine)
-
-    def simulate(point: Config) -> float:
-        return simulator.simulate_ipc(study.to_machine(point), benchmark)
-
-    return simulate
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choices: {ENGINES}")
+    return StudySimulator(study.name, benchmark, engine)
 
 
 _TRUTH_CACHE: Dict[Tuple[str, str], np.ndarray] = {}

@@ -60,6 +60,24 @@ class TimerStats:
         if len(self.samples) < MAX_TIMER_SAMPLES:
             self.samples.append(seconds)
 
+    def merge(self, other: "TimerStats") -> None:
+        """Fold another timer's summary into this one exactly.
+
+        Count/total/min/max combine losslessly; stored samples append up
+        to the shared cap.  Used when replaying worker-process metrics
+        into the parent registry.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        room = MAX_TIMER_SAMPLES - len(self.samples)
+        if room > 0:
+            self.samples.extend(other.samples[:room])
+
     def to_dict(self) -> Dict[str, float]:
         """JSON-ready summary (samples are not exported)."""
         return {
@@ -155,6 +173,28 @@ class MetricsRegistry:
         if not self.enabled:
             return _NULL_TIMER
         return _Timer(self, name)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's recorded values into this one.
+
+        Counters add, gauges take the other registry's value (last write
+        wins, and the merged registry is the later writer), timers merge
+        their summaries exactly.  This is how per-worker registries from
+        process-parallel fold training are replayed into the parent, so
+        counters like ``train.epochs`` are identical regardless of
+        ``n_jobs``.  A disabled parent ignores the merge, matching the
+        no-op behaviour of its other writers.
+        """
+        if not self.enabled:
+            return
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(other._gauges)
+        for name, stats in other._timers.items():
+            mine = self._timers.get(name)
+            if mine is None:
+                mine = self._timers[name] = TimerStats()
+            mine.merge(stats)
 
     def reset(self) -> None:
         """Drop all recorded values (the enabled flag is unchanged)."""

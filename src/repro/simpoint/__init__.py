@@ -9,7 +9,9 @@ from .simpoint import (
     NOMINAL_INTERVAL_INSTRUCTIONS,
     SimPointSelection,
     SimPointSimulator,
+    clear_simpoint_caches,
     get_interval_profiles,
+    get_simpoint_simulator,
     select_simpoints,
 )
 
@@ -24,7 +26,9 @@ __all__ = [
     "SimPointSimulator",
     "basic_block_vector",
     "bic_score",
+    "clear_simpoint_caches",
     "get_interval_profiles",
+    "get_simpoint_simulator",
     "interval_bbvs",
     "kmeans",
     "random_projection",

@@ -233,3 +233,35 @@ class SimPointSimulator:
 
     def __call__(self, config: MachineConfig) -> float:
         return self.simulate_ipc(config)
+
+
+_SIMULATOR_CACHE: Dict[Tuple[str, int, Optional[int], int], SimPointSimulator] = {}
+
+
+def get_simpoint_simulator(
+    benchmark: str,
+    interval_length: int = DEFAULT_INTERVAL_LENGTH,
+    trace_length: Optional[int] = None,
+    seed: int = 42,
+) -> SimPointSimulator:
+    """Build (and memoize per process) the SimPoint evaluator.
+
+    Selection + interval profiling dominate construction cost while
+    per-point evaluation is microseconds, so worker processes that
+    evaluate many design points (the process-pool backends) should pay
+    the construction once — this is their entry point.
+    """
+    key = (benchmark, interval_length, trace_length, seed)
+    if key not in _SIMULATOR_CACHE:
+        _SIMULATOR_CACHE[key] = SimPointSimulator(
+            benchmark,
+            interval_length=interval_length,
+            trace_length=trace_length,
+            seed=seed,
+        )
+    return _SIMULATOR_CACHE[key]
+
+
+def clear_simpoint_caches() -> None:
+    """Drop memoized SimPoint simulators (used by tests)."""
+    _SIMULATOR_CACHE.clear()

@@ -1,0 +1,103 @@
+"""Tests for RunContext and the context/legacy-keyword resolution."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.context import (
+    RunContext,
+    default_cache_dir,
+    default_n_jobs,
+    resolve_context,
+)
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.telemetry import NULL_TELEMETRY, RunTelemetry
+
+
+class TestDefaults:
+    def test_env_free_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        context = RunContext()
+        assert context.telemetry is NULL_TELEMETRY
+        assert context.metrics is METRICS
+        assert context.n_jobs == 1
+        assert context.cache_dir is None
+        assert isinstance(context.rng, np.random.Generator)
+
+    def test_n_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "4")
+        assert default_n_jobs() == 4
+        assert RunContext().n_jobs == 4
+
+    def test_n_jobs_env_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "0")
+        assert default_n_jobs() == 1
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            RunContext(n_jobs=0)
+
+    def test_cache_dir_env(self, monkeypatch, tmp_path):
+        target = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        resolved = default_cache_dir()
+        assert resolved == target
+        assert resolved.is_dir()  # created on resolution
+
+    def test_empty_cache_dir_disables_caching(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert default_cache_dir() is None
+
+    def test_explicit_cache_dir_coerced_to_path(self, tmp_path):
+        context = RunContext(cache_dir=str(tmp_path))
+        assert context.cache_dir == Path(tmp_path)
+
+
+class TestSeedingAndForking:
+    def test_seeded_is_reproducible(self):
+        a = RunContext.seeded(5).rng.random(4)
+        b = RunContext.seeded(5).rng.random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fork_shares_hooks_but_not_randomness(self):
+        telemetry = RunTelemetry()
+        metrics = MetricsRegistry(enabled=True)
+        parent = RunContext.seeded(
+            1, telemetry=telemetry, metrics=metrics, n_jobs=2,
+        )
+        child = parent.fork(99)
+        assert child.telemetry is telemetry
+        assert child.metrics is metrics
+        assert child.n_jobs == 2
+        assert child.rng is not parent.rng
+        np.testing.assert_array_equal(
+            child.rng.random(3), np.random.default_rng(99).random(3)
+        )
+
+    def test_replace(self):
+        context = RunContext.seeded(1, n_jobs=1)
+        changed = context.replace(n_jobs=3)
+        assert changed.n_jobs == 3
+        assert changed.rng is context.rng
+
+
+class TestResolveContext:
+    def test_context_passes_through(self):
+        context = RunContext.seeded(2)
+        assert resolve_context(context) is context
+
+    def test_legacy_fields_build_a_context(self):
+        rng = np.random.default_rng(3)
+        context = resolve_context(rng=rng, n_jobs=2)
+        assert context.rng is rng
+        assert context.n_jobs == 2
+
+    def test_context_plus_legacy_field_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_context(
+                RunContext.seeded(2), rng=np.random.default_rng(3)
+            )
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_context(RunContext.seeded(2), n_jobs=2)

@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CrossValidationEnsemble, make_folds
+from repro.core import CrossValidationEnsemble, RunContext, make_folds
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry
 
 
 def make_problem(rng, n=250):
@@ -116,3 +118,86 @@ class TestCrossValidationEnsemble:
             k=4, training=fast_training, rng=np.random.default_rng(7), n_jobs=2
         ).fit(x, y)
         assert serial.mean == pytest.approx(parallel.mean)
+
+    def test_accepts_context(self, fast_training):
+        x, y = make_problem(np.random.default_rng(5), n=120)
+        context = RunContext.seeded(7)
+        ensemble = CrossValidationEnsemble(
+            k=4, training=fast_training, context=context
+        )
+        assert ensemble.rng is context.rng
+        assert ensemble.fit(x, y).mean > 0
+
+    def test_context_excludes_legacy_kwargs(self, fast_training):
+        with pytest.raises(ValueError):
+            CrossValidationEnsemble(
+                k=4, training=fast_training,
+                context=RunContext.seeded(7),
+                rng=np.random.default_rng(7),
+            )
+
+
+class TestParallelObservability:
+    """Satellite fix: fold workers must not silently drop telemetry.
+
+    A parallel fit must produce the same predictions *and* the same
+    observability streams as a serial one — workers record their
+    training events locally and the parent replays them in fold order.
+    """
+
+    @staticmethod
+    def _fit(n_jobs, training):
+        metrics = MetricsRegistry(enabled=True)
+        telemetry = RunTelemetry(metrics=metrics)
+        context = RunContext(
+            rng=np.random.default_rng(7), telemetry=telemetry,
+            metrics=metrics, n_jobs=n_jobs,
+        )
+        x, y = make_problem(np.random.default_rng(5), n=120)
+        ensemble = CrossValidationEnsemble(
+            k=4, training=training, context=context
+        )
+        ensemble.fit(x, y)
+        return ensemble.predict(x[:16]), telemetry, metrics
+
+    def test_predictions_bit_identical(self, fast_training):
+        serial, _, _ = self._fit(1, fast_training)
+        parallel, _, _ = self._fit(2, fast_training)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_telemetry_streams_identical(self, fast_training):
+        _, serial, _ = self._fit(1, fast_training)
+        _, parallel, _ = self._fit(2, fast_training)
+        assert [e.name for e in serial.events] == [
+            e.name for e in parallel.events
+        ]
+        # training events carry no wall-clock fields, so their payloads
+        # must match exactly, fold by fold
+        for name in ("train.check", "train.stop"):
+            assert [e.payload for e in serial.events_named(name)] == [
+                e.payload for e in parallel.events_named(name)
+            ]
+
+    def test_metrics_counters_identical(self, fast_training):
+        _, _, serial = self._fit(1, fast_training)
+        _, _, parallel = self._fit(2, fast_training)
+        assert serial.counter("train.epochs") == parallel.counter(
+            "train.epochs"
+        )
+        assert serial.counter("crossval.epochs") == parallel.counter(
+            "crossval.epochs"
+        )
+        assert serial.counter("crossval.fits") == parallel.counter(
+            "crossval.fits"
+        )
+
+    def test_disabled_hooks_stay_silent_in_parallel(self, fast_training):
+        x, y = make_problem(np.random.default_rng(5), n=120)
+        telemetry = RunTelemetry(enabled=False)
+        context = RunContext(
+            rng=np.random.default_rng(7), telemetry=telemetry, n_jobs=2,
+        )
+        CrossValidationEnsemble(
+            k=4, training=fast_training, context=context
+        ).fit(x, y)
+        assert telemetry.events == []

@@ -1,7 +1,9 @@
 """Tests for the shared experiment runner (learning-curve machinery)."""
 
+import numpy as np
 import pytest
 
+from repro.core import RunContext
 from repro.core.training import TrainingConfig
 from repro.experiments import (
     curve_sizes,
@@ -9,6 +11,8 @@ from repro.experiments import (
     run_learning_curve,
 )
 from repro.experiments.runner import DEFAULT_SIZES, PAPER_SIZES
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry
 
 FAST = TrainingConfig(
     hidden_layers=(8,), max_epochs=150, patience=5, check_interval=10
@@ -109,3 +113,84 @@ class TestRunLearningCurve:
         )
         assert curve.source == "simpoint"
         assert curve.points[0].true_mean > 0
+
+    def test_simpoint_parallel_targets_identical(self):
+        """With n_jobs > 1 the SimPoint targets come from a process-pool
+        backend whose workers rebuild the simulator locally; the curve
+        must be bit-identical to the serial one."""
+        serial = run_learning_curve(
+            "processor", "mesa", sizes=(50,), source="simpoint",
+            seed=14, training=FAST, use_cache=False,
+            context=RunContext.seeded(14, n_jobs=1),
+        )
+        parallel = run_learning_curve(
+            "processor", "mesa", sizes=(50,), source="simpoint",
+            seed=14, training=FAST, use_cache=False,
+            context=RunContext.seeded(14, n_jobs=2),
+        )
+        assert serial.points[0].true_mean == parallel.points[0].true_mean
+        assert serial.points[0].estimated_mean == parallel.points[0].estimated_mean
+
+
+def _observed_context(cache_dir):
+    metrics = MetricsRegistry(enabled=True)
+    telemetry = RunTelemetry(metrics=metrics)
+    return RunContext(
+        rng=np.random.default_rng(0), telemetry=telemetry,
+        metrics=metrics, cache_dir=cache_dir,
+    )
+
+
+@pytest.mark.slow
+class TestCacheTelemetry:
+    """Satellite fix: curve cache loads/stores must narrate failures
+    instead of silently re-running or dropping results."""
+
+    def test_miss_then_hit(self, tmp_path):
+        first = _observed_context(tmp_path)
+        run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=21,
+            training=FAST, context=first,
+        )
+        assert len(first.telemetry.events_named("cache.miss")) == 1
+        assert first.metrics.counter("cache.misses") == 1
+        assert first.telemetry.events_named("curve.point")
+
+        second = _observed_context(tmp_path)
+        run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=21,
+            training=FAST, context=second,
+        )
+        assert len(second.telemetry.events_named("cache.hit")) == 1
+        assert second.metrics.counter("cache.hits") == 1
+        # a hit means no training happened
+        assert not second.telemetry.events_named("curve.point")
+
+    def test_corrupt_cache_emits_read_error(self, tmp_path):
+        run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=22,
+            training=FAST, context=_observed_context(tmp_path),
+        )
+        (cached,) = tmp_path.glob("curve-*.pkl")
+        cached.write_bytes(b"not a pickle")
+
+        context = _observed_context(tmp_path)
+        curve = run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=22,
+            training=FAST, context=context,
+        )
+        events = context.telemetry.events_named("cache.read_error")
+        assert len(events) == 1
+        assert "path" in events[0].payload
+        assert context.metrics.counter("cache.read_errors") == 1
+        assert curve.points  # the curve was recomputed regardless
+
+    def test_unwritable_cache_emits_write_error(self, tmp_path):
+        context = _observed_context(tmp_path / "does-not-exist")
+        curve = run_learning_curve(
+            "memory-system", "gzip", sizes=(50,), seed=23,
+            training=FAST, context=context,
+        )
+        assert len(context.telemetry.events_named("cache.write_error")) == 1
+        assert context.metrics.counter("cache.write_errors") == 1
+        assert curve.points  # the failure is narrated, not fatal

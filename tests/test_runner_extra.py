@@ -1,5 +1,7 @@
 """Additional runner/caching invariants (fast, no training)."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,8 @@ from repro.experiments.runner import (
     _curve_cache_path,
     _training_fingerprint,
 )
+
+CACHE_DIR = Path("/tmp/repro-cache-test")
 
 
 class TestCacheKeys:
@@ -26,17 +30,26 @@ class TestCacheKeys:
     def test_curve_path_includes_workload_seed(self):
         study = get_study("memory-system")
         path = _curve_cache_path(
-            study, "gzip", "true", (50,), 0, TrainingConfig()
+            study, "gzip", "true", (50,), 0, TrainingConfig(), CACHE_DIR
         )
         assert "w164" in path.name  # gzip's generator seed
 
     def test_curve_path_distinguishes_sources(self):
         study = get_study("processor")
-        a = _curve_cache_path(study, "mesa", "true", (50,), 0, TrainingConfig())
+        a = _curve_cache_path(
+            study, "mesa", "true", (50,), 0, TrainingConfig(), CACHE_DIR
+        )
         b = _curve_cache_path(
-            study, "mesa", "simpoint", (50,), 0, TrainingConfig()
+            study, "mesa", "simpoint", (50,), 0, TrainingConfig(), CACHE_DIR
         )
         assert a.name != b.name
+
+    def test_no_cache_dir_disables_caching(self):
+        study = get_study("processor")
+        path = _curve_cache_path(
+            study, "mesa", "true", (50,), 0, TrainingConfig(), None
+        )
+        assert path is None
 
 
 class TestEncodedSpace:
