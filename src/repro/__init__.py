@@ -21,6 +21,7 @@ Quick start::
 
 from .core import (
     CachingBackend,
+    CheckpointError,
     CrossApplicationModel,
     CrossValidationEnsemble,
     DesignSpaceExplorer,
@@ -29,18 +30,25 @@ from .core import (
     ErrorStatistics,
     EvaluationBackend,
     EvaluationError,
+    EvaluationTimeout,
     ExplorationResult,
+    ExplorerCheckpoint,
+    FaultInjectingBackend,
+    FaultPlan,
     FeedForwardNetwork,
     MultiTaskNetwork,
     ParameterEncoder,
     ProcessPoolBackend,
     QueryByCommitteeSampler,
+    ResilientBackend,
+    RetryPolicy,
     RunContext,
     SerialBackend,
     TargetScaler,
     TrainingConfig,
     as_backend,
     percentage_errors,
+    validate_targets,
 )
 from .cpu import (
     CycleSimulator,
@@ -86,6 +94,7 @@ __all__ = [
     "BooleanParameter",
     "CachingBackend",
     "CardinalParameter",
+    "CheckpointError",
     "ContinuousParameter",
     "CrossApplicationModel",
     "CrossValidationEnsemble",
@@ -98,7 +107,11 @@ __all__ = [
     "ErrorStatistics",
     "EvaluationBackend",
     "EvaluationError",
+    "EvaluationTimeout",
     "ExplorationResult",
+    "ExplorerCheckpoint",
+    "FaultInjectingBackend",
+    "FaultPlan",
     "FeedForwardNetwork",
     "IntervalSimulator",
     "METRICS",
@@ -112,6 +125,8 @@ __all__ = [
     "PredicateConstraint",
     "ProcessPoolBackend",
     "QueryByCommitteeSampler",
+    "ResilientBackend",
+    "RetryPolicy",
     "RunContext",
     "RunTelemetry",
     "SerialBackend",
@@ -138,5 +153,6 @@ __all__ = [
     "percentage_errors",
     "run_learning_curve",
     "select_simpoints",
+    "validate_targets",
     "__version__",
 ]

@@ -22,13 +22,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
 from .core import (
     DesignSpaceExplorer,
+    FaultInjectingBackend,
+    FaultPlan,
     ProcessPoolBackend,
+    ResilientBackend,
+    RetryPolicy,
     RunContext,
     SerialBackend,
     TrainingConfig,
@@ -103,18 +108,68 @@ def _run_context(args: argparse.Namespace) -> RunContext:
 
 
 def _evaluation_backend(args: argparse.Namespace, context: RunContext):
-    """Serial below the parallel threshold, a persistent pool above it."""
+    """Compose the evaluation stack a subcommand runs against.
+
+    Bottom to top: a serial or persistent process-pool backend over the
+    study's simulate function; an optional seeded fault injector
+    (``--inject-faults``, the chaos harness); an optional resilience
+    wrapper (``--max-retries`` / ``--eval-timeout``) that retries
+    per-configuration failures and NaN-marks the irrecoverable ones
+    instead of aborting.  Callers own the composed backend's lifetime —
+    always use it as a context manager so worker pools are released
+    even when the run raises.
+    """
     study = get_study(args.study)
     simulate = make_simulate_fn(study, args.benchmark)
     if context.n_jobs > 1:
-        return ProcessPoolBackend(simulate, n_jobs=context.n_jobs)
-    return SerialBackend(simulate)
+        backend = ProcessPoolBackend(simulate, n_jobs=context.n_jobs)
+    else:
+        backend = SerialBackend(simulate)
+    inject = getattr(args, "inject_faults", None)
+    if inject:
+        backend = FaultInjectingBackend(
+            backend,
+            FaultPlan.parse(inject),
+            seed=getattr(args, "fault_seed", 0),
+            telemetry=context.telemetry,
+            metrics=context.metrics,
+        )
+    max_retries = getattr(args, "max_retries", 0) or 0
+    timeout = getattr(args, "eval_timeout", None)
+    if max_retries > 0 or timeout is not None:
+        backend = ResilientBackend(
+            backend,
+            policy=RetryPolicy(
+                max_attempts=max_retries + 1,
+                base_delay_s=0.05,
+                seed=args.seed,
+            ),
+            timeout_s=timeout,
+            telemetry=context.telemetry,
+            metrics=context.metrics,
+        )
+    return backend
+
+
+def _checkpoint_path(args: argparse.Namespace) -> Optional[str]:
+    """Validate the ``--checkpoint`` / ``--resume`` flag combination."""
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", False)
+    if resume and not checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    if checkpoint and not resume and Path(checkpoint).exists():
+        raise SystemExit(
+            f"checkpoint {checkpoint} already exists; pass --resume to "
+            "continue that run, or delete the file to start fresh"
+        )
+    return checkpoint
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
     """Run the incremental modeling loop and report the best point."""
     study = get_study(args.study)
     context = _run_context(args)
+    checkpoint = _checkpoint_path(args)
     with _evaluation_backend(args, context) as backend:
         explorer = DesignSpaceExplorer(
             study.space,
@@ -126,7 +181,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
         result = explorer.explore(
             target_error=args.target_error,
             max_simulations=args.max_simulations,
+            checkpoint=checkpoint,
         )
+        failures = getattr(backend, "failures", [])
     for i, round_ in enumerate(result.rounds, 1):
         print(
             f"round {i:>2}: {round_.n_samples:>5} sims -> estimated "
@@ -134,6 +191,12 @@ def cmd_explore(args: argparse.Namespace) -> int:
         )
     status = "converged" if result.converged else "budget exhausted"
     print(f"{status} after {result.n_simulations} simulations")
+    if failures:
+        print(
+            f"WARNING: {len(failures)} evaluation(s) failed after retries "
+            "and were masked out of training "
+            f"(coverage {result.final_estimate.coverage:.1%})"
+        )
     predictions = result.predict_space()
     best = int(np.argmax(predictions))
     print(f"predicted-best IPC {predictions[best]:.3f} at point {best}:")
@@ -326,6 +389,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for batch simulation and fold training "
         "(default: REPRO_N_JOBS or 1; >1 evaluates batches through a "
         "persistent process-pool backend)",
+    )
+    explore.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="persist round state (samples, targets, RNG state, "
+        "predictor) to PATH after every round via atomic writes; the "
+        "file is removed when the run completes",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --checkpoint file; the resumed "
+        "run reproduces the uninterrupted result exactly",
+    )
+    explore.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry each failed evaluation up to N times (exponential "
+        "seeded backoff) before NaN-masking it out of training "
+        "(default: 0 = fail fast)",
+    )
+    explore.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per evaluation call; hung worker pools "
+        "are killed and rebuilt, and the evaluation is retried under "
+        "the --max-retries budget",
+    )
+    explore.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="chaos harness: inject seeded faults into evaluations, "
+        "e.g. 'crash=0.15,nan=0.1,slow=0.05' (kinds: crash, nan, hang, "
+        "slow; see docs/robustness.md)",
+    )
+    explore.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed for the fault-injection stream (independent of "
+        "--seed, so faults never perturb sampling)",
     )
     explore.set_defaults(func=cmd_explore)
 

@@ -9,12 +9,20 @@ from .backend import (
     ProcessPoolBackend,
     SerialBackend,
     as_backend,
+    validate_targets,
 )
 from .baselines import KNNRegressor, LinearRegression, PolynomialRegression
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    ExplorerCheckpoint,
+    clear_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .context import RunContext, default_cache_dir, default_n_jobs
 from .crossapp import CrossApplicationModel
 from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble, make_folds
-from .fitting import FitOutcome, evaluate_batch, fit_cv_round
 from .encoding import MultiTargetScaler, ParameterEncoder, TargetScaler
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, ErrorStatistics, percentage_errors
@@ -24,8 +32,9 @@ from .explorer import (
     ExplorationResult,
     ExplorationRound,
 )
+from .faults import FaultInjectingBackend, FaultPlan, InjectedFault
+from .fitting import FitOutcome, evaluate_batch, fit_cv_round
 from .multitask import MultiTaskNetwork, auxiliary_target_names
-from .persistence import FORMAT_VERSION, load_predictor, save_predictor
 from .network import (
     DEFAULT_HIDDEN_UNITS,
     DEFAULT_INIT_RANGE,
@@ -33,11 +42,20 @@ from .network import (
     DEFAULT_MOMENTUM,
     FeedForwardNetwork,
 )
+from .persistence import FORMAT_VERSION, load_predictor, save_predictor
+from .resilience import (
+    EvaluationTimeout,
+    FailedEvaluation,
+    ResilientBackend,
+    RetryPolicy,
+)
 from .training import EarlyStoppingTrainer, TrainingConfig, TrainingHistory
 
 __all__ = [
     "Activation",
+    "CHECKPOINT_VERSION",
     "CachingBackend",
+    "CheckpointError",
     "CrossApplicationModel",
     "CrossValidationEnsemble",
     "DEFAULT_BATCH_SIZE",
@@ -51,14 +69,20 @@ __all__ = [
     "EnsemblePredictor",
     "EvaluationBackend",
     "EvaluationError",
+    "EvaluationTimeout",
+    "ExplorerCheckpoint",
     "FORMAT_VERSION",
     "ErrorEstimate",
     "ErrorStatistics",
     "ExplorationResult",
     "ExplorationRound",
+    "FailedEvaluation",
+    "FaultInjectingBackend",
+    "FaultPlan",
     "FeedForwardNetwork",
     "FitOutcome",
     "Identity",
+    "InjectedFault",
     "KNNRegressor",
     "LinearRegression",
     "MultiTargetScaler",
@@ -67,6 +91,8 @@ __all__ = [
     "PolynomialRegression",
     "ProcessPoolBackend",
     "QueryByCommitteeSampler",
+    "ResilientBackend",
+    "RetryPolicy",
     "RunContext",
     "SerialBackend",
     "Sigmoid",
@@ -76,13 +102,17 @@ __all__ = [
     "TrainingHistory",
     "as_backend",
     "auxiliary_target_names",
+    "clear_checkpoint",
     "default_cache_dir",
     "default_n_jobs",
     "evaluate_batch",
     "fit_cv_round",
     "get_activation",
+    "load_checkpoint",
     "load_predictor",
     "make_folds",
     "percentage_errors",
+    "save_checkpoint",
     "save_predictor",
+    "validate_targets",
 ]

@@ -48,8 +48,43 @@ class EvaluationError(RuntimeError):
     Raised by :class:`ProcessPoolBackend` when a worker raises (the
     original exception is chained as ``__cause__``) or when the pool
     breaks; the pool is shut down before this propagates, so a failed
-    batch never leaks worker processes.
+    batch never leaks worker processes.  Also raised by
+    :func:`validate_targets` when a simulator hands back a non-finite
+    or non-positive value.  The resilience layer
+    (:mod:`repro.core.resilience`) treats this class (and subclasses)
+    as retryable.
     """
+
+
+def invalid_target_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of simulator outputs that cannot be real IPC values.
+
+    A valid target is finite and strictly positive: IPC is a rate, and
+    the percentage-error metrics downstream are undefined at zero.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        return ~np.isfinite(values) | (values <= 0.0)
+
+
+def validate_targets(values: np.ndarray, configs: Sequence[Config]) -> np.ndarray:
+    """Reject non-finite / non-positive simulator outputs loudly.
+
+    This is the backend boundary check: a simulator bug that produces
+    NaN, inf or a negative IPC raises a clear :class:`EvaluationError`
+    naming the offending configuration instead of flowing silently into
+    training.  Returns ``values`` (as float64) when everything is valid.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    bad = invalid_target_mask(values)
+    if bad.any():
+        first = int(np.flatnonzero(bad)[0])
+        raise EvaluationError(
+            f"simulator returned invalid target {values[first]!r} for "
+            f"config {configs[first]!r} "
+            f"({int(bad.sum())} invalid of {len(values)} in batch)"
+        )
+    return values
 
 
 @runtime_checkable
@@ -97,11 +132,12 @@ class SerialBackend(_BaseBackend):
 
     def evaluate(self, configs: Sequence[Config]) -> np.ndarray:
         """Call ``fn`` on each configuration, in order."""
-        return np.fromiter(
+        values = np.fromiter(
             (float(self.fn(config)) for config in configs),
             dtype=np.float64,
             count=len(configs),
         )
+        return validate_targets(values, configs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SerialBackend({getattr(self.fn, '__name__', self.fn)!r})"
@@ -204,13 +240,30 @@ class ProcessPoolBackend(_BaseBackend):
             raise EvaluationError(
                 f"worker evaluation failed: {exc!r}"
             ) from exc
-        return np.asarray(values, dtype=np.float64)
+        return validate_targets(
+            np.asarray(values, dtype=np.float64), configs
+        )
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+
+    def terminate(self) -> None:
+        """Kill worker processes without waiting for them (idempotent).
+
+        ``close`` joins workers, which never returns while one is hung;
+        this is the recovery path the resilience layer takes after an
+        evaluation timeout: SIGTERM every worker, drop the pool, and let
+        the next :meth:`evaluate` lazily build a fresh one.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         target = self.fn if self.fn is not None else self.factory

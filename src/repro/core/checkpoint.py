@@ -1,0 +1,163 @@
+"""Crash-safe persistence of exploration progress.
+
+At paper scale one design point costs days of simulation, so losing a
+partially completed run to a host preemption is the single most
+expensive failure mode the pipeline has.  This module persists enough
+state to resume *bit-identically*:
+
+* generic :func:`save_checkpoint` / :func:`load_checkpoint` /
+  :func:`clear_checkpoint` primitives — pickled payloads written with
+  the atomic write-temp-then-rename discipline of
+  :mod:`repro.obs.atomicio`, so a checkpoint file is always either the
+  previous complete round or the new complete round, never a torn
+  write;
+* :class:`ExplorerCheckpoint` — the exploration loop's round state:
+  sampled design-space indices, simulated targets, the error-estimate
+  trajectory, the trained predictor, and the **RNG bit-generator
+  state**.  Restoring the generator state is what makes a resumed run
+  redraw exactly the batch the interrupted round would have drawn, so
+  checkpoint → kill → resume reproduces the uninterrupted
+  :class:`~repro.core.explorer.ExplorationResult` exactly (tested).
+
+All checkpoint activity is narrated as ``checkpoint.*`` telemetry
+events and counters.  The file format is documented in
+``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..obs.atomicio import atomic_write_pickle
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
+
+#: bump when the checkpoint payload layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be used.
+
+    Raised on unreadable/corrupt payloads (when the caller asked for
+    errors) and on resume-compatibility mismatches — resuming a
+    memory-system exploration from a processor-study checkpoint is a
+    user error worth failing loudly on, not silently restarting.
+    """
+
+
+@dataclass
+class ExplorerCheckpoint:
+    """Everything the exploration loop needs to resume a run.
+
+    ``rng_state`` is the generator's ``bit_generator.state`` dict
+    captured *after* the round's training finished — i.e. exactly the
+    state from which the next round's batch would be drawn.
+    ``predictor`` is the ensemble trained in the checkpointed round, so
+    a run that was killed after its final round resumes straight to an
+    identical result without retraining.
+    """
+
+    version: int
+    space_name: str
+    space_size: int
+    batch_size: int
+    k: int
+    target_error: float
+    max_simulations: int
+    sampled_indices: List[int] = field(default_factory=list)
+    targets: List[float] = field(default_factory=list)
+    rounds: List[object] = field(default_factory=list)
+    rng_state: Optional[Dict[str, object]] = None
+    predictor: Optional[object] = None
+    converged: bool = False
+
+    @property
+    def round_number(self) -> int:
+        """Completed training rounds."""
+        return len(self.rounds)
+
+
+def save_checkpoint(
+    path: PathLike,
+    payload: object,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Persist ``payload`` to ``path`` atomically, narrating the save."""
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    metrics = metrics if metrics is not None else METRICS
+    path = Path(path)
+    atomic_write_pickle(path, payload)
+    telemetry.emit(
+        "checkpoint.save",
+        path=str(path),
+        bytes=path.stat().st_size,
+        kind=type(payload).__name__,
+    )
+    metrics.inc("checkpoint.saves")
+
+
+def load_checkpoint(
+    path: PathLike,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    strict: bool = True,
+) -> Optional[object]:
+    """Load the payload at ``path``; ``None`` when no checkpoint exists.
+
+    A present-but-unreadable file raises :class:`CheckpointError` when
+    ``strict`` (the explorer resume path — silently restarting an
+    expensive run is worse than failing) and degrades to ``None`` when
+    not (the learning-curve resume path, where recomputing is cheap
+    relative to failing the whole experiment sweep).  Both outcomes are
+    narrated (``checkpoint.load`` / ``checkpoint.read_error``).
+    """
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    metrics = metrics if metrics is not None else METRICS
+    path = Path(path)
+    if not path.exists():
+        telemetry.emit("checkpoint.miss", path=str(path))
+        metrics.inc("checkpoint.misses")
+        return None
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError) as exc:
+        telemetry.emit(
+            "checkpoint.read_error", path=str(path), error=repr(exc)
+        )
+        metrics.inc("checkpoint.read_errors")
+        if strict:
+            raise CheckpointError(
+                f"checkpoint {path} exists but cannot be read: {exc!r}"
+            ) from exc
+        return None
+    telemetry.emit(
+        "checkpoint.load", path=str(path), kind=type(payload).__name__
+    )
+    metrics.inc("checkpoint.loads")
+    return payload
+
+
+def clear_checkpoint(
+    path: PathLike,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Remove a checkpoint after the run it protects has completed."""
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    metrics = metrics if metrics is not None else METRICS
+    path = Path(path)
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        return
+    telemetry.emit("checkpoint.clear", path=str(path))
+    metrics.inc("checkpoint.clears")

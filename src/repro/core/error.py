@@ -64,12 +64,27 @@ class ErrorEstimate:
 
     Built by pooling the per-point percentage errors every fold's model
     makes on its held-out test fold (Section 3.2).  ``n_training`` records
-    how many simulations backed the estimate.
+    how many simulations backed the estimate; ``n_failed`` how many
+    sampled points were NaN-masked out of training because their
+    evaluation exhausted its retry budget (see
+    :mod:`repro.core.resilience`) — together they make the estimate's
+    :attr:`coverage` of the sampled set explicit.
     """
 
     mean: float
     std: float
     n_training: int
+    n_failed: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of sampled points that actually backed the estimate.
+
+        1.0 for a fault-free run; below 1.0 when evaluations failed
+        permanently and were masked out of training.
+        """
+        total = self.n_training + self.n_failed
+        return self.n_training / total if total else 0.0
 
     @classmethod
     def from_fold_errors(
@@ -105,7 +120,8 @@ class ErrorEstimate:
         return (max(0.0, self.mean - half_width), self.mean + half_width)
 
     def __str__(self) -> str:
+        failed = f" ({self.n_failed} failed)" if self.n_failed else ""
         return (
             f"estimated {self.mean:.2f}% +/- {self.std:.2f}% "
-            f"from {self.n_training} simulations"
+            f"from {self.n_training} simulations{failed}"
         )

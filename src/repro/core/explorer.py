@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -28,6 +29,14 @@ from ..designspace.space import Config, DesignSpace
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import RunTelemetry
 from .backend import EvaluationBackend, as_backend
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    ExplorerCheckpoint,
+    clear_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .context import RunContext, resolve_context
 from .crossval import DEFAULT_FOLDS
 from .encoding import ParameterEncoder
@@ -227,14 +236,48 @@ class DesignSpaceExplorer:
             )
         return self.space.sample_indices(n, self.rng, exclude)
 
+    def _restore_checkpoint(
+        self, state: ExplorerCheckpoint, target_error: float
+    ) -> None:
+        """Validate a loaded checkpoint against this explorer's setup.
+
+        The space, batch size and fold count define the run's identity
+        and must match exactly; ``target_error`` / ``max_simulations``
+        may differ (extending a finished run's budget is legitimate).
+        """
+        expected = (
+            ("version", CHECKPOINT_VERSION, state.version),
+            ("space_name", self.space.name, state.space_name),
+            ("space_size", len(self.space), state.space_size),
+            ("batch_size", self.batch_size, state.batch_size),
+            ("k", self.k, state.k),
+        )
+        for name, want, got in expected:
+            if want != got:
+                raise CheckpointError(
+                    f"checkpoint is incompatible with this explorer: "
+                    f"{name} is {got!r}, expected {want!r}"
+                )
+
     def explore(
         self,
         target_error: float,
         max_simulations: int,
         initial_samples: Optional[int] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
     ) -> ExplorationResult:
         """Run the loop until the CV estimate reaches ``target_error`` (mean
-        percentage error) or ``max_simulations`` is exhausted."""
+        percentage error) or ``max_simulations`` is exhausted.
+
+        When ``checkpoint`` names a file, every completed round is
+        persisted there atomically (sampled indices, targets, the
+        trajectory, the trained predictor and the RNG bit-generator
+        state) and an existing compatible checkpoint is resumed from:
+        the generator state is restored to exactly the point the next
+        batch would have been drawn at, so a killed-and-resumed run
+        produces a bit-identical :class:`ExplorationResult` to an
+        uninterrupted one.  The file is removed once the run completes.
+        """
         if target_error <= 0:
             raise ValueError(f"target_error must be positive, got {target_error}")
         if max_simulations < self.k:
@@ -248,6 +291,30 @@ class DesignSpaceExplorer:
         rounds: List[ExplorationRound] = []
         predictor: Optional[EnsemblePredictor] = None
         converged = False
+        finished = False
+        resumed_rounds = 0
+
+        ckpt_path = Path(checkpoint) if checkpoint is not None else None
+        if ckpt_path is not None:
+            state = load_checkpoint(
+                ckpt_path, self.telemetry, self.metrics, strict=True
+            )
+            if state is not None:
+                if not isinstance(state, ExplorerCheckpoint):
+                    raise CheckpointError(
+                        f"checkpoint {ckpt_path} holds a "
+                        f"{type(state).__name__}, not an exploration state"
+                    )
+                self._restore_checkpoint(state, target_error)
+                sampled = list(state.sampled_indices)
+                targets = list(state.targets)
+                rounds = list(state.rounds)
+                predictor = state.predictor
+                converged = state.converged
+                resumed_rounds = len(rounds)
+                if state.rng_state is not None:
+                    self.rng.bit_generator.state = state.rng_state
+                finished = converged or len(sampled) >= max_simulations
 
         telemetry = self.telemetry
         explore_start = time.perf_counter()
@@ -260,9 +327,10 @@ class DesignSpaceExplorer:
             target_error=target_error,
             max_simulations=max_simulations,
             backend=type(self.backend).__name__,
+            resumed_rounds=resumed_rounds,
         )
 
-        while True:
+        while not finished:
             round_start = time.perf_counter()
             want = initial if not sampled else self.batch_size
             want = min(want, max_simulations - len(sampled))
@@ -287,6 +355,29 @@ class DesignSpaceExplorer:
                 estimate = outcome.estimate
             predictor = outcome.ensemble.predictor
             rounds.append(ExplorationRound(len(sampled), estimate))
+            converged = estimate.meets(target_error)
+            finished = converged or len(sampled) >= max_simulations
+            if ckpt_path is not None:
+                save_checkpoint(
+                    ckpt_path,
+                    ExplorerCheckpoint(
+                        version=CHECKPOINT_VERSION,
+                        space_name=self.space.name,
+                        space_size=len(self.space),
+                        batch_size=self.batch_size,
+                        k=self.k,
+                        target_error=target_error,
+                        max_simulations=max_simulations,
+                        sampled_indices=list(sampled),
+                        targets=list(targets),
+                        rounds=list(rounds),
+                        rng_state=self.rng.bit_generator.state,
+                        predictor=predictor,
+                        converged=converged,
+                    ),
+                    self.telemetry,
+                    self.metrics,
+                )
             round_elapsed = time.perf_counter() - round_start
             self.metrics.observe("explore.round", round_elapsed)
             telemetry.emit(
@@ -298,11 +389,6 @@ class DesignSpaceExplorer:
                 error_std=estimate.std,
                 elapsed_s=round_elapsed,
             )
-            if estimate.meets(target_error):
-                converged = True
-                break
-            if len(sampled) >= max_simulations:
-                break
 
         telemetry.emit(
             "explore.done",
@@ -311,6 +397,8 @@ class DesignSpaceExplorer:
             n_rounds=len(rounds),
             elapsed_s=time.perf_counter() - explore_start,
         )
+        if ckpt_path is not None:
+            clear_checkpoint(ckpt_path, self.telemetry, self.metrics)
         assert predictor is not None
         return ExplorationResult(
             space=self.space,

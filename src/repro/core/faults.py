@@ -1,0 +1,193 @@
+"""Seeded fault injection: the chaos harness for the evaluation pipeline.
+
+Real simulation infrastructure fails in a handful of characteristic
+ways: worker processes crash, simulators emit garbage (NaN), hosts get
+slow, workers hang.  :class:`FaultInjectingBackend` reproduces all four
+*deterministically* — every fault decision is drawn from a dedicated
+seeded generator, never from the run context's sampling stream — so a
+test or CI job can prove the resilience layer's central claim: a run
+under injected faults, wrapped in a
+:class:`~repro.core.resilience.ResilientBackend` with retries, converges
+to the *identical* trajectory as a fault-free run, losing zero
+simulations.
+
+The harness sits *between* the resilience wrapper and the real backend::
+
+    ResilientBackend(FaultInjectingBackend(real_backend, plan, seed=...))
+
+Each evaluation attempt redraws its fault, so a retried configuration
+usually comes back clean — exactly how transient infrastructure faults
+behave.  Injected activity is narrated as ``fault.*`` telemetry events
+and counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..designspace.space import Config
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
+from .backend import EvaluationError, _BaseBackend, as_backend
+
+
+class InjectedFault(EvaluationError):
+    """A deliberately injected evaluation failure (always retryable)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-evaluation fault probabilities and shapes.
+
+    Each evaluation of each configuration draws one uniform variate and
+    maps it onto (at most) one fault:
+
+    * ``crash`` — raise :class:`InjectedFault`, aborting the batch the
+      way a dead worker would;
+    * ``nan`` — hand back NaN without consulting the simulator, the way
+      a corrupted result file would;
+    * ``hang`` — sleep ``hang_s`` before evaluating, long enough to
+      trip a per-evaluation timeout;
+    * ``slow`` — sleep ``slow_s`` before evaluating (degraded host; the
+      value itself stays correct).
+
+    Probabilities must sum to at most 1; the remainder is a clean
+    evaluation.
+    """
+
+    crash: float = 0.0
+    nan: float = 0.0
+    hang: float = 0.0
+    slow: float = 0.0
+    slow_s: float = 0.005
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "nan", "hang", "slow"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], got {p}")
+        if self.crash + self.nan + self.hang + self.slow > 1.0 + 1e-12:
+            raise ValueError("fault probabilities must sum to at most 1")
+
+    def pick(self, u: float) -> Optional[str]:
+        """Map one uniform variate onto a fault kind (or None = clean)."""
+        edge = self.crash
+        if u < edge:
+            return "crash"
+        edge += self.nan
+        if u < edge:
+            return "nan"
+        edge += self.hang
+        if u < edge:
+            return "hang"
+        edge += self.slow
+        if u < edge:
+            return "slow"
+        return None
+
+    @classmethod
+    def parse(cls, spec: str, **overrides: float) -> "FaultPlan":
+        """Build a plan from a CLI spec like ``"crash=0.15,nan=0.1"``.
+
+        Recognized keys: ``crash``, ``nan``, ``hang``, ``slow``,
+        ``slow_s``, ``hang_s``.
+        """
+        values: dict = dict(overrides)
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault spec component {part!r}; expected key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in (
+                "crash", "nan", "hang", "slow", "slow_s", "hang_s"
+            ):
+                raise ValueError(f"unknown fault kind {key!r}")
+            values[key] = float(raw)
+        return cls(**values)
+
+
+class FaultInjectingBackend(_BaseBackend):
+    """Wrap a backend and inject seeded faults into its evaluations.
+
+    Parameters
+    ----------
+    inner:
+        The real backend (or plain callable).
+    plan:
+        :class:`FaultPlan` probabilities.
+    seed:
+        Seed for the fault-decision generator.  Independent of the run
+        context's generator by construction, so injecting faults never
+        perturbs sampling; two runs with the same seed draw the same
+        fault sequence.
+    telemetry / metrics:
+        Hooks receiving one ``fault.injected`` event and a
+        ``fault.injected`` + ``fault.<kind>`` counter per injection.
+    """
+
+    def __init__(
+        self,
+        inner: object,
+        plan: FaultPlan,
+        seed: int = 0,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.inner = as_backend(inner)
+        self.plan = plan
+        self.rng = np.random.default_rng(seed)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
+        self.injected = 0
+
+    def _inject(self, kind: str, config: Config) -> None:
+        self.injected += 1
+        self.telemetry.emit("fault.injected", kind=kind)
+        self.metrics.inc("fault.injected")
+        self.metrics.inc(f"fault.{kind}")
+
+    def evaluate(self, configs: Sequence[Config]) -> np.ndarray:
+        """Evaluate the batch, one configuration at a time, with faults.
+
+        Configurations are evaluated individually so a crash fault
+        aborts the batch mid-way exactly like a dying worker would; the
+        per-configuration granularity is what lets the resilience layer
+        recover point by point.
+        """
+        values = np.empty(len(configs), dtype=np.float64)
+        for index, config in enumerate(configs):
+            fault = self.plan.pick(float(self.rng.random()))
+            if fault == "crash":
+                self._inject("crash", config)
+                raise InjectedFault(
+                    f"injected crash evaluating config {config!r}"
+                )
+            if fault == "nan":
+                self._inject("nan", config)
+                values[index] = np.nan
+                continue
+            if fault == "hang":
+                self._inject("hang", config)
+                time.sleep(self.plan.hang_s)
+            elif fault == "slow":
+                self._inject("slow", config)
+                time.sleep(self.plan.slow_s)
+            values[index] = float(self.inner.evaluate([config])[0])
+        return values
+
+    def close(self) -> None:
+        """Close the wrapped backend."""
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjectingBackend({self.inner!r}, {self.plan!r})"

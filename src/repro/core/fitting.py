@@ -19,6 +19,7 @@ loop, the learning-curve experiments and the CLI.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -78,13 +79,33 @@ def fit_cv_round(
     the telemetry/metrics hooks and the fold-training worker budget, so
     a round fitted here behaves identically whether the caller is the
     exploration loop, the learning-curve runner or the CLI.
+
+    Rows whose target is non-finite — evaluations that exhausted their
+    retry budget and were NaN-marked by
+    :class:`~repro.core.resilience.ResilientBackend` — are masked out
+    before training (``fit.masked`` telemetry, ``fit.masked_rows``
+    counter) and reported on the estimate as ``n_failed``, so a
+    degraded run still fits on every point it *did* manage to simulate.
     """
     started = time.perf_counter()
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(y)
+    n_failed = int(len(y) - finite.sum())
+    if n_failed:
+        context.telemetry.emit(
+            "fit.masked", n_failed=n_failed, n_total=len(y)
+        )
+        context.metrics.inc("fit.masked_rows", n_failed)
+        x, y = x[finite], y[finite]
     kwargs = {} if k is None else {"k": k}
     ensemble = CrossValidationEnsemble(
         training=training, context=context, **kwargs
     )
     estimate = ensemble.fit(x, y)
+    if n_failed:
+        estimate = dataclasses.replace(estimate, n_failed=n_failed)
+        ensemble.estimate = estimate
     return FitOutcome(
         ensemble=ensemble,
         estimate=estimate,

@@ -1,0 +1,348 @@
+"""Fault tolerance around the evaluation pipeline.
+
+The paper's premise is that simulation is the scarce resource — days per
+design point at full scale (Section 5, Table 5.1) — so a production
+deployment of the explorer must survive simulator crashes, hung workers
+and flaky hosts *without losing already-simulated points*.  This module
+wraps any :class:`~repro.core.backend.EvaluationBackend` in that
+discipline:
+
+* :class:`RetryPolicy` — how many attempts a configuration gets, which
+  exception classes are worth retrying, and how long to back off
+  between attempts (exponential, with jitter drawn from a *seeded*
+  generator so delay sequences are reproducible);
+* :class:`ResilientBackend` — the wrapper itself.  A batch is first
+  attempted whole (keeping the inner backend's parallelism); on a
+  retryable failure it degrades to per-configuration evaluation with
+  retries, enforces an optional per-evaluation timeout, transparently
+  rebuilds a broken/hung ``ProcessPoolExecutor``, and on exhausted
+  retries marks the configuration *failed* (NaN target) instead of
+  aborting the run.  Downstream, :func:`repro.core.fitting.fit_cv_round`
+  masks NaN rows before training and the error estimate reports
+  coverage, so one irrecoverable design point costs exactly one design
+  point, not the whole run.
+
+Everything the wrapper does is narrated through the run's telemetry
+(``retry.*`` events) and metrics (``retry.*`` counters); see
+``docs/robustness.md`` for the full vocabulary and
+:mod:`repro.core.faults` for the chaos harness that proves the
+semantics in CI.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..designspace.space import Config
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
+from .backend import (
+    EvaluationError,
+    _BaseBackend,
+    as_backend,
+    invalid_target_mask,
+)
+
+
+class EvaluationTimeout(EvaluationError):
+    """A single evaluation exceeded the configured wall-clock budget."""
+
+
+@dataclass
+class RetryPolicy:
+    """When and how to retry a failed evaluation.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts each configuration gets (first try included).
+        ``1`` disables retries entirely.
+    base_delay_s:
+        Backoff before the second attempt; ``0`` (the default) sleeps
+        not at all, which is what tests want.
+    backoff:
+        Multiplier applied to the delay after each failed attempt.
+    max_delay_s:
+        Upper bound on any single backoff sleep.
+    jitter:
+        Fraction of random spread added to each delay: the sleep is
+        ``delay * (1 + jitter * u)`` with ``u`` uniform in ``[0, 1)``.
+        The jitter stream is seeded (``seed``), so a replayed run backs
+        off identically — "jittered but seeded".
+    retryable:
+        Exception classes worth retrying.  Defaults to
+        :class:`~repro.core.backend.EvaluationError` (which covers
+        worker crashes, broken pools, invalid simulator outputs,
+        timeouts and injected faults); anything else propagates
+        immediately.
+    seed:
+        Seed for the jitter generator.  Deliberately *not* the run
+        context's generator: retries must never perturb the sampling
+        stream, or a recovered run would diverge from a fault-free one.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.0
+    backoff: float = 2.0
+    max_delay_s: float = 30.0
+    jitter: float = 0.5
+    retryable: Tuple[Type[BaseException], ...] = (EvaluationError,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth another attempt."""
+        return isinstance(exc, self.retryable)
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (``attempt`` >= 1).
+
+        Exponential in the attempt number, capped at ``max_delay_s``,
+        jittered from the policy's own seeded generator.
+        """
+        if self.base_delay_s <= 0:
+            return 0.0
+        delay = min(
+            self.base_delay_s * self.backoff ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * float(self._rng.random())
+        return delay
+
+
+@dataclass
+class FailedEvaluation:
+    """One configuration that exhausted its retry budget."""
+
+    config: Config
+    attempts: int
+    error: str
+
+
+@dataclass
+class _AttemptOutcome:
+    """Result slot filled by the timeout-guarded evaluation thread."""
+
+    value: Optional[np.ndarray] = None
+    error: Optional[BaseException] = None
+    done: bool = False
+
+
+class ResilientBackend(_BaseBackend):
+    """Retry / timeout / graceful-degradation wrapper for any backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend (or plain callable) doing the real work.
+    policy:
+        :class:`RetryPolicy`; defaults to three attempts, no sleep.
+    timeout_s:
+        Optional wall-clock budget per ``inner.evaluate`` call.  When
+        set, evaluations run on a watchdog thread; exceeding the budget
+        raises :class:`EvaluationTimeout` internally (retryable) and —
+        if the inner backend exposes ``terminate()`` (as
+        :class:`~repro.core.backend.ProcessPoolBackend` does) — kills
+        the hung workers so the next attempt starts on a fresh pool.
+    telemetry / metrics:
+        Observability hooks; every retry, recovery, rebuild and
+        exhausted budget is emitted as a ``retry.*`` event and counted
+        under a ``retry.*`` counter.
+
+    Semantics
+    ---------
+    ``evaluate`` first attempts the whole batch through the inner
+    backend (preserving its parallelism).  On a retryable failure, or
+    when the batch comes back with invalid values (NaN/inf/<= 0), it
+    falls back to per-configuration evaluation: each affected
+    configuration gets up to ``policy.max_attempts`` total attempts
+    (the batch attempt counts as the first).  A configuration that
+    exhausts its budget is marked **failed** — its slot in the returned
+    array is NaN, it is recorded in :attr:`failures`, and the run
+    continues — rather than aborting the whole exploration.
+    """
+
+    def __init__(
+        self,
+        inner: object,
+        policy: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.inner = as_backend(inner)
+        self.policy = policy or RetryPolicy()
+        self.timeout_s = timeout_s
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
+        self.failures: List[FailedEvaluation] = []
+
+    # -- low-level call plumbing ---------------------------------------
+    def _call_inner(self, configs: Sequence[Config]) -> np.ndarray:
+        """One ``inner.evaluate`` call, wall-clock-bounded if configured."""
+        if self.timeout_s is None:
+            return self.inner.evaluate(configs)
+        outcome = _AttemptOutcome()
+
+        def run() -> None:
+            try:
+                outcome.value = self.inner.evaluate(configs)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                outcome.error = exc
+            finally:
+                outcome.done = True
+
+        # a daemon thread so an abandoned (hung) evaluation can never
+        # block interpreter shutdown
+        thread = threading.Thread(
+            target=run, name="repro-eval-watchdog", daemon=True
+        )
+        thread.start()
+        thread.join(self.timeout_s)
+        if not outcome.done:
+            raise EvaluationTimeout(
+                f"evaluation of {len(configs)} configuration(s) exceeded "
+                f"{self.timeout_s}s"
+            )
+        if outcome.error is not None:
+            raise outcome.error
+        assert outcome.value is not None
+        return outcome.value
+
+    def _recover_inner(self, exc: BaseException) -> None:
+        """Put the inner backend back into a usable state after ``exc``.
+
+        A hung pool (timeout) is force-killed via ``terminate()`` when
+        available; a broken pool has already torn itself down inside
+        :class:`~repro.core.backend.ProcessPoolBackend` and rebuilds
+        lazily on the next evaluate call.
+        """
+        if isinstance(exc, EvaluationTimeout):
+            terminate = getattr(self.inner, "terminate", None)
+            if callable(terminate):
+                terminate()
+                self.telemetry.emit(
+                    "retry.pool_rebuild", reason="timeout"
+                )
+                self.metrics.inc("retry.pool_rebuilds")
+
+    def _sleep(self, attempt: int) -> None:
+        delay = self.policy.delay_s(attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- per-configuration recovery ------------------------------------
+    def _evaluate_single(self, config: Config, attempts_used: int) -> float:
+        """Retry one configuration until it yields a valid value.
+
+        ``attempts_used`` attempts were already spent on it (the batch
+        attempt); returns NaN after the total budget is exhausted.
+        """
+        last_error: Optional[BaseException] = None
+        attempt = attempts_used
+        while attempt < self.policy.max_attempts:
+            self._sleep(attempt)
+            attempt += 1
+            try:
+                value = float(self._call_inner([config])[0])
+            except self.policy.retryable as exc:
+                last_error = exc
+                self._recover_inner(exc)
+                self.telemetry.emit(
+                    "retry.attempt",
+                    attempt=attempt,
+                    max_attempts=self.policy.max_attempts,
+                    error=repr(exc),
+                )
+                self.metrics.inc("retry.attempts")
+                continue
+            if invalid_target_mask(np.asarray([value])).any():
+                last_error = EvaluationError(
+                    f"invalid target {value!r} for config {config!r}"
+                )
+                self.telemetry.emit(
+                    "retry.attempt",
+                    attempt=attempt,
+                    max_attempts=self.policy.max_attempts,
+                    error=repr(last_error),
+                )
+                self.metrics.inc("retry.attempts")
+                continue
+            if attempt > 1:
+                self.telemetry.emit("retry.recovered", attempts=attempt)
+                self.metrics.inc("retry.recovered")
+            return value
+        failure = FailedEvaluation(
+            config=dict(config),
+            attempts=attempt,
+            error=repr(last_error),
+        )
+        self.failures.append(failure)
+        self.telemetry.emit(
+            "retry.exhausted",
+            attempts=attempt,
+            config=dict(config),
+            error=failure.error,
+        )
+        self.metrics.inc("retry.exhausted")
+        return float("nan")
+
+    # -- the backend protocol ------------------------------------------
+    def evaluate(self, configs: Sequence[Config]) -> np.ndarray:
+        """Evaluate a batch, surviving crashes, hangs and bad outputs.
+
+        Returns one float64 per configuration, in order; slots whose
+        configuration exhausted its retry budget hold NaN.
+        """
+        configs = list(configs)
+        if not configs:
+            return np.empty(0, dtype=np.float64)
+        try:
+            values = np.asarray(
+                self._call_inner(configs), dtype=np.float64
+            ).copy()
+            pending = invalid_target_mask(values)
+        except BaseException as exc:
+            if not self.policy.is_retryable(exc):
+                raise
+            self._recover_inner(exc)
+            self.telemetry.emit(
+                "retry.batch_failure",
+                n_configs=len(configs),
+                error=repr(exc),
+            )
+            self.metrics.inc("retry.batch_failures")
+            values = np.full(len(configs), np.nan, dtype=np.float64)
+            pending = np.ones(len(configs), dtype=bool)
+        for index in np.flatnonzero(pending):
+            values[index] = self._evaluate_single(
+                configs[index], attempts_used=1
+            )
+        return values
+
+    def close(self) -> None:
+        """Close the wrapped backend."""
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResilientBackend({self.inner!r}, "
+            f"max_attempts={self.policy.max_attempts}, "
+            f"timeout_s={self.timeout_s})"
+        )

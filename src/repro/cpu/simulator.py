@@ -17,13 +17,12 @@ sweeps pay the profiling cost once.
 
 from __future__ import annotations
 
-import os
 import pickle
-import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..core.context import default_cache_dir
+from ..obs.atomicio import atomic_write_pickle
 from ..workloads.generator import generate_trace
 from ..workloads.spec import get_workload
 from .config import MachineConfig
@@ -60,10 +59,7 @@ def _load_cached_profile(path: Path) -> Optional[ApplicationProfile]:
 
 def _store_cached_profile(path: Path, profile: ApplicationProfile) -> None:
     try:
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(profile, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_name, path)
+        atomic_write_pickle(path, profile)
     except OSError:
         pass  # caching is best-effort
 

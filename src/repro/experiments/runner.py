@@ -30,7 +30,6 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -38,7 +37,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.backend import ProcessPoolBackend, as_backend
+from ..core.checkpoint import (
+    clear_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from ..core.context import RunContext
+from ..obs.atomicio import atomic_write_pickle
 from ..core.encoding import ParameterEncoder
 from ..core.error import percentage_errors
 from ..core.fitting import evaluate_batch, fit_cv_round
@@ -193,16 +198,58 @@ def _store_cached_curve(
 ) -> None:
     """Write a curve atomically, narrating write failures."""
     try:
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(curve, handle, pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        atomic_write_pickle(path, curve)
     except OSError as exc:
         context.telemetry.emit(
             "cache.write_error", kind="curve", path=str(path),
             error=repr(exc),
         )
         context.metrics.inc("cache.write_errors")
+
+
+def _progress_path(path: Optional[Path]) -> Optional[Path]:
+    """Where a partially computed curve checkpoints its progress."""
+    if path is None:
+        return None
+    return path.with_suffix(path.suffix + ".partial")
+
+
+def _load_curve_progress(
+    path: Optional[Path],
+    study: Study,
+    benchmark: str,
+    source: str,
+    seed: int,
+    sizes: Tuple[int, ...],
+    context: RunContext,
+) -> Optional[LearningCurve]:
+    """A resumable partial curve, or None when starting fresh.
+
+    A partial curve is usable when its identity matches this run and
+    its recorded points are a prefix of the requested size grid.
+    Anything else (corrupt file, different grid) degrades to a fresh
+    run — recomputing is cheaper than failing the sweep.
+    """
+    if path is None:
+        return None
+    partial = load_checkpoint(
+        path, context.telemetry, context.metrics, strict=False
+    )
+    if not isinstance(partial, LearningCurve):
+        return None
+    same_run = (
+        partial.study == study.name
+        and partial.benchmark == benchmark
+        and partial.source == source
+        and partial.seed == seed
+    )
+    done_sizes = tuple(point.n_samples for point in partial.points)
+    if not same_run or done_sizes != sizes[: len(done_sizes)]:
+        context.telemetry.emit(
+            "checkpoint.incompatible", kind="curve", path=str(path)
+        )
+        return None
+    return partial
 
 
 def _target_backend(study: Study, benchmark: str, context: RunContext):
@@ -227,6 +274,7 @@ def run_learning_curve(
     training: Optional[TrainingConfig] = None,
     use_cache: bool = True,
     context: Optional[RunContext] = None,
+    resume: bool = False,
 ) -> LearningCurve:
     """Produce (or load) the learning curve for one benchmark.
 
@@ -239,6 +287,13 @@ def run_learning_curve(
     budget and the on-disk cache root; randomness stays governed by
     ``seed`` (it is part of the cache key), so two contexts with
     different generators still produce identical curves.
+
+    With ``resume=True`` (and a cache directory), completed curve
+    points are checkpointed to a ``.partial`` file beside the cache
+    entry after every training round (atomic write) and a killed run
+    picks up where it left off.  Each size trains under its own forked
+    generator, so a resumed curve is bit-identical to an uninterrupted
+    one.
     """
     if source not in DATA_SOURCES:
         raise ValueError(f"source must be one of {DATA_SOURCES}, got {source!r}")
@@ -273,10 +328,20 @@ def run_learning_curve(
     else:
         targets = truth[order]
 
-    curve = LearningCurve(
-        study=study.name, benchmark=benchmark, source=source, seed=seed
-    )
+    progress = _progress_path(path)
+    curve: Optional[LearningCurve] = None
+    if resume:
+        curve = _load_curve_progress(
+            progress, study, benchmark, source, seed, sizes, context
+        )
+    if curve is None:
+        curve = LearningCurve(
+            study=study.name, benchmark=benchmark, source=source, seed=seed
+        )
+    done = {point.n_samples for point in curve.points}
     for size in sizes:
+        if size in done:
+            continue
         train_idx = order[:size]
         with context.telemetry.phase("curve.train"):
             outcome = fit_cv_round(
@@ -312,7 +377,13 @@ def run_learning_curve(
             true_mean=curve.points[-1].true_mean,
             training_seconds=outcome.wall_s,
         )
+        if resume and progress is not None:
+            save_checkpoint(
+                progress, curve, context.telemetry, context.metrics
+            )
 
     if use_cache and path is not None:
         _store_cached_curve(path, curve, context)
+    if progress is not None:
+        clear_checkpoint(progress, context.telemetry, context.metrics)
     return curve

@@ -10,6 +10,7 @@ from __future__ import annotations
 import platform
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.atomicio import atomic_write_text
 from ..workloads.spec import SIMPOINT_BENCHMARKS, SPEC_WORKLOADS
 from .error_estimation import estimation_quality
 from .gains import gains_study
@@ -258,6 +259,5 @@ def generate_experiments_md(
 
     text = "\n".join(lines)
     if path:
-        with open(path, "w") as handle:
-            handle.write(text)
+        atomic_write_text(path, text)
     return text

@@ -13,13 +13,21 @@ package is the substrate that accounting flows through at runtime:
 * :mod:`repro.obs.report` — :class:`TelemetryReport`, rendering a run
   summary as Markdown or the stable JSON document CI diffs;
 * :mod:`repro.obs.profile` — :class:`PhaseProfiler` behind the
-  ``repro profile`` subcommand.
+  ``repro profile`` subcommand;
+* :mod:`repro.obs.atomicio` — write-temp-then-rename file writes, so an
+  interrupted run never leaves a truncated artifact (telemetry
+  documents, metrics snapshots, caches, checkpoints).
 
 Event and metric names are documented in ``docs/observability.md``.
 This package deliberately imports nothing from the rest of ``repro`` so
 every layer (core, simulators, CLI) can depend on it without cycles.
 """
 
+from .atomicio import (
+    atomic_write_bytes,
+    atomic_write_pickle,
+    atomic_write_text,
+)
 from .metrics import (
     METRICS,
     MetricsRegistry,
@@ -47,6 +55,9 @@ __all__ = [
     "TelemetryEvent",
     "TelemetryReport",
     "TimerStats",
+    "atomic_write_bytes",
+    "atomic_write_pickle",
+    "atomic_write_text",
     "disable_metrics",
     "enable_metrics",
 ]

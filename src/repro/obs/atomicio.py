@@ -1,0 +1,62 @@
+"""Atomic file writes: no reader ever sees a truncated artifact.
+
+Every JSON/pickle artifact the package persists — telemetry documents,
+metrics snapshots, learning-curve caches, exploration checkpoints — is
+written with the same discipline: serialize to a temporary file in the
+destination directory, flush + fsync it, then :func:`os.replace` it over
+the final path.  ``os.replace`` is atomic on POSIX and Windows, so a
+run killed mid-write leaves either the previous complete file or no
+file at all, never a half-written one.  This is the property the
+crash-safe checkpoint/resume layer (:mod:`repro.core.checkpoint`) is
+built on.
+
+This module imports nothing from the rest of the package (stdlib only),
+so every layer — ``repro.obs`` itself, ``repro.core``,
+``repro.experiments``, the CLI — can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (write-temp-then-rename).
+
+    The temporary file lives in the destination directory so the final
+    :func:`os.replace` never crosses a filesystem boundary.  On any
+    failure the temporary file is removed and the original ``path``
+    (if it existed) is left untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_pickle(path: PathLike, obj: object) -> None:
+    """Pickle ``obj`` to ``path`` atomically (highest protocol)."""
+    atomic_write_bytes(path, pickle.dumps(obj, pickle.HIGHEST_PROTOCOL))

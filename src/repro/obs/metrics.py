@@ -247,10 +247,14 @@ class MetricsRegistry:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def write_json(self, path: str) -> None:
-        """Write the JSON snapshot to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        """Write the JSON snapshot to ``path`` atomically.
+
+        Uses write-temp-then-rename (:mod:`repro.obs.atomicio`) so an
+        interrupted run never leaves a truncated metrics file.
+        """
+        from .atomicio import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
 
 #: process-global registry for code where constructor injection is

@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from .atomicio import atomic_write_text
 from .metrics import MetricsRegistry
 from .telemetry import RunTelemetry
 
@@ -174,11 +175,14 @@ class TelemetryReport:
         return "\n".join(lines)
 
     def write(self, path: str) -> None:
-        """Write the report to ``path``: Markdown for ``.md``, JSON else."""
+        """Write the report to ``path``: Markdown for ``.md``, JSON else.
+
+        The write is atomic (write-temp-then-rename), so an interrupted
+        run never leaves a truncated report behind.
+        """
         text = (
             self.to_markdown() if path.endswith(".md") else self.to_json()
         )
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            if not text.endswith("\n"):
-                handle.write("\n")
+        if not text.endswith("\n"):
+            text += "\n"
+        atomic_write_text(path, text)

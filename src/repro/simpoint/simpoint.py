@@ -16,9 +16,7 @@ ratio of interval length to run length comparable.
 
 from __future__ import annotations
 
-import os
 import pickle
-import tempfile
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -31,6 +29,7 @@ from ..cpu.interval import (
     build_interval_profiles,
 )
 from ..cpu.simulator import _profile_cache_dir
+from ..obs.atomicio import atomic_write_pickle
 from ..workloads.generator import generate_trace
 from ..workloads.spec import get_workload
 from ..workloads.trace import Trace
@@ -180,12 +179,7 @@ def get_interval_profiles(
         profiles = build_interval_profiles(trace, interval_length)
         if cache_path is not None:
             try:
-                fd, tmp_name = tempfile.mkstemp(
-                    dir=cache_path.parent, suffix=".tmp"
-                )
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(profiles, handle, pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_name, cache_path)
+                atomic_write_pickle(cache_path, profiles)
             except OSError:
                 pass
     _INTERVAL_PROFILE_CACHE[key] = profiles

@@ -1,0 +1,330 @@
+"""Tests for crash-safe checkpointing and atomic artifact writes."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    DesignSpaceExplorer,
+    ErrorEstimate,
+    ExplorerCheckpoint,
+    RunContext,
+    clear_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.fitting import fit_cv_round
+from repro.experiments import run_learning_curve
+from repro.experiments.runner import (
+    LearningCurve,
+    _curve_cache_path,
+    _progress_path,
+)
+from repro.obs import (
+    atomic_write_bytes,
+    atomic_write_pickle,
+    atomic_write_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry
+
+from .test_backend import smooth_simulator
+
+
+class TestAtomicWrites:
+    def test_text_roundtrip_without_droppings(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+        atomic_write_text(path, "replaced\n")
+        assert path.read_text() == "replaced\n"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_pickle_roundtrip(self, tmp_path):
+        path = tmp_path / "state.pkl"
+        atomic_write_pickle(path, {"a": [1, 2, 3]})
+        with open(path, "rb") as handle:
+            assert pickle.load(handle) == {"a": [1, 2, 3]}
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path):
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        path = tmp_path / "state.pkl"
+        with pytest.raises(TypeError):
+            atomic_write_pickle(path, Unpicklable())
+        assert os.listdir(tmp_path) == []
+
+
+class TestCheckpointPrimitives:
+    def test_roundtrip_is_narrated(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        metrics = MetricsRegistry(enabled=True)
+        telemetry = RunTelemetry()
+        save_checkpoint(path, {"round": 3}, telemetry, metrics)
+        assert load_checkpoint(path, telemetry, metrics) == {"round": 3}
+        clear_checkpoint(path, telemetry, metrics)
+        assert not path.exists()
+        assert metrics.counter("checkpoint.saves") == 1
+        assert metrics.counter("checkpoint.loads") == 1
+        assert metrics.counter("checkpoint.clears") == 1
+        assert telemetry.events_named("checkpoint.save")
+
+    def test_missing_file_is_a_miss(self, tmp_path):
+        metrics = MetricsRegistry(enabled=True)
+        assert load_checkpoint(tmp_path / "absent", metrics=metrics) is None
+        assert metrics.counter("checkpoint.misses") == 1
+
+    def test_corrupt_file_strict_raises(self, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, strict=True)
+
+    def test_corrupt_file_lenient_degrades(self, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        path.write_bytes(b"not a pickle")
+        metrics = MetricsRegistry(enabled=True)
+        assert load_checkpoint(path, metrics=metrics, strict=False) is None
+        assert metrics.counter("checkpoint.read_errors") == 1
+
+    def test_clear_missing_is_harmless(self, tmp_path):
+        clear_checkpoint(tmp_path / "never-existed")
+
+
+class TestDegradedTraining:
+    def test_error_estimate_coverage(self):
+        estimate = ErrorEstimate(mean=1.0, std=0.5, n_training=18, n_failed=2)
+        assert estimate.coverage == 0.9
+        assert "(2 failed)" in str(estimate)
+        assert ErrorEstimate(mean=1.0, std=0.5, n_training=0).coverage == 0.0
+
+    def test_fit_cv_round_masks_nan_targets(self, rng):
+        x = rng.random((20, 3))
+        y = 1.0 + x @ np.array([0.5, 0.2, 0.1])
+        y[3] = np.nan
+        y[11] = np.nan
+        metrics = MetricsRegistry(enabled=True)
+        context = RunContext(
+            rng=np.random.default_rng(0), metrics=metrics,
+            telemetry=RunTelemetry(),
+        )
+        outcome = fit_cv_round(x, y, k=4, context=context)
+        assert outcome.estimate.n_failed == 2
+        assert outcome.estimate.n_training == 18
+        assert outcome.estimate.coverage == 0.9
+        assert metrics.counter("fit.masked_rows") == 2
+        assert context.telemetry.events_named("fit.masked")
+
+
+class _InterruptedSimulator:
+    """Dies with a non-retryable error after ``fail_after`` evaluations."""
+
+    def __init__(self, fail_after):
+        self.calls = 0
+        self.fail_after = fail_after
+
+    def __call__(self, config):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise RuntimeError("host preempted")
+        return smooth_simulator(config)
+
+
+class TestExplorerCheckpointing:
+    def _explorer(self, space, simulate, training, seed=3):
+        return DesignSpaceExplorer(
+            space, simulate, batch_size=10, k=4,
+            training=training, rng=np.random.default_rng(seed),
+        )
+
+    def test_kill_and_resume_is_bit_identical(
+        self, tiny_space, fast_training, tmp_path
+    ):
+        """checkpoint -> kill -> resume reproduces the uninterrupted
+        run exactly: same samples, targets, trajectory and model."""
+        baseline = self._explorer(
+            tiny_space, smooth_simulator, fast_training
+        ).explore(target_error=1.0, max_simulations=30)
+        assert len(baseline.rounds) >= 2  # the test needs a round to resume
+
+        path = tmp_path / "explore.ckpt"
+        dying = _InterruptedSimulator(fail_after=10)  # dies in round 2
+        with pytest.raises(RuntimeError):
+            self._explorer(tiny_space, dying, fast_training).explore(
+                target_error=1.0, max_simulations=30, checkpoint=path
+            )
+        assert path.exists()
+
+        # the resuming explorer's own seed must not matter: the RNG
+        # state comes from the checkpoint
+        resumed = self._explorer(
+            tiny_space, smooth_simulator, fast_training, seed=99
+        ).explore(target_error=1.0, max_simulations=30, checkpoint=path)
+
+        assert resumed.sampled_indices == baseline.sampled_indices
+        assert resumed.targets == baseline.targets
+        assert len(resumed.rounds) == len(baseline.rounds)
+        assert [r.estimate.mean for r in resumed.rounds] == [
+            r.estimate.mean for r in baseline.rounds
+        ]
+        np.testing.assert_array_equal(
+            resumed.predict_space(), baseline.predict_space()
+        )
+        # a finished run leaves no checkpoint behind
+        assert not path.exists()
+
+    def test_terminal_checkpoint_short_circuits(
+        self, tiny_space, fast_training, tmp_path
+    ):
+        baseline = self._explorer(
+            tiny_space, smooth_simulator, fast_training
+        ).explore(target_error=3.0, max_simulations=30)
+
+        path = tmp_path / "done.ckpt"
+        save_checkpoint(
+            path,
+            ExplorerCheckpoint(
+                version=CHECKPOINT_VERSION,
+                space_name=tiny_space.name,
+                space_size=len(tiny_space),
+                batch_size=10,
+                k=4,
+                target_error=3.0,
+                max_simulations=30,
+                sampled_indices=list(baseline.sampled_indices),
+                targets=list(baseline.targets),
+                rounds=list(baseline.rounds),
+                rng_state=None,
+                predictor=baseline.predictor,
+                converged=True,
+            ),
+        )
+        counting = _InterruptedSimulator(fail_after=0)  # any call raises
+        result = self._explorer(
+            tiny_space, counting, fast_training
+        ).explore(target_error=3.0, max_simulations=30, checkpoint=path)
+        assert counting.calls == 0
+        assert result.converged
+        assert result.sampled_indices == baseline.sampled_indices
+        np.testing.assert_array_equal(
+            result.predict_space(), baseline.predict_space()
+        )
+
+    def test_incompatible_checkpoint_fails_loudly(
+        self, tiny_space, fast_training, tmp_path
+    ):
+        path = tmp_path / "other.ckpt"
+        save_checkpoint(
+            path,
+            ExplorerCheckpoint(
+                version=CHECKPOINT_VERSION,
+                space_name=tiny_space.name,
+                space_size=len(tiny_space),
+                batch_size=5,  # explorer below uses 10
+                k=4,
+                target_error=3.0,
+                max_simulations=30,
+            ),
+        )
+        with pytest.raises(CheckpointError, match="batch_size"):
+            self._explorer(
+                tiny_space, smooth_simulator, fast_training
+            ).explore(target_error=3.0, max_simulations=30, checkpoint=path)
+
+    def test_foreign_payload_fails_loudly(
+        self, tiny_space, fast_training, tmp_path
+    ):
+        path = tmp_path / "foreign.ckpt"
+        save_checkpoint(path, {"not": "an exploration"})
+        with pytest.raises(CheckpointError, match="dict"):
+            self._explorer(
+                tiny_space, smooth_simulator, fast_training
+            ).explore(target_error=3.0, max_simulations=30, checkpoint=path)
+
+
+@pytest.mark.slow
+class TestCurveResume:
+    SIZES = (12, 16)
+
+    def _context(self, cache_dir):
+        return RunContext(
+            rng=np.random.default_rng(5),
+            telemetry=RunTelemetry(),
+            metrics=MetricsRegistry(enabled=True),
+            cache_dir=cache_dir,
+        )
+
+    def _run(self, cache_dir, fast_training, resume=False):
+        return run_learning_curve(
+            "memory-system", "gzip", sizes=self.SIZES, source="true",
+            seed=5, training=fast_training, use_cache=False,
+            context=self._context(cache_dir), resume=resume,
+        )
+
+    def test_resume_skips_completed_points(self, tmp_path, fast_training):
+        baseline = self._run(tmp_path, fast_training)
+
+        from repro.experiments import get_study
+
+        study = get_study("memory-system")
+        cache = _curve_cache_path(
+            study, "gzip", "true", self.SIZES, 5, fast_training, tmp_path
+        )
+        progress = _progress_path(cache)
+        partial = LearningCurve(
+            study="memory-system", benchmark="gzip", source="true", seed=5,
+            points=[baseline.points[0]],
+        )
+        save_checkpoint(progress, partial)
+
+        context = self._context(tmp_path)
+        resumed = run_learning_curve(
+            "memory-system", "gzip", sizes=self.SIZES, source="true",
+            seed=5, training=fast_training, use_cache=False,
+            context=context, resume=True,
+        )
+        # only the missing size was trained...
+        trained = context.telemetry.events_named("curve.point")
+        assert [e.payload["n_samples"] for e in trained] == [self.SIZES[1]]
+        # ...and the result is bit-identical to the uninterrupted run
+        assert [p.n_samples for p in resumed.points] == list(self.SIZES)
+        for got, want in zip(resumed.points, baseline.points):
+            assert got.true_mean == want.true_mean
+            assert got.estimated_mean == want.estimated_mean
+        # the progress file is cleared once the curve completes
+        assert not progress.exists()
+
+    def test_incompatible_partial_is_ignored(self, tmp_path, fast_training):
+        from repro.experiments import get_study
+
+        study = get_study("memory-system")
+        cache = _curve_cache_path(
+            study, "gzip", "true", self.SIZES, 5, fast_training, tmp_path
+        )
+        progress = _progress_path(cache)
+        stale = LearningCurve(
+            study="memory-system", benchmark="gzip", source="true", seed=6,
+        )
+        save_checkpoint(progress, stale)
+
+        context = self._context(tmp_path)
+        resumed = run_learning_curve(
+            "memory-system", "gzip", sizes=self.SIZES, source="true",
+            seed=5, training=fast_training, use_cache=False,
+            context=context, resume=True,
+        )
+        assert context.telemetry.events_named("checkpoint.incompatible")
+        trained = context.telemetry.events_named("curve.point")
+        assert [e.payload["n_samples"] for e in trained] == list(self.SIZES)
+        assert [p.n_samples for p in resumed.points] == list(self.SIZES)

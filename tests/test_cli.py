@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -22,6 +24,31 @@ class TestParser:
     def test_rejects_unknown_study(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explore", "--study", "noc"])
+
+    def test_explore_robustness_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.checkpoint is None
+        assert args.resume is False
+        assert args.max_retries == 0
+        assert args.eval_timeout is None
+        assert args.inject_faults is None
+        assert args.fault_seed == 0
+
+    def test_explore_robustness_flags(self):
+        args = build_parser().parse_args(
+            [
+                "explore", "--checkpoint", "run.ckpt", "--resume",
+                "--max-retries", "5", "--eval-timeout", "2.5",
+                "--inject-faults", "crash=0.15,nan=0.1",
+                "--fault-seed", "7",
+            ]
+        )
+        assert args.checkpoint == "run.ckpt"
+        assert args.resume
+        assert args.max_retries == 5
+        assert args.eval_timeout == 2.5
+        assert args.inject_faults == "crash=0.15,nan=0.1"
+        assert args.fault_seed == 7
 
 
 class TestCommands:
@@ -76,3 +103,50 @@ class TestCommands:
     def test_unknown_benchmark_list(self):
         with pytest.raises(SystemExit):
             main(["table51", "--benchmarks", "povray"])
+
+
+class TestRobustnessFlags:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["explore", "--resume"])
+
+    def test_existing_checkpoint_requires_resume(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(b"stale")
+        with pytest.raises(SystemExit, match="already exists"):
+            main(["explore", "--checkpoint", str(path)])
+
+    @pytest.mark.slow
+    def test_chaos_explore_end_to_end(self, tmp_path, capsys):
+        """A faulty CLI run retries its way to a clean result, checkpoints
+        every round, clears the checkpoint on success and reports the
+        fault/retry activity in the metrics snapshot."""
+        checkpoint = tmp_path / "explore.ckpt"
+        metrics_out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "explore",
+                "--benchmark", "gzip",
+                "--training", "fast",
+                "--batch-size", "15",
+                "--max-simulations", "15",
+                "--target-error", "50",
+                "--seed", "1",
+                "--inject-faults", "crash=0.2,nan=0.1",
+                "--fault-seed", "7",
+                "--max-retries", "8",
+                "--checkpoint", str(checkpoint),
+                "--metrics-out", str(metrics_out),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted-best IPC" in out
+        assert "WARNING" not in out  # retries recovered every point
+        assert not checkpoint.exists()
+        snapshot = json.loads(metrics_out.read_text())
+        counters = snapshot["counters"]
+        assert counters["fault.injected"] > 0
+        assert counters["retry.attempts"] > 0
+        assert counters["checkpoint.saves"] >= 1
+        assert counters["checkpoint.clears"] == 1
