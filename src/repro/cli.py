@@ -21,6 +21,7 @@ snapshot as JSON).  Schemas are described in ``docs/observability.md``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -76,12 +77,18 @@ from .workloads.spec import SPEC_WORKLOADS
 TRAINING_PRESETS = ("default", "fast", "paper")
 
 
-def _training_config(preset: str) -> TrainingConfig:
+def _training_config(
+    preset: str, max_restarts: Optional[int] = None
+) -> TrainingConfig:
     if preset == "fast":
-        return TrainingConfig.fast_settings()
-    if preset == "paper":
-        return TrainingConfig.paper_settings()
-    return TrainingConfig()
+        config = TrainingConfig.fast_settings()
+    elif preset == "paper":
+        config = TrainingConfig.paper_settings()
+    else:
+        config = TrainingConfig()
+    if max_restarts is not None:
+        config = dataclasses.replace(config, max_restarts=max_restarts)
+    return config
 
 
 def _parse_benchmarks(raw: Optional[str]) -> Optional[List[str]]:
@@ -175,8 +182,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
             study.space,
             backend,
             batch_size=args.batch_size,
-            training=_training_config(args.training),
+            training=_training_config(
+                args.training, getattr(args, "max_restarts", None)
+            ),
             context=context,
+            min_folds=getattr(args, "min_folds", None),
         )
         result = explorer.explore(
             target_error=args.target_error,
@@ -196,6 +206,14 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"WARNING: {len(failures)} evaluation(s) failed after retries "
             "and were masked out of training "
             f"(coverage {result.final_estimate.coverage:.1%})"
+        )
+    if result.final_estimate.fold_coverage < 1.0:
+        final = result.final_estimate
+        print(
+            f"WARNING: {final.n_folds - final.n_folds_used} of "
+            f"{final.n_folds} folds diverged in the final round and were "
+            "quarantined from the ensemble "
+            f"(fold coverage {final.fold_coverage:.1%})"
         )
     predictions = result.predict_space()
     best = int(np.argmax(predictions))
@@ -414,10 +432,21 @@ def build_parser() -> argparse.ArgumentParser:
         "the --max-retries budget",
     )
     explore.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="retry a diverged fold training up to N times with "
+        "deterministically reseeded weights before quarantining the "
+        "fold (default: the training preset's budget)",
+    )
+    explore.add_argument(
+        "--min-folds", type=int, default=None, metavar="N",
+        help="minimum folds that must survive training per round; "
+        "fewer aborts the run instead of degrading (default: 2)",
+    )
+    explore.add_argument(
         "--inject-faults", metavar="SPEC", default=None,
         help="chaos harness: inject seeded faults into evaluations, "
-        "e.g. 'crash=0.15,nan=0.1,slow=0.05' (kinds: crash, nan, hang, "
-        "slow; see docs/robustness.md)",
+        "e.g. 'crash=0.15,nan=0.1,outlier=0.05' (kinds: crash, nan, "
+        "hang, slow, outlier; see docs/robustness.md)",
     )
     explore.add_argument(
         "--fault-seed", type=int, default=0, metavar="SEED",

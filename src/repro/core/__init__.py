@@ -18,11 +18,17 @@ from .checkpoint import (
     ExplorerCheckpoint,
     clear_checkpoint,
     load_checkpoint,
+    previous_path,
     save_checkpoint,
 )
 from .context import RunContext, default_cache_dir, default_n_jobs
 from .crossapp import CrossApplicationModel
-from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble, make_folds
+from .crossval import (
+    DEFAULT_FOLDS,
+    DEFAULT_MIN_FOLDS,
+    CrossValidationEnsemble,
+    make_folds,
+)
 from .encoding import MultiTargetScaler, ParameterEncoder, TargetScaler
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, ErrorStatistics, percentage_errors
@@ -40,7 +46,11 @@ from .network import (
     DEFAULT_INIT_RANGE,
     DEFAULT_LEARNING_RATE,
     DEFAULT_MOMENTUM,
+    SATURATION_THRESHOLD,
     FeedForwardNetwork,
+    TrainingDiverged,
+    WeightHealth,
+    warn_unseeded,
 )
 from .persistence import FORMAT_VERSION, load_predictor, save_predictor
 from .resilience import (
@@ -49,7 +59,12 @@ from .resilience import (
     ResilientBackend,
     RetryPolicy,
 )
-from .training import EarlyStoppingTrainer, TrainingConfig, TrainingHistory
+from .training import (
+    EarlyStoppingTrainer,
+    RobustTrainer,
+    TrainingConfig,
+    TrainingHistory,
+)
 
 __all__ = [
     "Activation",
@@ -60,6 +75,7 @@ __all__ = [
     "CrossValidationEnsemble",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_FOLDS",
+    "DEFAULT_MIN_FOLDS",
     "DEFAULT_HIDDEN_UNITS",
     "DEFAULT_INIT_RANGE",
     "DEFAULT_LEARNING_RATE",
@@ -93,13 +109,17 @@ __all__ = [
     "QueryByCommitteeSampler",
     "ResilientBackend",
     "RetryPolicy",
+    "RobustTrainer",
     "RunContext",
+    "SATURATION_THRESHOLD",
     "SerialBackend",
     "Sigmoid",
     "Tanh",
     "TargetScaler",
     "TrainingConfig",
+    "TrainingDiverged",
     "TrainingHistory",
+    "WeightHealth",
     "as_backend",
     "auxiliary_target_names",
     "clear_checkpoint",
@@ -112,7 +132,9 @@ __all__ = [
     "load_predictor",
     "make_folds",
     "percentage_errors",
+    "previous_path",
     "save_checkpoint",
     "save_predictor",
     "validate_targets",
+    "warn_unseeded",
 ]

@@ -19,6 +19,14 @@ state to resume *bit-identically*:
   checkpoint → kill → resume reproduces the uninterrupted
   :class:`~repro.core.explorer.ExplorationResult` exactly (tested).
 
+Checkpoints are *self-healing* (format v2): the payload pickle is
+wrapped in an envelope carrying its sha256 checksum, every save rotates
+the previous good checkpoint to ``<path>.prev``, and
+:func:`load_checkpoint` falls back to the previous round when the
+primary file fails its checksum, cannot be unpickled, or carries an
+incompatible format version.  Losing one round to disk corruption beats
+losing the run.
+
 All checkpoint activity is narrated as ``checkpoint.*`` telemetry
 events and counters.  The file format is documented in
 ``docs/robustness.md``.
@@ -26,6 +34,8 @@ events and counters.  The file format is documented in
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,10 +45,20 @@ from ..obs.atomicio import atomic_write_pickle
 from ..obs.metrics import METRICS, MetricsRegistry
 from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 
-#: bump when the checkpoint payload layout changes incompatibly
-CHECKPOINT_VERSION = 1
+#: bump when the checkpoint layout changes incompatibly
+#: (v2: checksummed envelope + ``.prev`` rotation)
+CHECKPOINT_VERSION = 2
+
+#: magic marking a file as one of ours, whatever pickle says
+CHECKPOINT_FORMAT = "repro-checkpoint"
 
 PathLike = Union[str, Path]
+
+
+def previous_path(path: PathLike) -> Path:
+    """Where save rotation keeps the previous good checkpoint."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
 
 
 class CheckpointError(RuntimeError):
@@ -89,18 +109,83 @@ def save_checkpoint(
     telemetry: Optional[RunTelemetry] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> None:
-    """Persist ``payload`` to ``path`` atomically, narrating the save."""
+    """Persist ``payload`` to ``path`` atomically, narrating the save.
+
+    The payload pickle travels inside a checksummed envelope (format
+    v2) and an existing checkpoint is rotated to ``<path>.prev`` first,
+    so one corrupted file costs one round, never the run.
+    """
     telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     metrics = metrics if metrics is not None else METRICS
     path = Path(path)
-    atomic_write_pickle(path, payload)
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "payload": blob,
+    }
+    rotated = path.exists()
+    if rotated:
+        os.replace(path, previous_path(path))
+    atomic_write_pickle(path, envelope)
     telemetry.emit(
         "checkpoint.save",
         path=str(path),
         bytes=path.stat().st_size,
         kind=type(payload).__name__,
+        sha256=envelope["sha256"],
+        rotated=rotated,
     )
     metrics.inc("checkpoint.saves")
+
+
+def _read_envelope(path: Path) -> object:
+    """Read one checkpoint file, verifying envelope and checksum.
+
+    Raises :class:`CheckpointError` on *any* way the file can be bad:
+    unreadable, not an envelope (legacy/foreign format), wrong envelope
+    version, checksum mismatch (bit rot / torn write) or an unpicklable
+    payload.
+    """
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} exists but cannot be read: {exc!r}"
+        ) from exc
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("format") != CHECKPOINT_FORMAT
+    ):
+        raise CheckpointError(
+            f"checkpoint {path} is not a {CHECKPOINT_FORMAT} envelope "
+            "(legacy or foreign file)"
+        )
+    version = envelope.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has envelope version {version!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    blob = envelope.get("payload")
+    if not isinstance(blob, bytes):
+        raise CheckpointError(f"checkpoint {path} carries no payload")
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != envelope.get("sha256"):
+        raise CheckpointError(
+            f"checkpoint {path} failed its checksum "
+            f"(stored {envelope.get('sha256')!r}, computed {digest!r})"
+        )
+    try:
+        return pickle.loads(blob)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} payload cannot be unpickled: {exc!r}"
+        ) from exc
 
 
 def load_checkpoint(
@@ -111,39 +196,76 @@ def load_checkpoint(
 ) -> Optional[object]:
     """Load the payload at ``path``; ``None`` when no checkpoint exists.
 
-    A present-but-unreadable file raises :class:`CheckpointError` when
-    ``strict`` (the explorer resume path — silently restarting an
-    expensive run is worse than failing) and degrades to ``None`` when
-    not (the learning-curve resume path, where recomputing is cheap
-    relative to failing the whole experiment sweep).  Both outcomes are
-    narrated (``checkpoint.load`` / ``checkpoint.read_error``).
+    Self-healing: when the primary file is corrupt (checksum mismatch,
+    unpicklable, wrong envelope version) — or missing while a rotated
+    ``<path>.prev`` exists (a crash between rotation and write) — the
+    previous round's checkpoint is loaded instead, narrated as
+    ``checkpoint.corrupt`` + ``checkpoint.fallback``.  Only when *both*
+    files are unusable does the call raise :class:`CheckpointError`
+    (``strict``, the explorer resume path — silently restarting an
+    expensive run is worse than failing) or degrade to ``None``
+    (lenient, the learning-curve resume path, where recomputing is
+    cheap relative to failing the whole sweep).
     """
     telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     metrics = metrics if metrics is not None else METRICS
     path = Path(path)
-    if not path.exists():
+    prev = previous_path(path)
+    if not path.exists() and not prev.exists():
         telemetry.emit("checkpoint.miss", path=str(path))
         metrics.inc("checkpoint.misses")
         return None
-    try:
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError) as exc:
-        telemetry.emit(
-            "checkpoint.read_error", path=str(path), error=repr(exc)
+
+    primary_error: Optional[CheckpointError] = None
+    if path.exists():
+        try:
+            payload = _read_envelope(path)
+        except CheckpointError as exc:
+            primary_error = exc
+            telemetry.emit(
+                "checkpoint.corrupt", path=str(path), error=str(exc)
+            )
+            metrics.inc("checkpoint.corrupt")
+        else:
+            telemetry.emit(
+                "checkpoint.load",
+                path=str(path),
+                kind=type(payload).__name__,
+            )
+            metrics.inc("checkpoint.loads")
+            return payload
+
+    if prev.exists():
+        try:
+            payload = _read_envelope(prev)
+        except CheckpointError as exc:
+            telemetry.emit(
+                "checkpoint.corrupt", path=str(prev), error=str(exc)
+            )
+            metrics.inc("checkpoint.corrupt")
+        else:
+            telemetry.emit(
+                "checkpoint.fallback",
+                path=str(path),
+                fallback=str(prev),
+                kind=type(payload).__name__,
+                reason=(
+                    str(primary_error)
+                    if primary_error is not None
+                    else "primary checkpoint missing"
+                ),
+            )
+            metrics.inc("checkpoint.fallbacks")
+            metrics.inc("checkpoint.loads")
+            return payload
+
+    if strict:
+        if primary_error is not None:
+            raise primary_error
+        raise CheckpointError(
+            f"checkpoint {path} and its fallback {prev} are both unusable"
         )
-        metrics.inc("checkpoint.read_errors")
-        if strict:
-            raise CheckpointError(
-                f"checkpoint {path} exists but cannot be read: {exc!r}"
-            ) from exc
-        return None
-    telemetry.emit(
-        "checkpoint.load", path=str(path), kind=type(payload).__name__
-    )
-    metrics.inc("checkpoint.loads")
-    return payload
+    return None
 
 
 def clear_checkpoint(
@@ -151,10 +273,15 @@ def clear_checkpoint(
     telemetry: Optional[RunTelemetry] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> None:
-    """Remove a checkpoint after the run it protects has completed."""
+    """Remove a checkpoint (and its rotated ``.prev``) after the run it
+    protects has completed."""
     telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     metrics = metrics if metrics is not None else METRICS
     path = Path(path)
+    try:
+        previous_path(path).unlink()
+    except FileNotFoundError:
+        pass
     try:
         path.unlink()
     except FileNotFoundError:

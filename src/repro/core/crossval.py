@@ -20,6 +20,7 @@ replays, so the observability stream is identical regardless of
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -32,11 +33,12 @@ from .context import RunContext, default_n_jobs, resolve_context
 from .encoding import TargetScaler
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, percentage_errors
-from .network import FeedForwardNetwork
-from .training import EarlyStoppingTrainer, TrainingConfig
+from .network import FeedForwardNetwork, TrainingDiverged
+from .training import RobustTrainer, TrainingConfig
 
 __all__ = [
     "DEFAULT_FOLDS",
+    "DEFAULT_MIN_FOLDS",
     "CrossValidationEnsemble",
     "FoldResult",
     "default_n_jobs",
@@ -45,6 +47,10 @@ __all__ = [
 
 #: the paper uses 10-fold cross validation throughout
 DEFAULT_FOLDS = 10
+
+#: minimum number of folds that must survive training (after restarts)
+#: for an ensemble fit to stand; fewer raises instead of degrading
+DEFAULT_MIN_FOLDS = 2
 
 
 def _train_one_fold(
@@ -58,26 +64,26 @@ def _train_one_fold(
     seed: int,
     telemetry: Optional[RunTelemetry] = None,
     metrics: Optional[MetricsRegistry] = None,
-) -> Tuple[FeedForwardNetwork, np.ndarray, float, int]:
-    """Train one fold's network.
+) -> Tuple[Optional[FeedForwardNetwork], np.ndarray, float, int, Optional[str]]:
+    """Train one fold's network under restart supervision.
 
-    Returns ``(network, test_errors, wall_seconds, epochs_run)``; the
-    wall time is measured here so fold timings stay exact under
-    process-pool execution.
+    Returns ``(network, test_errors, wall_seconds, epochs_run, error)``;
+    the wall time is measured here so fold timings stay exact under
+    process-pool execution.  A fold whose training exhausts its restart
+    budget comes back with ``network=None`` and ``error`` describing the
+    failure — the caller quarantines it instead of crashing the fit.
     """
     started = time.perf_counter()
-    rng = np.random.default_rng(seed)
-    network = FeedForwardNetwork(
-        n_inputs=x.shape[1],
-        hidden_layers=training.hidden_layers,
-        hidden_activation=training.hidden_activation,
-        rng=rng,
-        init_range=training.init_range,
+    trainer = RobustTrainer(
+        training, seed=seed, telemetry=telemetry, metrics=metrics
     )
-    trainer = EarlyStoppingTrainer(training, rng, telemetry, metrics)
-    history = trainer.train(
-        network, x[train_idx], y[train_idx], x[es_idx], y[es_idx], scaler
-    )
+    try:
+        network, history = trainer.fit(
+            x[train_idx], y[train_idx], x[es_idx], y[es_idx], scaler
+        )
+    except TrainingDiverged as exc:
+        wall = time.perf_counter() - started
+        return None, np.empty(0), wall, 0, f"{exc.reason}: {exc}"
     test_predictions = scaler.inverse_transform(network.predict(x[test_idx])[:, 0])
     wall = time.perf_counter() - started
     return (
@@ -85,6 +91,7 @@ def _train_one_fold(
         percentage_errors(test_predictions, y[test_idx]),
         wall,
         history.epochs_run,
+        None,
     )
 
 
@@ -97,14 +104,24 @@ class FoldResult:
     parent's hooks after process-pool training, so ``train.check`` /
     ``train.stop`` events and ``train.epochs`` counters are identical
     whether folds trained in-process or in workers.
+
+    A quarantined fold — training exhausted its restart budget — has
+    ``network=None``, empty ``test_errors`` and ``error`` describing the
+    last failure.
     """
 
-    network: FeedForwardNetwork
+    network: Optional[FeedForwardNetwork]
     test_errors: np.ndarray
     wall_s: float
     epochs: int
     events: List[Tuple[str, Dict[str, object]]] = field(default_factory=list)
     metrics: Optional[MetricsRegistry] = None
+    error: Optional[str] = None
+
+    @property
+    def diverged(self) -> bool:
+        """Whether this fold was quarantined."""
+        return self.network is None
 
     def replay(self, telemetry: RunTelemetry, metrics: MetricsRegistry) -> None:
         """Re-emit recorded events and merge recorded metrics."""
@@ -143,7 +160,7 @@ def _run_fold_task(
     train_idx, es_idx, test_idx, seed = task
     telemetry = RunTelemetry(enabled=True) if capture_telemetry else None
     metrics = MetricsRegistry(enabled=True) if capture_metrics else None
-    network, errors, wall, epochs = _train_one_fold(
+    network, errors, wall, epochs, error = _train_one_fold(
         x, y, train_idx, es_idx, test_idx, training, scaler, seed,
         telemetry, metrics,
     )
@@ -152,7 +169,7 @@ def _run_fold_task(
         if telemetry is not None
         else []
     )
-    return FoldResult(network, errors, wall, epochs, events, metrics)
+    return FoldResult(network, errors, wall, epochs, events, metrics, error)
 
 
 def make_folds(
@@ -179,7 +196,17 @@ class CrossValidationEnsemble:
     k:
         Number of folds (and ensemble members).
     training:
-        Hyperparameters shared by all members.
+        Hyperparameters shared by all members (including the
+        ``max_restarts`` budget each fold's :class:`RobustTrainer` may
+        spend on divergence).
+    min_folds:
+        Folds that must survive training for the fit to stand.  A fold
+        whose training diverges through all restarts is *quarantined*:
+        its model is dropped from the ensemble and its held-out test
+        points from the error estimate.  When at least ``min_folds``
+        survive the fit degrades gracefully (a ``RuntimeWarning`` plus
+        ``crossval.quarantine`` telemetry); below that it raises
+        :class:`~repro.core.network.TrainingDiverged`.
     context:
         :class:`~repro.core.context.RunContext` supplying the generator,
         observability hooks and the fold-training worker budget.  The
@@ -210,9 +237,15 @@ class CrossValidationEnsemble:
         telemetry: Optional[RunTelemetry] = None,
         metrics: Optional[MetricsRegistry] = None,
         context: Optional[RunContext] = None,
+        min_folds: Optional[int] = None,
     ):
         self.k = k
         self.training = training or TrainingConfig()
+        self.min_folds = DEFAULT_MIN_FOLDS if min_folds is None else min_folds
+        if not 1 <= self.min_folds <= k:
+            raise ValueError(
+                f"min_folds must be in [1, k={k}], got {self.min_folds}"
+            )
         self.context = resolve_context(
             context, rng=rng, telemetry=telemetry, metrics=metrics,
             n_jobs=n_jobs,
@@ -288,23 +321,55 @@ class CrossValidationEnsemble:
         else:
             n_workers = 1
             # in-process: thread the observability hooks into the trainer
-            results = [
-                FoldResult(
-                    *_train_one_fold(
-                        x, y, *task[:3], self.training, scaler, task[3],
-                        self.telemetry, self.metrics,
-                    )
+            results = []
+            for task in tasks:
+                network, errors, wall, epochs, error = _train_one_fold(
+                    x, y, *task[:3], self.training, scaler, task[3],
+                    self.telemetry, self.metrics,
                 )
-                for task in tasks
-            ]
+                results.append(
+                    FoldResult(network, errors, wall, epochs, error=error)
+                )
         wall_s = time.perf_counter() - fit_start
 
-        networks = [result.network for result in results]
-        fold_errors = [result.test_errors for result in results]
+        # -- fold quarantine: drop diverged folds, keep the honest rest
+        healthy = [result for result in results if not result.diverged]
+        for i, result in enumerate(results):
+            if result.diverged:
+                self.metrics.inc("crossval.quarantined")
+                self.telemetry.emit(
+                    "crossval.quarantine",
+                    fold=i,
+                    error=result.error,
+                    n_test=len(tasks[i][2]),
+                )
+        if len(healthy) < self.min_folds:
+            raise TrainingDiverged(
+                f"only {len(healthy)} of {self.k} folds survived training "
+                f"(min_folds={self.min_folds}); the sampled targets are "
+                "numerically hostile — check for near-zero or huge IPC "
+                "values in the training set",
+                reason="min_folds",
+            )
+        if len(healthy) < self.k:
+            warnings.warn(
+                f"{self.k - len(healthy)} of {self.k} folds diverged and "
+                "were quarantined; the ensemble and error estimate use "
+                f"the surviving {len(healthy)} folds",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
         fold_seconds = [result.wall_s for result in results]
         fold_epochs = [result.epochs for result in results]
-        self.predictor = EnsemblePredictor(networks=networks, scaler=scaler)
-        self.estimate = ErrorEstimate.from_fold_errors(fold_errors, n_training=n)
+        self.predictor = EnsemblePredictor(
+            networks=[result.network for result in healthy], scaler=scaler
+        )
+        self.estimate = ErrorEstimate.from_fold_errors(
+            [result.test_errors for result in healthy],
+            n_training=n,
+            n_folds=self.k,
+        )
 
         for seconds in fold_seconds:
             self.metrics.observe("train.fold", seconds)
@@ -314,15 +379,21 @@ class CrossValidationEnsemble:
         # fraction of the worker-seconds the pool had available that fold
         # training actually used (the paper's 10-node cluster view)
         utilization = busy_s / (wall_s * n_workers) if wall_s > 0 else 0.0
-        for i, (seconds, epochs) in enumerate(zip(fold_seconds, fold_epochs)):
+        for i, result in enumerate(results):
             self.telemetry.emit(
-                "crossval.fold", fold=i, wall_s=seconds, epochs=epochs
+                "crossval.fold",
+                fold=i,
+                wall_s=result.wall_s,
+                epochs=result.epochs,
+                quarantined=result.diverged,
             )
         self.telemetry.emit(
             "crossval.fit",
             k=self.k,
             n_points=n,
             n_workers=n_workers,
+            n_folds_used=len(healthy),
+            fold_coverage=self.estimate.fold_coverage,
             wall_s=wall_s,
             busy_s=busy_s,
             worker_utilization=utilization,

@@ -121,12 +121,31 @@ class TargetScaler:
         self._fitted = False
 
     def fit(self, targets: np.ndarray) -> "TargetScaler":
-        """Record the min/max of ``targets``."""
+        """Record the min/max of ``targets``.
+
+        Degenerate target sets fail here with a clear error rather than
+        poisoning training downstream: non-finite values would seep into
+        the scaled range, and an all-equal set has zero span — minimax
+        scaling cannot represent it and the inverse-target presentation
+        weighting would train on pure noise.
+        """
         targets = np.asarray(targets, dtype=np.float64)
         if targets.size == 0:
             raise ValueError("cannot fit a scaler on no targets")
-        self.low = float(targets.min())
-        self.high = float(targets.max())
+        if not np.isfinite(targets).all():
+            bad = np.flatnonzero(~np.isfinite(targets.reshape(-1))).tolist()
+            raise ValueError(
+                f"cannot fit a scaler on non-finite targets (indices {bad})"
+            )
+        low = float(targets.min())
+        high = float(targets.max())
+        if high == low:
+            raise ValueError(
+                f"cannot fit a scaler on a degenerate target set: all "
+                f"{targets.size} values equal {low!r} (zero range)"
+            )
+        self.low = low
+        self.high = high
         self._fitted = True
         return self
 

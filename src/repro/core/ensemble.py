@@ -26,6 +26,13 @@ class EnsemblePredictor:
     def __post_init__(self) -> None:
         if not self.networks:
             raise ValueError("an ensemble needs at least one network")
+        if any(network is None for network in self.networks):
+            # quarantined folds carry network=None; the ensemble builder
+            # must filter them out, never average over holes
+            raise ValueError(
+                "ensemble members must be trained networks, got None "
+                "(quarantined folds cannot join an ensemble)"
+            )
 
     @property
     def size(self) -> int:

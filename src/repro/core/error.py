@@ -69,12 +69,20 @@ class ErrorEstimate:
     evaluation exhausted its retry budget (see
     :mod:`repro.core.resilience`) — together they make the estimate's
     :attr:`coverage` of the sampled set explicit.
+
+    ``n_folds_used`` / ``n_folds`` record how many cross-validation
+    folds contributed versus how many were attempted; a fold whose
+    training exhausted its restart budget is *quarantined* (see
+    :mod:`repro.core.crossval`) — excluded from the ensemble and from
+    this estimate — and shows up as :attr:`fold_coverage` < 1.
     """
 
     mean: float
     std: float
     n_training: int
     n_failed: int = 0
+    n_folds_used: int = 0
+    n_folds: int = 0
 
     @property
     def coverage(self) -> float:
@@ -86,11 +94,31 @@ class ErrorEstimate:
         total = self.n_training + self.n_failed
         return self.n_training / total if total else 0.0
 
+    @property
+    def fold_coverage(self) -> float:
+        """Fraction of attempted folds that survived training.
+
+        1.0 for a divergence-free fit (or when fold accounting was not
+        recorded); below 1.0 when folds were quarantined because their
+        training exhausted its restart budget.
+        """
+        if self.n_folds <= 0:
+            return 1.0
+        return self.n_folds_used / self.n_folds
+
     @classmethod
     def from_fold_errors(
-        cls, fold_errors: "list[np.ndarray]", n_training: int
+        cls,
+        fold_errors: "list[np.ndarray]",
+        n_training: int,
+        n_folds: "int | None" = None,
     ) -> "ErrorEstimate":
-        """Pool per-fold test errors into one estimate."""
+        """Pool per-fold test errors into one estimate.
+
+        ``fold_errors`` holds the *surviving* folds only; pass
+        ``n_folds`` (folds attempted) when some were quarantined so
+        :attr:`fold_coverage` reflects the loss.
+        """
         if not fold_errors:
             raise ValueError("need at least one fold")
         pooled = np.concatenate([np.asarray(e).reshape(-1) for e in fold_errors])
@@ -100,6 +128,8 @@ class ErrorEstimate:
             mean=float(pooled.mean()),
             std=float(pooled.std(ddof=0)),
             n_training=int(n_training),
+            n_folds_used=len(fold_errors),
+            n_folds=len(fold_errors) if n_folds is None else int(n_folds),
         )
 
     def meets(self, target_mean_error: float) -> bool:
@@ -121,7 +151,12 @@ class ErrorEstimate:
 
     def __str__(self) -> str:
         failed = f" ({self.n_failed} failed)" if self.n_failed else ""
+        quarantined = (
+            f" [{self.n_folds_used}/{self.n_folds} folds]"
+            if self.n_folds and self.n_folds_used < self.n_folds
+            else ""
+        )
         return (
             f"estimated {self.mean:.2f}% +/- {self.std:.2f}% "
-            f"from {self.n_training} simulations{failed}"
+            f"from {self.n_training} simulations{failed}{quarantined}"
         )

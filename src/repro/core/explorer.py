@@ -159,7 +159,14 @@ class DesignSpaceExplorer:
     k:
         Cross-validation folds.
     training:
-        ANN hyperparameters.
+        ANN hyperparameters (including each fold's divergence-restart
+        budget, ``max_restarts``).
+    min_folds:
+        Folds that must survive training per round before the loop
+        raises instead of degrading; ``None`` uses the ensemble default
+        (see :data:`~repro.core.crossval.DEFAULT_MIN_FOLDS`).  Rounds
+        with quarantined folds continue with a warning and report
+        ``fold_coverage`` < 1 on their estimate.
     context:
         :class:`~repro.core.context.RunContext` carrying the seeded
         generator, telemetry, metrics and the fold-training worker
@@ -198,6 +205,7 @@ class DesignSpaceExplorer:
         telemetry: Optional[RunTelemetry] = None,
         metrics: Optional[MetricsRegistry] = None,
         context: Optional[RunContext] = None,
+        min_folds: Optional[int] = None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -207,6 +215,7 @@ class DesignSpaceExplorer:
         self.batch_size = batch_size
         self.k = k
         self.training = training or TrainingConfig()
+        self.min_folds = min_folds
         self.context = resolve_context(
             context, rng=rng, telemetry=telemetry, metrics=metrics
         )
@@ -350,7 +359,7 @@ class DesignSpaceExplorer:
                 y = np.asarray(targets)
                 outcome = fit_cv_round(
                     x, y, k=self.k, training=self.training,
-                    context=self.context,
+                    min_folds=self.min_folds, context=self.context,
                 )
                 estimate = outcome.estimate
             predictor = outcome.ensemble.predictor
@@ -387,6 +396,7 @@ class DesignSpaceExplorer:
                 n_simulations=len(sampled),
                 error_mean=estimate.mean,
                 error_std=estimate.std,
+                fold_coverage=estimate.fold_coverage,
                 elapsed_s=round_elapsed,
             )
 

@@ -54,6 +54,13 @@ class FaultPlan:
       trip a per-evaluation timeout;
     * ``slow`` — sleep ``slow_s`` before evaluating (degraded host; the
       value itself stays correct).
+    * ``outlier`` — hand back a numerically hostile but *finite,
+      positive* target (``outlier_small`` or ``outlier_large``, an even
+      coin flip) without consulting the simulator — the way a
+      mis-parsed result file or a pathological simulator run would.
+      Unlike NaN, outliers pass the backend boundary's target
+      validation; they exist to exercise the *training*-side guards
+      (divergence detection, restarts, fold quarantine).
 
     Probabilities must sum to at most 1; the remainder is a clean
     evaluation.
@@ -63,15 +70,21 @@ class FaultPlan:
     nan: float = 0.0
     hang: float = 0.0
     slow: float = 0.0
+    outlier: float = 0.0
     slow_s: float = 0.005
     hang_s: float = 30.0
+    outlier_small: float = 1e-9
+    outlier_large: float = 1e9
 
     def __post_init__(self) -> None:
-        for name in ("crash", "nan", "hang", "slow"):
+        for name in ("crash", "nan", "hang", "slow", "outlier"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} probability must be in [0, 1], got {p}")
-        if self.crash + self.nan + self.hang + self.slow > 1.0 + 1e-12:
+        if (
+            self.crash + self.nan + self.hang + self.slow + self.outlier
+            > 1.0 + 1e-12
+        ):
             raise ValueError("fault probabilities must sum to at most 1")
 
     def pick(self, u: float) -> Optional[str]:
@@ -88,6 +101,9 @@ class FaultPlan:
         edge += self.slow
         if u < edge:
             return "slow"
+        edge += self.outlier
+        if u < edge:
+            return "outlier"
         return None
 
     @classmethod
@@ -95,7 +111,8 @@ class FaultPlan:
         """Build a plan from a CLI spec like ``"crash=0.15,nan=0.1"``.
 
         Recognized keys: ``crash``, ``nan``, ``hang``, ``slow``,
-        ``slow_s``, ``hang_s``.
+        ``outlier``, ``slow_s``, ``hang_s``, ``outlier_small``,
+        ``outlier_large``.
         """
         values: dict = dict(overrides)
         for part in spec.split(","):
@@ -109,7 +126,8 @@ class FaultPlan:
             key, _, raw = part.partition("=")
             key = key.strip()
             if key not in (
-                "crash", "nan", "hang", "slow", "slow_s", "hang_s"
+                "crash", "nan", "hang", "slow", "outlier",
+                "slow_s", "hang_s", "outlier_small", "outlier_large",
             ):
                 raise ValueError(f"unknown fault kind {key!r}")
             values[key] = float(raw)
@@ -175,6 +193,16 @@ class FaultInjectingBackend(_BaseBackend):
             if fault == "nan":
                 self._inject("nan", config)
                 values[index] = np.nan
+                continue
+            if fault == "outlier":
+                self._inject("outlier", config)
+                # an extra draw picks the direction; still deterministic,
+                # still independent of the run's sampling stream
+                values[index] = (
+                    self.plan.outlier_small
+                    if self.rng.random() < 0.5
+                    else self.plan.outlier_large
+                )
                 continue
             if fault == "hang":
                 self._inject("hang", config)

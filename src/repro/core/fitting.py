@@ -71,6 +71,7 @@ def fit_cv_round(
     *,
     k: Optional[int] = None,
     training: Optional[TrainingConfig] = None,
+    min_folds: Optional[int] = None,
     context: RunContext,
 ) -> FitOutcome:
     """Train one cross-validation ensemble under ``context``.
@@ -86,6 +87,11 @@ def fit_cv_round(
     before training (``fit.masked`` telemetry, ``fit.masked_rows``
     counter) and reported on the estimate as ``n_failed``, so a
     degraded run still fits on every point it *did* manage to simulate.
+
+    Folds whose training diverges through all restarts are quarantined
+    by the ensemble (see :mod:`repro.core.crossval`); ``min_folds``
+    bounds how many must survive before the round raises instead of
+    degrading.
     """
     started = time.perf_counter()
     x = np.asarray(x, dtype=np.float64)
@@ -100,7 +106,7 @@ def fit_cv_round(
         x, y = x[finite], y[finite]
     kwargs = {} if k is None else {"k": k}
     ensemble = CrossValidationEnsemble(
-        training=training, context=context, **kwargs
+        training=training, context=context, min_folds=min_folds, **kwargs
     )
     estimate = ensemble.fit(x, y)
     if n_failed:

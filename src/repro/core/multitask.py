@@ -16,7 +16,7 @@ import numpy as np
 
 from .encoding import MultiTargetScaler
 from .error import percentage_errors
-from .network import FeedForwardNetwork
+from .network import FeedForwardNetwork, warn_unseeded
 from .training import TrainingConfig
 
 
@@ -46,7 +46,10 @@ class MultiTaskNetwork:
         if n_tasks < 1:
             raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
         self.training = training or TrainingConfig()
-        self.rng = rng or np.random.default_rng()
+        if rng is None:
+            warn_unseeded("MultiTaskNetwork")
+            rng = np.random.default_rng()
+        self.rng = rng
         self.n_tasks = n_tasks
         self.network = FeedForwardNetwork(
             n_inputs=n_inputs,

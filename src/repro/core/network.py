@@ -11,6 +11,8 @@ The implementation is batch-vectorized numpy; no ML library is used.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -22,6 +24,80 @@ DEFAULT_HIDDEN_UNITS = 16
 DEFAULT_LEARNING_RATE = 0.001
 DEFAULT_MOMENTUM = 0.5
 DEFAULT_INIT_RANGE = 0.01
+
+#: |weight| above which a sigmoid/tanh unit fed unit-range inputs is
+#: effectively saturated (gradient ~ 0); used by :meth:`weight_health`
+SATURATION_THRESHOLD = 4.0
+
+
+class TrainingDiverged(RuntimeError):
+    """A training run produced a numerically unusable network.
+
+    Raised instead of letting NaN/inf propagate silently into ensemble
+    predictions and error estimates: by the finite-guards in
+    :meth:`FeedForwardNetwork.forward` / :meth:`~FeedForwardNetwork.gradients`,
+    by the mid-train divergence detection in
+    :class:`~repro.core.training.EarlyStoppingTrainer`, and by
+    :class:`~repro.core.training.RobustTrainer` once its restart budget
+    is exhausted.  ``reason`` names the failure mode ("weight explosion",
+    "dead network", ...) and ``epoch`` where it was detected, so the
+    error is recoverable (restart / quarantine) rather than opaque.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "diverged",
+        epoch: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.epoch = epoch
+
+
+@dataclass(frozen=True)
+class WeightHealth:
+    """Numeric health summary of a network's weight matrices.
+
+    ``finite`` is False as soon as any weight is NaN/inf; ``max_abs`` is
+    the largest weight magnitude (the explosion signal the trainer
+    thresholds); ``saturation`` is the fraction of weights whose
+    magnitude exceeds :data:`SATURATION_THRESHOLD` — a mostly-saturated
+    sigmoid/tanh network has near-zero gradients and cannot recover.
+    """
+
+    finite: bool
+    max_abs: float
+    saturation: float
+
+    def ok(self, max_weight: float) -> bool:
+        """Whether the weights are finite and below ``max_weight``."""
+        return self.finite and self.max_abs <= max_weight
+
+
+_UNSEEDED_WARNED = False
+
+
+def warn_unseeded(owner: str) -> None:
+    """One-time warning that ``owner`` fell back to an unseeded generator.
+
+    Every training call site is expected to thread a seeded generator
+    (normally from :class:`~repro.core.context.RunContext`); the
+    fallback exists only for throwaway interactive use, and silently
+    taking it breaks run reproducibility — hence the warning.
+    """
+    global _UNSEEDED_WARNED
+    if _UNSEEDED_WARNED:
+        return
+    _UNSEEDED_WARNED = True
+    warnings.warn(
+        f"{owner} was created without an rng and fell back to an "
+        "unseeded generator; results will not be reproducible. Pass a "
+        "seeded numpy Generator (e.g. via RunContext.seeded).",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class FeedForwardNetwork:
@@ -64,6 +140,7 @@ class FeedForwardNetwork:
         if init_range <= 0:
             raise ValueError(f"init_range must be positive, got {init_range}")
         if rng is None:
+            warn_unseeded("FeedForwardNetwork")
             rng = np.random.default_rng()
 
         self.n_inputs = n_inputs
@@ -85,9 +162,37 @@ class FeedForwardNetwork:
     def n_layers(self) -> int:
         return len(self.weights)
 
+    def weight_health(self) -> WeightHealth:
+        """Numeric health of the current weights (finite / max-|w| /
+        saturation fraction); cheap enough to run every early-stopping
+        check."""
+        max_abs = 0.0
+        saturated = 0
+        total = 0
+        finite = True
+        for weight in self.weights:
+            magnitudes = np.abs(weight)
+            layer_max = float(magnitudes.max())
+            if not np.isfinite(layer_max):
+                finite = False
+            max_abs = max(max_abs, layer_max)
+            with np.errstate(invalid="ignore"):
+                saturated += int((magnitudes > SATURATION_THRESHOLD).sum())
+            total += weight.size
+        return WeightHealth(
+            finite=finite,
+            max_abs=max_abs,
+            saturation=saturated / total if total else 0.0,
+        )
+
     def forward(self, x: np.ndarray) -> List[np.ndarray]:
         """Run the network; returns the activations of every layer
-        (including the input as element 0)."""
+        (including the input as element 0).
+
+        Raises :class:`TrainingDiverged` when the output contains
+        NaN/inf — diverged weights fail here, loudly, instead of
+        feeding garbage into predictions and error estimates.
+        """
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         if x.shape[1] != self.n_inputs:
             raise ValueError(
@@ -101,6 +206,11 @@ class FeedForwardNetwork:
                 activations.append(self.output_activation.forward(net))
             else:
                 activations.append(self.hidden_activation.forward(net))
+        if not np.isfinite(activations[-1]).all():
+            raise TrainingDiverged(
+                "network output contains non-finite values",
+                reason="non-finite output",
+            )
         return activations
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -149,6 +259,12 @@ class FeedForwardNetwork:
                 delta = (
                     delta @ self.weights[layer][1:].T
                 ) * self.hidden_activation.derivative_from_output(previous)
+        for grad in grads:
+            if not np.isfinite(grad).all():
+                raise TrainingDiverged(
+                    "backpropagation produced non-finite gradients",
+                    reason="non-finite gradients",
+                )
         return grads
 
     def apply_gradients(

@@ -54,6 +54,9 @@ def _rebuild_network(data, index: int) -> FeedForwardNetwork:
         n_outputs=weights[-1].shape[1],
         hidden_activation=str(data[f"net{index}_hidden_activation"]),
         output_activation=str(data[f"net{index}_output_activation"]),
+        # init weights are overwritten below; a fixed seed avoids the
+        # unseeded-generator warning on a fully deterministic path
+        rng=np.random.default_rng(0),
     )
     network.set_weights(weights)
     return network

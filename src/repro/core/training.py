@@ -9,18 +9,28 @@ Implements Section 3.1-3.3's training recipe:
 * early stopping on a held-aside set, evaluated on percentage error over
   actual (denormalized) values, with the best-so-far weights restored at
   the end.
+
+The recipe can diverge — near-zero targets make the inverse-target
+presentation weights degenerate, a too-large step size explodes the
+weights, saturated units go dead — so every fit runs under *training
+health* supervision: :class:`EarlyStoppingTrainer` checks for
+non-finite/exploding early-stopping error, weight explosion and dead
+(constant-prediction) networks at every check interval and raises
+:class:`~repro.core.network.TrainingDiverged` instead of returning
+garbage, and :class:`RobustTrainer` retries a diverged fit with
+deterministically reseeded weights up to ``max_restarts`` times.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..obs.metrics import MetricsRegistry
-from ..obs.telemetry import RunTelemetry
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 from .context import RunContext, resolve_context
 from .encoding import TargetScaler
 from .error import percentage_errors
@@ -30,7 +40,13 @@ from .network import (
     DEFAULT_LEARNING_RATE,
     DEFAULT_MOMENTUM,
     FeedForwardNetwork,
+    TrainingDiverged,
 )
+
+#: prediction spread below which an early-stopping check counts as
+#: "dead": a network whose outputs are this close to constant has
+#: collapsed (zeroed or fully saturated units), not merely plateaued
+DEAD_PREDICTION_SPREAD = 1e-12
 
 
 @dataclass(frozen=True)
@@ -61,6 +77,18 @@ class TrainingConfig:
     lr_decay: float = 0.5
     decay_after: int = 10
     weight_by_inverse_target: bool = True
+    # -- training-health supervision ----------------------------------
+    #: restarts a :class:`RobustTrainer` may spend on a diverged fit
+    max_restarts: int = 2
+    #: early-stopping percentage error above which a fit counts as
+    #: diverged (a useful model is within ~tens of percent; 1e6% means
+    #: the network left the target's order of magnitude entirely)
+    divergence_error: float = 1e6
+    #: largest tolerated weight magnitude before declaring explosion
+    max_weight: float = 1e6
+    #: consecutive constant-prediction checks before declaring the
+    #: network dead
+    dead_checks: int = 5
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -75,6 +103,14 @@ class TrainingConfig:
             raise ValueError("lr_decay must be in (0, 1]")
         if self.decay_after <= 0:
             raise ValueError("decay_after must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.divergence_error <= 0 or self.max_weight <= 0:
+            raise ValueError(
+                "divergence_error and max_weight must be positive"
+            )
+        if self.dead_checks <= 0:
+            raise ValueError("dead_checks must be positive")
 
     @classmethod
     def paper_settings(cls) -> "TrainingConfig":
@@ -151,6 +187,14 @@ class EarlyStoppingTrainer:
     def presentation_probabilities(self, targets: np.ndarray) -> np.ndarray:
         """Per-point presentation frequency, proportional to 1/target."""
         targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        finite = np.isfinite(targets)
+        if not finite.all():
+            bad = np.flatnonzero(~finite).tolist()
+            raise ValueError(
+                "inverse-target weighting requires finite targets; "
+                f"non-finite values at indices {bad} (NaN marks a failed "
+                "evaluation — mask those rows out before fitting)"
+            )
         if np.any(targets <= 0):
             raise ValueError(
                 "inverse-target weighting requires strictly positive targets"
@@ -159,6 +203,29 @@ class EarlyStoppingTrainer:
             return np.full(len(targets), 1.0 / len(targets))
         inverse = 1.0 / targets
         return inverse / inverse.sum()
+
+    def _diverged(
+        self,
+        message: str,
+        *,
+        reason: str,
+        epoch: int,
+        history: TrainingHistory,
+        **payload,
+    ) -> None:
+        """Record a divergence and raise :class:`TrainingDiverged`.
+
+        Single choke point for every failure mode the trainer detects:
+        emits one ``train.diverged`` event naming the reason, counts the
+        epochs spent on the doomed fit (so ``train.epochs`` stays an
+        honest work measure across restarts) and raises.
+        """
+        self.metrics.inc("train.epochs", history.epochs_run)
+        self.metrics.inc("train.diverged")
+        self.telemetry.emit(
+            "train.diverged", reason=reason, epoch=epoch, **payload
+        )
+        raise TrainingDiverged(message, reason=reason, epoch=epoch)
 
     def train(
         self,
@@ -194,26 +261,76 @@ class EarlyStoppingTrainer:
         best_weights = network.get_weights()
         checks_without_improvement = 0
         learning_rate = cfg.learning_rate
+        dead_streak = 0
 
         for epoch in range(1, cfg.max_epochs + 1):
             # one epoch = n presentations drawn at the weighted frequency
             order = self.rng.choice(n, size=n, p=probabilities)
-            for start in range(0, n, cfg.batch_size):
-                batch = order[start : start + cfg.batch_size]
-                network.train_batch(
-                    x_train[batch],
-                    y_norm[batch],
-                    learning_rate=learning_rate,
-                    momentum=cfg.momentum,
+            try:
+                for start in range(0, n, cfg.batch_size):
+                    batch = order[start : start + cfg.batch_size]
+                    network.train_batch(
+                        x_train[batch],
+                        y_norm[batch],
+                        learning_rate=learning_rate,
+                        momentum=cfg.momentum,
+                    )
+            except TrainingDiverged as exc:
+                self._diverged(
+                    str(exc), reason=exc.reason, epoch=epoch, history=history
                 )
             history.epochs_run = epoch
             if epoch % cfg.check_interval:
                 continue
 
-            predictions = scaler.inverse_transform(
-                network.predict(x_es)[:, 0]
-            )
+            health = network.weight_health()
+            if not health.ok(cfg.max_weight):
+                reason = (
+                    "weight explosion" if health.finite
+                    else "non-finite weights"
+                )
+                self._diverged(
+                    f"unhealthy weights at epoch {epoch}: "
+                    f"max |w| = {health.max_abs:g}, "
+                    f"saturation = {health.saturation:.3f}",
+                    reason=reason,
+                    epoch=epoch,
+                    history=history,
+                    max_abs=health.max_abs,
+                    saturation=health.saturation,
+                )
+            try:
+                raw = network.predict(x_es)[:, 0]
+            except TrainingDiverged as exc:
+                self._diverged(
+                    str(exc), reason=exc.reason, epoch=epoch, history=history
+                )
+            predictions = scaler.inverse_transform(raw)
             es_error = float(np.mean(percentage_errors(predictions, y_es)))
+            if not np.isfinite(es_error) or es_error > cfg.divergence_error:
+                self._diverged(
+                    f"early-stopping error {es_error:g} exceeds the "
+                    f"divergence threshold {cfg.divergence_error:g}",
+                    reason="exploding es_error",
+                    epoch=epoch,
+                    history=history,
+                    es_error=es_error,
+                )
+            # dead-network detection needs >= 2 ES points: spread over a
+            # single prediction is zero by definition, not a collapse
+            if len(raw) >= 2 and float(np.ptp(raw)) < DEAD_PREDICTION_SPREAD:
+                dead_streak += 1
+                if dead_streak >= cfg.dead_checks:
+                    self._diverged(
+                        f"constant predictions for {dead_streak} consecutive "
+                        "checks: the network is dead (zeroed or saturated)",
+                        reason="dead network",
+                        epoch=epoch,
+                        history=history,
+                        dead_streak=dead_streak,
+                    )
+            else:
+                dead_streak = 0
             history.es_errors.append(es_error)
             self.telemetry.emit(
                 "train.check",
@@ -255,3 +372,108 @@ class EarlyStoppingTrainer:
             n_es=len(x_es),
         )
         return history
+
+
+class RobustTrainer:
+    """Build-and-train wrapper that retries diverged fits deterministically.
+
+    Owns the whole fit — weight initialization, presentation order and
+    early stopping — from one integer ``seed`` (normally the per-fold
+    seed drawn from the run RNG).  When :class:`EarlyStoppingTrainer`
+    raises :class:`~repro.core.network.TrainingDiverged`, the fit is
+    retried with freshly reseeded weights up to ``max_restarts`` times:
+
+    * attempt 0 uses ``np.random.default_rng(seed)`` for both weight
+      init and presentation order — bit-identical to an unwrapped fit,
+      so healthy runs reproduce pre-robustness trajectories exactly;
+    * restart attempt ``a`` uses ``np.random.default_rng([seed, a])``,
+      a distinct but fully seed-determined stream, so retries are
+      bit-reproducible too.
+
+    Each restart emits a ``train.restart`` event and counter; exhausting
+    the budget re-raises ``TrainingDiverged`` with reason
+    ``"restarts exhausted"`` for the caller (fold quarantine) to handle.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TrainingConfig] = None,
+        *,
+        seed: int = 0,
+        max_restarts: Optional[int] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or TrainingConfig()
+        self.seed = int(seed)
+        self.max_restarts = (
+            self.config.max_restarts if max_restarts is None else max_restarts
+        )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
+
+    def _attempt_rng(self, attempt: int) -> np.random.Generator:
+        if attempt == 0:
+            # bit-identical to the pre-RobustTrainer single-attempt path
+            return np.random.default_rng(self.seed)
+        return np.random.default_rng([self.seed, attempt])
+
+    def build_network(
+        self, n_inputs: int, rng: np.random.Generator
+    ) -> FeedForwardNetwork:
+        """A freshly initialized network drawn from ``rng``."""
+        cfg = self.config
+        return FeedForwardNetwork(
+            n_inputs=n_inputs,
+            hidden_layers=cfg.hidden_layers,
+            hidden_activation=cfg.hidden_activation,
+            rng=rng,
+            init_range=cfg.init_range,
+        )
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_es: np.ndarray,
+        y_es: np.ndarray,
+        scaler: TargetScaler,
+    ) -> Tuple[FeedForwardNetwork, TrainingHistory]:
+        """Train a fresh network; returns ``(network, history)``.
+
+        Raises :class:`~repro.core.network.TrainingDiverged` only after
+        ``max_restarts + 1`` attempts all diverged.
+        """
+        x_train = np.asarray(x_train, dtype=np.float64)
+        last: Optional[TrainingDiverged] = None
+        for attempt in range(self.max_restarts + 1):
+            rng = self._attempt_rng(attempt)
+            network = self.build_network(x_train.shape[1], rng)
+            trainer = EarlyStoppingTrainer(
+                self.config, rng, self.telemetry, self.metrics
+            )
+            try:
+                history = trainer.train(
+                    network, x_train, y_train, x_es, y_es, scaler
+                )
+                return network, history
+            except TrainingDiverged as exc:
+                last = exc
+                if attempt < self.max_restarts:
+                    self.metrics.inc("train.restarts")
+                    self.telemetry.emit(
+                        "train.restart",
+                        attempt=attempt + 1,
+                        max_restarts=self.max_restarts,
+                        seed=self.seed,
+                        reason=exc.reason,
+                    )
+        assert last is not None
+        raise TrainingDiverged(
+            f"training diverged on all {self.max_restarts + 1} attempts "
+            f"(seed {self.seed}; last failure: {last})",
+            reason="restarts exhausted",
+            epoch=last.epoch,
+        )

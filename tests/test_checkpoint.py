@@ -1,5 +1,6 @@
 """Tests for crash-safe checkpointing and atomic artifact writes."""
 
+import hashlib
 import os
 import pickle
 
@@ -15,8 +16,10 @@ from repro.core import (
     RunContext,
     clear_checkpoint,
     load_checkpoint,
+    previous_path,
     save_checkpoint,
 )
+from repro.core.checkpoint import CHECKPOINT_FORMAT
 from repro.core.fitting import fit_cv_round
 from repro.experiments import run_learning_curve
 from repro.experiments.runner import (
@@ -96,10 +99,106 @@ class TestCheckpointPrimitives:
         path.write_bytes(b"not a pickle")
         metrics = MetricsRegistry(enabled=True)
         assert load_checkpoint(path, metrics=metrics, strict=False) is None
-        assert metrics.counter("checkpoint.read_errors") == 1
+        assert metrics.counter("checkpoint.corrupt") == 1
 
     def test_clear_missing_is_harmless(self, tmp_path):
         clear_checkpoint(tmp_path / "never-existed")
+
+
+def _flip_bit(path):
+    """Simulate bit rot: flip one bit in the middle of the file."""
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x01
+    path.write_bytes(bytes(data))
+
+
+class TestSelfHealingCheckpoints:
+    ROUNDS = (
+        {"round": 1, "data": list(range(200))},
+        {"round": 2, "data": list(range(200, 400))},
+    )
+
+    def _save_rounds(self, path, telemetry=None):
+        for payload in self.ROUNDS:
+            save_checkpoint(path, payload, telemetry)
+
+    def test_save_rotates_previous(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        telemetry = RunTelemetry()
+        self._save_rounds(path, telemetry)
+        assert previous_path(path).exists()
+        assert load_checkpoint(path) == self.ROUNDS[1]
+        saves = telemetry.events_named("checkpoint.save")
+        assert [e.payload["rotated"] for e in saves] == [False, True]
+        assert all(len(e.payload["sha256"]) == 64 for e in saves)
+
+    def test_bit_flip_falls_back_to_previous_round(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        self._save_rounds(path)
+        _flip_bit(path)
+        telemetry = RunTelemetry()
+        metrics = MetricsRegistry(enabled=True)
+        assert load_checkpoint(path, telemetry, metrics) == self.ROUNDS[0]
+        assert metrics.counter("checkpoint.corrupt") == 1
+        assert metrics.counter("checkpoint.fallbacks") == 1
+        assert metrics.counter("checkpoint.loads") == 1
+        assert telemetry.events_named("checkpoint.corrupt")
+        (fallback,) = telemetry.events_named("checkpoint.fallback")
+        assert fallback.payload["fallback"] == str(previous_path(path))
+
+    def test_missing_primary_uses_previous(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        self._save_rounds(path)
+        path.unlink()  # a crash between rotation and the atomic write
+        telemetry = RunTelemetry()
+        assert load_checkpoint(path, telemetry) == self.ROUNDS[0]
+        (fallback,) = telemetry.events_named("checkpoint.fallback")
+        assert "missing" in fallback.payload["reason"]
+
+    def test_both_corrupt_strict_raises(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        self._save_rounds(path)
+        _flip_bit(path)
+        _flip_bit(previous_path(path))
+        metrics = MetricsRegistry(enabled=True)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, metrics=metrics, strict=True)
+        assert metrics.counter("checkpoint.corrupt") == 2
+
+    def test_both_corrupt_lenient_degrades(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        self._save_rounds(path)
+        _flip_bit(path)
+        _flip_bit(previous_path(path))
+        assert load_checkpoint(path, strict=False) is None
+
+    def test_envelope_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        blob = pickle.dumps({"round": 9})
+        atomic_write_pickle(
+            path,
+            {
+                "format": CHECKPOINT_FORMAT,
+                "version": 1,
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "payload": blob,
+            },
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path, strict=True)
+
+    def test_legacy_raw_pickle_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(pickle.dumps({"round": 1}))
+        with pytest.raises(CheckpointError, match="envelope"):
+            load_checkpoint(path, strict=True)
+
+    def test_clear_removes_previous_too(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        self._save_rounds(path)
+        clear_checkpoint(path)
+        assert not path.exists()
+        assert not previous_path(path).exists()
 
 
 class TestDegradedTraining:
@@ -183,6 +282,43 @@ class TestExplorerCheckpointing:
         )
         # a finished run leaves no checkpoint behind
         assert not path.exists()
+
+    def test_corrupted_checkpoint_resumes_from_previous_round(
+        self, tiny_space, fast_training, tmp_path
+    ):
+        """Bit rot in the newest checkpoint costs one round, never the
+        run: resume falls back to ``<path>.prev`` and still reproduces
+        the uninterrupted result bit-identically."""
+        baseline = self._explorer(
+            tiny_space, smooth_simulator, fast_training
+        ).explore(target_error=1.0, max_simulations=30)
+        assert len(baseline.rounds) >= 3  # needs a .prev to fall back to
+
+        path = tmp_path / "explore.ckpt"
+        dying = _InterruptedSimulator(fail_after=20)  # dies in round 3
+        with pytest.raises(RuntimeError):
+            self._explorer(tiny_space, dying, fast_training).explore(
+                target_error=1.0, max_simulations=30, checkpoint=path
+            )
+        assert path.exists() and previous_path(path).exists()
+
+        _flip_bit(path)  # corrupt the round-2 checkpoint
+
+        resumed = self._explorer(
+            tiny_space, smooth_simulator, fast_training, seed=99
+        ).explore(target_error=1.0, max_simulations=30, checkpoint=path)
+
+        assert resumed.sampled_indices == baseline.sampled_indices
+        assert resumed.targets == baseline.targets
+        assert [r.estimate.mean for r in resumed.rounds] == [
+            r.estimate.mean for r in baseline.rounds
+        ]
+        np.testing.assert_array_equal(
+            resumed.predict_space(), baseline.predict_space()
+        )
+        # a finished run leaves neither checkpoint file behind
+        assert not path.exists()
+        assert not previous_path(path).exists()
 
     def test_terminal_checkpoint_short_circuits(
         self, tiny_space, fast_training, tmp_path

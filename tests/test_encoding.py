@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core import MultiTargetScaler, ParameterEncoder, TargetScaler
@@ -112,10 +112,14 @@ class TestTargetScaler:
         assert scaled.min() == pytest.approx(0.0)
         assert scaled.max() == pytest.approx(1.0)
 
-    def test_degenerate_range(self):
-        scaler = TargetScaler().fit(np.full(5, 2.0))
-        assert scaler.transform(np.array([2.0]))[0] == pytest.approx(0.5)
-        assert scaler.inverse_transform(np.array([0.9]))[0] == pytest.approx(2.0)
+    def test_degenerate_range_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            TargetScaler().fit(np.full(5, 2.0))
+
+    def test_non_finite_targets_rejected(self):
+        y = np.array([1.0, np.nan, 2.0, np.inf])
+        with pytest.raises(ValueError, match=r"\[1, 3\]"):
+            TargetScaler().fit(y)
 
     def test_requires_fit(self):
         with pytest.raises(RuntimeError):
@@ -135,6 +139,7 @@ class TestTargetScaler:
     @settings(max_examples=50, deadline=None)
     def test_round_trip_property(self, values):
         y = np.array(values)
+        assume(y.max() > y.min())  # degenerate sets are rejected by fit
         scaler = TargetScaler().fit(y)
         np.testing.assert_allclose(
             scaler.inverse_transform(scaler.transform(y)), y, rtol=1e-9, atol=1e-9

@@ -42,12 +42,12 @@ def numerical_gradients(network, x, y, weights=None, eps=1e-6):
 
 class TestConstruction:
     def test_shapes(self):
-        net = FeedForwardNetwork(5, (16,), 2)
+        net = FeedForwardNetwork(5, (16,), 2, rng=np.random.default_rng(0))
         assert net.weights[0].shape == (6, 16)
         assert net.weights[1].shape == (17, 2)
 
     def test_multiple_hidden_layers(self):
-        net = FeedForwardNetwork(3, (8, 4), 1)
+        net = FeedForwardNetwork(3, (8, 4), 1, rng=np.random.default_rng(0))
         assert [w.shape for w in net.weights] == [(4, 8), (9, 4), (5, 1)]
 
     def test_init_range(self, rng):

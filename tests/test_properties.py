@@ -4,6 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import ParameterEncoder
 from repro.cpu import MachineConfig, SlotScheduler, get_interval_simulator
 from repro.experiments import get_study
 from repro.memory import Cache, ReuseProfile
@@ -155,3 +156,55 @@ class TestStudyProperties:
         from repro.experiments.studies import REGISTER_FILE_CHOICES
 
         assert point["register_file"] in REGISTER_FILE_CHOICES[point["rob_size"]]
+
+
+# ----------------------------------------------------------------------
+# design spaces: enumeration, sampling and encoding invariants
+# ----------------------------------------------------------------------
+class TestDesignSpaceProperties:
+    @given(st.integers(min_value=0, max_value=20_735))
+    @settings(max_examples=100, deadline=None)
+    def test_config_index_round_trip_satisfies_constraints(self, index):
+        """The constrained processor space only ever enumerates points
+        that satisfy its dependent-choices constraint, and the
+        config <-> index mapping round-trips exactly."""
+        space = get_study("processor").space
+        config = space.config_at(index)
+        space.validate(config)  # raises on a constraint violation
+        assert space.index_of(config) == index
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_sampled_indices_satisfy_constraints(self, seed):
+        space = get_study("processor").space
+        rng = np.random.default_rng(seed)
+        indices = space.sample_indices(16, rng)
+        assert len(set(indices)) == 16  # sampling is without replacement
+        for index in indices:
+            space.validate(space.config_at(int(index)))
+
+    @given(st.integers(min_value=0, max_value=20_735))
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_unit_interval_and_deterministic(self, index):
+        """Section 3.3: every encoded feature lands in [0, 1], and
+        encoding is a pure function of the configuration."""
+        space = get_study("processor").space
+        encoder = ParameterEncoder(space)
+        config = space.config_at(index)
+        vec = encoder.encode(config)
+        assert vec.shape == (encoder.n_features,)
+        assert np.all(vec >= 0.0) and np.all(vec <= 1.0)
+        np.testing.assert_array_equal(vec, encoder.encode(config))
+
+    @given(st.integers(min_value=0, max_value=20_735))
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_separates_distinct_configs(self, index):
+        """Distinct configurations never collide in feature space (here
+        checked against the space's first point)."""
+        space = get_study("processor").space
+        encoder = ParameterEncoder(space)
+        if index == 0:
+            return
+        first = encoder.encode(space.config_at(0))
+        other = encoder.encode(space.config_at(index))
+        assert not np.array_equal(first, other)
