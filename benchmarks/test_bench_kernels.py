@@ -1,0 +1,247 @@
+"""Kernel throughput benches with a committed regression gate.
+
+Times the two hot paths the vectorized kernels replaced:
+
+* one training epoch through :class:`TrainingKernel.run_epoch` versus
+  the legacy per-batch ``FeedForwardNetwork.train_batch`` loop, at the
+  default batch size and at the paper's literal per-sample presentation
+  (``batch_size=1``);
+* full-design-space ensemble prediction through the cached design
+  matrix + chunked batch kernel versus the legacy per-configuration
+  encode-and-predict loop, on the memory-system study (23 040 points).
+
+Results are written to ``BENCH_kernels.json`` at the repo root (the CI
+bench-smoke job uploads it as an artifact).  The gate compares the
+*dimensionless speedup ratios* — not wall-clock seconds — against the
+committed baseline in ``benchmarks/baselines/``, failing on a >25%
+regression, plus a hard floor of 3x on full-space prediction.  Ratios
+of two measurements taken on the same machine in the same process are
+stable across hardware generations in a way raw seconds are not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from bench_utils import emit
+
+from repro.core import encoding
+from repro.core.encoding import ParameterEncoder, TargetScaler, design_matrix
+from repro.core.ensemble import EnsemblePredictor
+from repro.core.kernels import DEFAULT_PREDICT_CHUNK, TrainingKernel
+from repro.core.network import FeedForwardNetwork
+from repro.core.training import TrainingConfig
+from repro.experiments.studies import get_study
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_kernels.json"
+BASELINE_PATH = (
+    Path(__file__).resolve().parent / "baselines" / "BENCH_kernels_baseline.json"
+)
+SMALL = os.environ.get("REPRO_BENCH_SMALL", "") == "1"
+#: measured speedups may drop at most 25% below the committed baseline
+TOLERANCE = 0.75
+#: full-space prediction must beat the per-config loop by at least this
+PREDICT_FLOOR = 3.0
+
+
+def _best_of(fn, repeats):
+    """Minimum wall time over ``repeats`` runs (noise-robust estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _legacy_epoch(network, x, y, order, batch_size, lr, momentum):
+    """The pre-kernel training epoch: per-batch ``train_batch`` calls."""
+    n = len(order)
+    for start in range(0, n, batch_size):
+        batch = order[start : start + batch_size]
+        network.train_batch(
+            x[batch], y[batch], learning_rate=lr, momentum=momentum
+        )
+
+
+def _bench_train_epoch(batch_size, repeats):
+    cfg = TrainingConfig()
+    rng = np.random.default_rng(0)
+    n = 256 if SMALL else 512
+    x = rng.uniform(0.0, 1.0, (n, 10))
+    y = rng.uniform(0.1, 0.9, (n, 1))
+    order = np.random.default_rng(1).permutation(n)
+
+    def fresh():
+        return FeedForwardNetwork(
+            n_inputs=10,
+            hidden_layers=cfg.hidden_layers,
+            hidden_activation=cfg.hidden_activation,
+            rng=np.random.default_rng(7),
+        )
+
+    # a deliberately small learning rate: the nets train for
+    # ``repeats`` epochs back to back, and the bench must stay finite
+    # (divergence would abort timing); epoch cost is rate-independent
+    lr = 0.01
+    kernel_net = fresh()
+    kernel = TrainingKernel(kernel_net, x, y)
+    kernel_s = _best_of(
+        lambda: kernel.run_epoch(
+            order, batch_size, learning_rate=lr, momentum=0.9
+        ),
+        repeats,
+    )
+    legacy_net = fresh()
+    legacy_s = _best_of(
+        lambda: _legacy_epoch(legacy_net, x, y, order, batch_size, lr, 0.9),
+        repeats,
+    )
+    return {
+        "n_samples": n,
+        "batch_size": batch_size,
+        "kernel_s": kernel_s,
+        "legacy_s": legacy_s,
+        "speedup": legacy_s / kernel_s,
+    }
+
+
+def _bench_predict_space(repeats):
+    study = get_study("memory-system")
+    space = study.space
+    encoder = ParameterEncoder(space)
+    member_rng = np.random.default_rng(0)
+    networks = [
+        FeedForwardNetwork(
+            n_inputs=encoder.n_features,
+            hidden_layers=(16, 16),
+            rng=np.random.default_rng(int(member_rng.integers(1 << 30))),
+            init_range=0.5,
+        )
+        for _ in range(8)
+    ]
+    scaler = TargetScaler().fit(np.array([0.2, 2.5]))
+    predictor = EnsemblePredictor(networks=networks, scaler=scaler)
+
+    # legacy path: encode + predict one configuration at a time; timed on
+    # a sample and scaled to the full space (the loop is embarrassingly
+    # uniform, so the extrapolation is exact up to noise)
+    n_sample = 200 if SMALL else 500
+    idx = np.random.default_rng(3).choice(len(space), n_sample, replace=False)
+    configs = [space.config_at(int(i)) for i in idx]
+
+    def per_config():
+        for config in configs:
+            predictor.predict(encoder.encode(config)[None, :])
+
+    per_config_s = _best_of(per_config, repeats)
+    per_point_s = per_config_s / n_sample
+    full_equiv_s = per_point_s * len(space)
+
+    # kernel path, cold: one encoding pass into the cached design matrix
+    # plus the chunked batch predict
+    encoding._SPACE_MATRICES.pop(space, None)
+    start = time.perf_counter()
+    matrix = design_matrix(space)
+    matrix_build_s = time.perf_counter() - start
+    chunked_warm_s = _best_of(
+        lambda: predictor.predict(matrix, chunk_size=DEFAULT_PREDICT_CHUNK),
+        repeats,
+    )
+    chunked_cold_s = matrix_build_s + chunked_warm_s
+    return {
+        "study": "memory-system",
+        "n_points": len(space),
+        "n_members": len(networks),
+        "n_sampled_for_legacy": n_sample,
+        "per_config_s_per_point": per_point_s,
+        "per_config_full_equiv_s": full_equiv_s,
+        "matrix_build_s": matrix_build_s,
+        "chunked_warm_s": chunked_warm_s,
+        "chunked_cold_s": chunked_cold_s,
+        "speedup_warm": full_equiv_s / chunked_warm_s,
+        "speedup_cold": full_equiv_s / chunked_cold_s,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    repeats = 3 if SMALL else 5
+    data = {
+        "schema": 1,
+        "small": SMALL,
+        "repeats": repeats,
+        "train_epoch": {
+            "batch_default": _bench_train_epoch(32, repeats),
+            "batch_1": _bench_train_epoch(1, repeats),
+        },
+        "predict_space": _bench_predict_space(repeats),
+        "gate": {"tolerance": TOLERANCE, "predict_floor": PREDICT_FLOOR},
+    }
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def test_bench_kernels_report(results):
+    train = results["train_epoch"]
+    predict = results["predict_space"]
+    emit(
+        "kernel benches (small=%s)\n"
+        "  train epoch  batch=32: %.2fx  (kernel %.4fs vs legacy %.4fs)\n"
+        "  train epoch  batch=1:  %.2fx  (kernel %.4fs vs legacy %.4fs)\n"
+        "  predict %d pts warm:   %.1fx  (chunked %.4fs vs per-config %.2fs)\n"
+        "  predict cold (+matrix): %.1fx\n"
+        "  -> %s"
+        % (
+            results["small"],
+            train["batch_default"]["speedup"],
+            train["batch_default"]["kernel_s"],
+            train["batch_default"]["legacy_s"],
+            train["batch_1"]["speedup"],
+            train["batch_1"]["kernel_s"],
+            train["batch_1"]["legacy_s"],
+            predict["n_points"],
+            predict["speedup_warm"],
+            predict["chunked_warm_s"],
+            predict["per_config_full_equiv_s"],
+            predict["speedup_cold"],
+            RESULT_PATH,
+        )
+    )
+    assert RESULT_PATH.exists()
+
+
+def test_bench_kernels_regression_gate(results):
+    """Fail on a >25% speedup regression versus the committed baseline."""
+    assert BASELINE_PATH.exists(), (
+        f"missing committed baseline {BASELINE_PATH}; run this bench and "
+        f"copy BENCH_kernels.json there to (re)establish it"
+    )
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    predict = results["predict_space"]
+    assert predict["speedup_warm"] >= PREDICT_FLOOR, (
+        f"full-space predict speedup {predict['speedup_warm']:.2f}x fell "
+        f"below the hard {PREDICT_FLOOR}x floor"
+    )
+    floor = TOLERANCE * baseline["predict_space"]["speedup_warm"]
+    assert predict["speedup_warm"] >= floor, (
+        f"full-space predict speedup regressed: {predict['speedup_warm']:.2f}x "
+        f"vs gate {floor:.2f}x (baseline "
+        f"{baseline['predict_space']['speedup_warm']:.2f}x - 25%)"
+    )
+
+    for key in ("batch_default", "batch_1"):
+        got = results["train_epoch"][key]["speedup"]
+        want = TOLERANCE * baseline["train_epoch"][key]["speedup"]
+        assert got >= want, (
+            f"train-epoch ({key}) speedup regressed: {got:.2f}x vs gate "
+            f"{want:.2f}x (baseline "
+            f"{baseline['train_epoch'][key]['speedup']:.2f}x - 25%)"
+        )

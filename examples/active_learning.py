@@ -23,6 +23,7 @@ from repro.core import (
     MultiTaskNetwork,
     ParameterEncoder,
     QueryByCommitteeSampler,
+    RunContext,
     TrainingConfig,
     percentage_errors,
 )
@@ -38,7 +39,7 @@ def run_strategy(study, simulate, sampler, seed):
         study.space,
         simulate,
         batch_size=BATCH,
-        rng=np.random.default_rng(seed),
+        context=RunContext.seeded(seed),
         sampler=sampler,
     )
     return explorer.explore(target_error=0.1, max_simulations=BUDGET)

@@ -18,7 +18,7 @@ Run:  python examples/cross_application.py
 import numpy as np
 
 from repro import CrossApplicationModel, get_study
-from repro.core import CrossValidationEnsemble, percentage_errors
+from repro.core import CrossValidationEnsemble, RunContext, percentage_errors
 from repro.experiments import encoded_space, full_space_ground_truth
 
 BENCHMARKS = ("gzip", "mesa", "crafty")
@@ -28,7 +28,7 @@ TRANSFER_SAMPLES = 40  # the data-poor application's budget
 
 def single_app_error(study, benchmark, indices, x_full):
     truth = full_space_ground_truth(study, benchmark)
-    ensemble = CrossValidationEnsemble(rng=np.random.default_rng(3))
+    ensemble = CrossValidationEnsemble(context=RunContext.seeded(3))
     ensemble.fit(x_full[indices], truth[indices])
     heldout = np.ones(len(truth), dtype=bool)
     heldout[indices] = False
@@ -54,7 +54,7 @@ def main() -> None:
         )
 
     joint = CrossApplicationModel(
-        study.space, BENCHMARKS, rng=np.random.default_rng(5)
+        study.space, BENCHMARKS, context=RunContext.seeded(5)
     )
     joint.fit(samples)
 
@@ -83,7 +83,7 @@ def main() -> None:
     transfer_samples = dict(samples)
     transfer_samples[poor] = (poor_indices, poor_truth[poor_indices])
     transfer = CrossApplicationModel(
-        study.space, BENCHMARKS, rng=np.random.default_rng(7)
+        study.space, BENCHMARKS, context=RunContext.seeded(7)
     )
     transfer.fit(transfer_samples)
     transfer_errors = percentage_errors(

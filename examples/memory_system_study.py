@@ -21,7 +21,7 @@ import sys
 import numpy as np
 
 from repro import RunTelemetry, get_study, make_simulate_fn
-from repro.core import CrossValidationEnsemble, ParameterEncoder
+from repro.core import CrossValidationEnsemble, ParameterEncoder, RunContext
 from repro.cpu import get_interval_simulator
 from repro.doe import PlackettBurmanStudy
 
@@ -38,7 +38,9 @@ def model_benchmark(study, benchmark, rng, telemetry):
     with telemetry.phase(f"simulate.{benchmark}"):
         x = encoder.encode_many(configs)
         y = np.array([simulate(c) for c in configs])
-    ensemble = CrossValidationEnsemble(rng=rng, telemetry=telemetry)
+    ensemble = CrossValidationEnsemble(
+        context=RunContext(rng=rng, telemetry=telemetry)
+    )
     estimate = ensemble.fit(x, y)
     return ensemble, encoder, estimate
 

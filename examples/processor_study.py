@@ -21,7 +21,7 @@ import sys
 import numpy as np
 
 from repro import get_study, make_simulate_fn
-from repro.core import CrossValidationEnsemble, ParameterEncoder
+from repro.core import CrossValidationEnsemble, ParameterEncoder, RunContext
 
 SAMPLES = 400
 
@@ -38,7 +38,7 @@ def main() -> None:
     x = encoder.encode_many(configs)
     y = np.array([simulate(c) for c in configs])
 
-    ensemble = CrossValidationEnsemble(rng=rng)
+    ensemble = CrossValidationEnsemble(context=RunContext(rng=rng))
     estimate = ensemble.fit(x, y)
     print(f"{benchmark}: trained on {SAMPLES} of {len(study.space):,} "
           f"configurations; CV estimate {estimate.mean:.2f}% "

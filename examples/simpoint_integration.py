@@ -21,7 +21,12 @@ import sys
 import numpy as np
 
 from repro import SimPointSimulator, get_study
-from repro.core import CrossValidationEnsemble, ParameterEncoder, percentage_errors
+from repro.core import (
+    CrossValidationEnsemble,
+    ParameterEncoder,
+    RunContext,
+    percentage_errors,
+)
 from repro.experiments import full_space_ground_truth
 from repro.workloads import generate_trace, get_workload
 
@@ -67,7 +72,7 @@ def main() -> None:
 
     for label, targets in (("full-sim", clean_targets),
                            ("ANN+SimPoint", noisy_targets)):
-        ensemble = CrossValidationEnsemble(rng=np.random.default_rng(13))
+        ensemble = CrossValidationEnsemble(context=RunContext.seeded(13))
         estimate = ensemble.fit(x, targets)
         errors = percentage_errors(
             ensemble.predict(x_heldout), truth[heldout]

@@ -8,14 +8,14 @@ every substrate the paper depends on (out-of-order processor and memory
 hierarchy simulation, synthetic SPEC-like workloads, SimPoint,
 Plackett-Burman designs).
 
-Quick start::
+Quick start (the stable public surface lives in :mod:`repro.api`)::
 
-    from repro import DesignSpaceExplorer, get_study, make_simulate_fn
+    from repro.api import explore, get_study, make_simulate_fn
 
     study = get_study("memory-system")
-    explorer = DesignSpaceExplorer(
-        study.space, make_simulate_fn(study, "mcf"))
-    result = explorer.explore(target_error=2.0, max_simulations=1000)
+    result = explore(
+        study.space, make_simulate_fn(study, "mcf"),
+        target_error=2.0, max_simulations=1000, seed=42)
     print(result.final_estimate)
 """
 

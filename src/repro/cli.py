@@ -147,7 +147,7 @@ def _evaluation_backend(args: argparse.Namespace, context: RunContext):
         backend = ResilientBackend(
             backend,
             policy=RetryPolicy(
-                max_attempts=max_retries + 1,
+                max_retries=max_retries,
                 base_delay_s=0.05,
                 seed=args.seed,
             ),

@@ -29,7 +29,12 @@ from .crossval import (
     CrossValidationEnsemble,
     make_folds,
 )
-from .encoding import MultiTargetScaler, ParameterEncoder, TargetScaler
+from .encoding import (
+    MultiTargetScaler,
+    ParameterEncoder,
+    TargetScaler,
+    design_matrix,
+)
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, ErrorStatistics, percentage_errors
 from .explorer import (
@@ -40,6 +45,13 @@ from .explorer import (
 )
 from .faults import FaultInjectingBackend, FaultPlan, InjectedFault
 from .fitting import FitOutcome, evaluate_batch, fit_cv_round
+from .kernels import (
+    DEFAULT_PREDICT_CHUNK,
+    TrainingKernel,
+    ensemble_predict,
+    ensemble_variance,
+    member_predictions,
+)
 from .multitask import MultiTaskNetwork, auxiliary_target_names
 from .network import (
     DEFAULT_HIDDEN_UNITS,
@@ -80,6 +92,7 @@ __all__ = [
     "DEFAULT_INIT_RANGE",
     "DEFAULT_LEARNING_RATE",
     "DEFAULT_MOMENTUM",
+    "DEFAULT_PREDICT_CHUNK",
     "DesignSpaceExplorer",
     "EarlyStoppingTrainer",
     "EnsemblePredictor",
@@ -119,14 +132,19 @@ __all__ = [
     "TrainingConfig",
     "TrainingDiverged",
     "TrainingHistory",
+    "TrainingKernel",
     "WeightHealth",
     "as_backend",
     "auxiliary_target_names",
     "clear_checkpoint",
     "default_cache_dir",
     "default_n_jobs",
+    "design_matrix",
+    "ensemble_predict",
+    "ensemble_variance",
     "evaluate_batch",
     "fit_cv_round",
+    "member_predictions",
     "get_activation",
     "load_checkpoint",
     "load_predictor",

@@ -73,9 +73,10 @@ class QueryByCommitteeSampler:
                 self.pool_size + n_active, len(space) - len(excluded)
             )
             pool = space.sample_indices(pool_want, rng, excluded)
-            configs = [space.config_at(i) for i in pool]
+            # the cached design matrix turns pool scoring into a row
+            # gather plus one chunked batch-predict per round
             variance = predictor.prediction_variance(
-                self.encoder.encode_many(configs)
+                self.encoder.encode_space()[np.asarray(pool, dtype=np.intp)]
             )
             ranked = np.argsort(variance)[::-1]
             chosen.extend(pool[int(i)] for i in ranked[:n_active])

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..designspace.space import DesignSpace
+from .context import RunContext, resolve_context
 from .crossval import DEFAULT_FOLDS, CrossValidationEnsemble
 from .encoding import ParameterEncoder
 from .error import ErrorEstimate
@@ -31,8 +32,12 @@ class CrossApplicationModel:
         The shared design space.
     benchmarks:
         Applications the model covers; order fixes the one-hot layout.
-    training, k, rng:
+    training, k:
         Passed through to the underlying cross-validation ensemble.
+    context:
+        :class:`~repro.core.context.RunContext` for the underlying
+        ensemble; the legacy ``rng`` keyword remains supported for one
+        more release (pass either, not both).
     """
 
     def __init__(
@@ -42,6 +47,7 @@ class CrossApplicationModel:
         training: Optional[TrainingConfig] = None,
         k: int = DEFAULT_FOLDS,
         rng: Optional[np.random.Generator] = None,
+        context: Optional[RunContext] = None,
     ):
         benchmarks = tuple(benchmarks)
         if len(benchmarks) < 2:
@@ -53,7 +59,10 @@ class CrossApplicationModel:
         self.space = space
         self.benchmarks = benchmarks
         self.encoder = ParameterEncoder(space)
-        self.ensemble = CrossValidationEnsemble(k=k, training=training, rng=rng)
+        ctx = resolve_context(context, rng=rng, owner="CrossApplicationModel")
+        self.ensemble = CrossValidationEnsemble(
+            k=k, training=training, context=ctx
+        )
         self._app_index = {name: i for i, name in enumerate(benchmarks)}
 
     @property
@@ -92,6 +101,7 @@ class CrossApplicationModel:
         """
         blocks_x: List[np.ndarray] = []
         blocks_y: List[np.ndarray] = []
+        space_x = self.encoder.encode_space()
         for benchmark, (indices, targets) in samples.items():
             indices = list(indices)
             targets = np.asarray(targets, dtype=np.float64)
@@ -100,8 +110,9 @@ class CrossApplicationModel:
                     f"{benchmark}: {len(indices)} indices vs "
                     f"{len(targets)} targets"
                 )
-            configs = [self.space.config_at(i) for i in indices]
-            blocks_x.append(self.encode(benchmark, configs))
+            x = space_x[np.asarray(indices, dtype=np.intp)]
+            tag = np.tile(self._one_hot(benchmark), (len(x), 1))
+            blocks_x.append(np.hstack([x, tag]))
             blocks_y.append(targets)
         if not blocks_x:
             raise ValueError("no samples provided")

@@ -248,7 +248,7 @@ class CrossValidationEnsemble:
             )
         self.context = resolve_context(
             context, rng=rng, telemetry=telemetry, metrics=metrics,
-            n_jobs=n_jobs,
+            n_jobs=n_jobs, owner="CrossValidationEnsemble",
         )
         self.predictor: Optional[EnsemblePredictor] = None
         self.estimate: Optional[ErrorEstimate] = None

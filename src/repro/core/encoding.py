@@ -13,7 +13,8 @@
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Sequence
+import weakref
+from typing import Any, Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -107,9 +108,42 @@ class ParameterEncoder:
         return np.vstack([self.encode(config) for config in configs])
 
     def encode_space(self) -> np.ndarray:
-        """Encode every valid point of the design space, in enumeration
-        order.  Used to predict the full space after training."""
-        return np.vstack([self.encode(config) for config in self.space])
+        """The cached design matrix of the whole space; see
+        :func:`design_matrix`.  Row ``i`` encodes
+        ``space.config_at(i)``, so callers index rows instead of
+        re-encoding configurations."""
+        return design_matrix(self.space, self.cardinal_encoding)
+
+
+#: per-space cache of full design matrices, keyed weakly so a discarded
+#: space releases its (possibly multi-MB) matrices with it
+_SPACE_MATRICES: "weakref.WeakKeyDictionary[DesignSpace, Dict[str, np.ndarray]]"
+_SPACE_MATRICES = weakref.WeakKeyDictionary()
+
+
+def design_matrix(
+    space: DesignSpace, cardinal_encoding: str = "rank"
+) -> np.ndarray:
+    """The full design space encoded as one immutable ``(N, F)`` matrix.
+
+    Encoding a ~20k-point space is a pure function of the space and the
+    encoding scheme, yet it used to be redone every exploration round
+    and every ``predict_space`` call; this caches one read-only matrix
+    per (space, encoding) for the life of the space.  Row ``i`` encodes
+    ``space.config_at(i)`` (enumeration order), so sampled subsets are
+    cheap row gathers (``design_matrix(space)[indices]``).
+
+    The returned array is marked read-only — it is shared by every
+    encoder of the space; callers who need to mutate must copy.
+    """
+    per_space = _SPACE_MATRICES.setdefault(space, {})
+    matrix = per_space.get(cardinal_encoding)
+    if matrix is None:
+        encoder = ParameterEncoder(space, cardinal_encoding)
+        matrix = np.vstack([encoder.encode(config) for config in space])
+        matrix.setflags(write=False)
+        per_space[cardinal_encoding] = matrix
+    return matrix
 
 
 class TargetScaler:

@@ -217,7 +217,8 @@ class DesignSpaceExplorer:
         self.training = training or TrainingConfig()
         self.min_folds = min_folds
         self.context = resolve_context(
-            context, rng=rng, telemetry=telemetry, metrics=metrics
+            context, rng=rng, telemetry=telemetry, metrics=metrics,
+            owner="DesignSpaceExplorer",
         )
         self.sampler = sampler
         self.encoder = ParameterEncoder(space)
@@ -353,9 +354,12 @@ class DesignSpaceExplorer:
                 sampled.extend(new_indices)
                 targets.extend(float(v) for v in values)
             with telemetry.phase("explore.train"):
-                x = self.encoder.encode_many(
-                    [self.space.config_at(i) for i in sampled]
-                )
+                # the cached design matrix makes each round's training
+                # inputs a row gather instead of a re-encode of every
+                # sampled configuration
+                x = self.encoder.encode_space()[
+                    np.asarray(sampled, dtype=np.intp)
+                ]
                 y = np.asarray(targets)
                 outcome = fit_cv_round(
                     x, y, k=self.k, training=self.training,

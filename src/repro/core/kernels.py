@@ -1,0 +1,283 @@
+"""Vectorized training and inference kernels (the modeling hot paths).
+
+Two loops dominate the cost of the paper's procedure once simulation is
+cheap: the per-epoch mini-batch backpropagation inside
+:class:`~repro.core.training.EarlyStoppingTrainer`, and full-design-space
+prediction (20,736-23,040 points per benchmark) inside
+:class:`~repro.core.ensemble.EnsemblePredictor`.  This module implements
+both as fused numpy kernels:
+
+* :class:`TrainingKernel` runs a whole epoch of presentation-sampled
+  mini-batch gradient descent with momentum as batched forward/backward
+  matmuls.  Input validation happens once at construction, the epoch's
+  presentations are gathered with a single fancy-index instead of one
+  per batch, and the per-batch finite-guards of
+  :meth:`FeedForwardNetwork.gradients` are hoisted to one cheap
+  weight-finiteness check per epoch — non-finite values cannot
+  "un-diverge" under gradient descent with momentum, so checking after
+  the epoch detects the failure in the same epoch the old per-batch
+  guards did.
+* :func:`ensemble_predict` / :func:`member_predictions` /
+  :func:`ensemble_variance` evaluate every ensemble member over a large
+  point set in fixed-size chunks (a handful of matmuls per member per
+  chunk), bounding peak memory while keeping the reduction over members
+  bit-identical to the unchunked ``vstack(...).mean(axis=0)`` path.
+
+The kernels compute *exactly* the same floating-point operations, in the
+same order, as the per-batch/per-call paths they replace: with any
+``batch_size`` (including 1, the paper's literal per-sample
+presentation) the weight trajectory is bit-identical to the pre-kernel
+implementation, which is what ``tests/test_kernels.py`` locks in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .encoding import TargetScaler
+from .network import FeedForwardNetwork, TrainingDiverged
+
+#: rows per chunk for batched full-space prediction; large enough that
+#: BLAS dominates, small enough that the (k, chunk) member block and the
+#: per-layer activations stay cache- and memory-friendly
+DEFAULT_PREDICT_CHUNK = 8192
+
+
+class TrainingKernel:
+    """Fused mini-batch SGD+momentum epochs over one network and dataset.
+
+    Parameters
+    ----------
+    network:
+        The network to train in place.  The kernel holds references to
+        its weight and velocity arrays; in-place mutations made through
+        :meth:`FeedForwardNetwork.set_weights` /
+        :meth:`~FeedForwardNetwork.reset_momentum` (the early-stopping
+        restore path) are therefore picked up automatically.
+    x, y:
+        Training inputs ``(n, F)`` and normalized targets ``(n, O)``.
+        Validated once here instead of once per batch.
+    """
+
+    def __init__(
+        self, network: FeedForwardNetwork, x: np.ndarray, y: np.ndarray
+    ):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if x.shape[1] != network.n_inputs:
+            raise ValueError(
+                f"expected {network.n_inputs} input features, got {x.shape[1]}"
+            )
+        if y.shape[1] != network.n_outputs:
+            raise ValueError(
+                f"expected {network.n_outputs} targets, got {y.shape[1]}"
+            )
+        if len(x) != len(y):
+            raise ValueError("x and y must have the same number of rows")
+        self.network = network
+        self.x = x
+        self.y = y
+        # cache the hot attribute lookups out of the batch loop
+        self._weights = network.weights
+        self._velocity = network._velocity
+        self._hidden_forward = network.hidden_activation.forward
+        self._hidden_deriv = network.hidden_activation.derivative_from_output
+        self._output_forward = network.output_activation.forward
+        self._output_deriv = network.output_activation.derivative_from_output
+
+    def weights_finite(self) -> bool:
+        """Whether every weight matrix is free of NaN/inf (cheap: the
+        weight arrays are tiny next to one batch of activations)."""
+        return all(np.isfinite(w).all() for w in self._weights)
+
+    def run_epoch(
+        self,
+        order: np.ndarray,
+        batch_size: int,
+        learning_rate: float,
+        momentum: float,
+    ) -> None:
+        """One epoch: presentations ``order``, updates every ``batch_size``.
+
+        Performs the identical arithmetic to calling
+        :meth:`FeedForwardNetwork.train_batch` on each slice of
+        ``order`` — batched forward matmuls, backward matmuls, then the
+        Equation 3.2 momentum update per layer — with the validation and
+        finite-guards hoisted out of the loop.  Raises
+        :class:`~repro.core.network.TrainingDiverged` (reason
+        ``"non-finite weights"``) when the epoch left any weight
+        non-finite.
+        """
+        # one gather for the whole epoch instead of one per batch
+        x_ep = self.x[order]
+        y_ep = self.y[order]
+        weights = self._weights
+        velocity = self._velocity
+        n_layers = len(weights)
+        last = n_layers - 1
+        hidden_forward = self._hidden_forward
+        hidden_deriv = self._hidden_deriv
+        output_forward = self._output_forward
+        output_deriv = self._output_deriv
+        n = len(order)
+
+        for start in range(0, n, batch_size):
+            stop = start + batch_size
+            xb = x_ep[start:stop]
+            yb = y_ep[start:stop]
+            m = len(xb)
+
+            # -- forward: batched matmul per layer ----------------------
+            activations: List[np.ndarray] = [xb]
+            a = xb
+            for layer in range(n_layers):
+                w = weights[layer]
+                net = a @ w[1:] + w[0]
+                a = (
+                    output_forward(net) if layer == last
+                    else hidden_forward(net)
+                )
+                activations.append(a)
+
+            # -- backward + momentum update, output layer first ---------
+            delta = (a - yb) * output_deriv(a)
+            for layer in range(last, -1, -1):
+                previous = activations[layer]
+                w = weights[layer]
+                v = velocity[layer]
+                grad_bias = delta.sum(axis=0) / m
+                grad = previous.T @ delta / m
+                if layer > 0:
+                    # propagate before updating: backprop must see the
+                    # pre-update weights, exactly as the unfused path does
+                    delta = (delta @ w[1:].T) * hidden_deriv(previous)
+                v *= momentum
+                v[0] -= learning_rate * grad_bias
+                v[1:] -= learning_rate * grad
+                w += v
+
+        if not self.weights_finite():
+            raise TrainingDiverged(
+                "training epoch produced non-finite weights",
+                reason="non-finite weights",
+            )
+
+
+# ----------------------------------------------------------------------
+# batched inference
+# ----------------------------------------------------------------------
+def forward_raw(network: FeedForwardNetwork, x: np.ndarray) -> np.ndarray:
+    """Network outputs for a pre-validated float64 matrix ``x``.
+
+    The arithmetic of :meth:`FeedForwardNetwork.forward` without the
+    per-call conversion, shape checks and finite-guard; callers are
+    expected to validate once per point set, not once per chunk.
+    """
+    a = x
+    weights = network.weights
+    last = len(weights) - 1
+    hidden = network.hidden_activation
+    output = network.output_activation
+    for layer, w in enumerate(weights):
+        net = a @ w[1:] + w[0]
+        a = output.forward(net) if layer == last else hidden.forward(net)
+    return a
+
+
+def _chunk_bounds(n: int, chunk_size: Optional[int]):
+    if chunk_size is None or chunk_size <= 0 or chunk_size >= n:
+        yield 0, n
+        return
+    for start in range(0, n, chunk_size):
+        yield start, min(start + chunk_size, n)
+
+
+def _member_block(
+    networks: Sequence[FeedForwardNetwork],
+    scaler: TargetScaler,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Denormalized predictions of every member on one chunk; ``(k, c)``."""
+    block = np.empty((len(networks), len(x)))
+    for i, network in enumerate(networks):
+        block[i] = scaler.inverse_transform(forward_raw(network, x)[:, 0])
+    if not np.isfinite(block).all():
+        raise TrainingDiverged(
+            "network output contains non-finite values",
+            reason="non-finite output",
+        )
+    return block
+
+
+def _validated(
+    networks: Sequence[FeedForwardNetwork], x: np.ndarray
+) -> np.ndarray:
+    if not networks:
+        raise ValueError("need at least one network")
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    n_inputs = networks[0].n_inputs
+    if x.shape[1] != n_inputs:
+        raise ValueError(
+            f"expected {n_inputs} input features, got {x.shape[1]}"
+        )
+    return x
+
+
+def member_predictions(
+    networks: Sequence[FeedForwardNetwork],
+    scaler: TargetScaler,
+    x: np.ndarray,
+    chunk_size: Optional[int] = DEFAULT_PREDICT_CHUNK,
+) -> np.ndarray:
+    """Denormalized predictions of every member; shape ``(k, n)``.
+
+    Evaluates ``chunk_size`` points at a time so the peak working set is
+    ``O(k * chunk)`` regardless of ``n``; the result is identical to the
+    unchunked computation (chunking splits the point axis only).
+    """
+    x = _validated(networks, x)
+    out = np.empty((len(networks), len(x)))
+    for start, stop in _chunk_bounds(len(x), chunk_size):
+        out[:, start:stop] = _member_block(networks, scaler, x[start:stop])
+    return out
+
+
+def ensemble_predict(
+    networks: Sequence[FeedForwardNetwork],
+    scaler: TargetScaler,
+    x: np.ndarray,
+    chunk_size: Optional[int] = DEFAULT_PREDICT_CHUNK,
+) -> np.ndarray:
+    """Mean of the members' denormalized predictions; shape ``(n,)``.
+
+    The member reduction is per point, so computing it chunk by chunk is
+    bit-identical to ``member_predictions(...).mean(axis=0)`` while only
+    ever materializing one ``(k, chunk)`` block.
+    """
+    x = _validated(networks, x)
+    out = np.empty(len(x))
+    for start, stop in _chunk_bounds(len(x), chunk_size):
+        out[start:stop] = _member_block(
+            networks, scaler, x[start:stop]
+        ).mean(axis=0)
+    return out
+
+
+def ensemble_variance(
+    networks: Sequence[FeedForwardNetwork],
+    scaler: TargetScaler,
+    x: np.ndarray,
+    chunk_size: Optional[int] = DEFAULT_PREDICT_CHUNK,
+) -> np.ndarray:
+    """Population variance of member predictions per point; shape ``(n,)``."""
+    x = _validated(networks, x)
+    out = np.empty(len(x))
+    for start, stop in _chunk_bounds(len(x), chunk_size):
+        out[start:stop] = _member_block(
+            networks, scaler, x[start:stop]
+        ).var(axis=0, ddof=0)
+    return out

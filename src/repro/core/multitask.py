@@ -16,6 +16,7 @@ import numpy as np
 
 from .encoding import MultiTargetScaler
 from .error import percentage_errors
+from .kernels import TrainingKernel
 from .network import FeedForwardNetwork, warn_unseeded
 from .training import TrainingConfig
 
@@ -87,20 +88,19 @@ class MultiTaskNetwork:
         probabilities = inverse / inverse.sum()
 
         n = len(x)
+        kernel = TrainingKernel(self.network, x, y_norm)
         history: List[float] = []
         best_error = float("inf")
         best_weights = self.network.get_weights()
         stale_checks = 0
         for epoch in range(1, cfg.max_epochs + 1):
             order = self.rng.choice(n, size=n, p=probabilities)
-            for start in range(0, n, cfg.batch_size):
-                batch = order[start : start + cfg.batch_size]
-                self.network.train_batch(
-                    x[batch],
-                    y_norm[batch],
-                    learning_rate=cfg.learning_rate,
-                    momentum=cfg.momentum,
-                )
+            kernel.run_epoch(
+                order,
+                cfg.batch_size,
+                learning_rate=cfg.learning_rate,
+                momentum=cfg.momentum,
+            )
             if epoch % cfg.check_interval:
                 continue
             error = float(

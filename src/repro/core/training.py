@@ -34,6 +34,7 @@ from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 from .context import RunContext, resolve_context
 from .encoding import TargetScaler
 from .error import percentage_errors
+from .kernels import TrainingKernel
 from .network import (
     DEFAULT_HIDDEN_UNITS,
     DEFAULT_INIT_RANGE,
@@ -177,7 +178,11 @@ class EarlyStoppingTrainer:
         context: Optional[RunContext] = None,
     ):
         ctx = resolve_context(
-            context, rng=rng, telemetry=telemetry, metrics=metrics
+            context,
+            rng=rng,
+            telemetry=telemetry,
+            metrics=metrics,
+            owner="EarlyStoppingTrainer",
         )
         self.config = config or TrainingConfig()
         self.rng = ctx.rng
@@ -254,7 +259,10 @@ class EarlyStoppingTrainer:
             raise ValueError("training and early-stopping sets must be non-empty")
 
         y_norm = scaler.transform(y_train)[:, None]
+        # presentation weights depend only on the (fixed) targets: one
+        # computation per fit, reused by every epoch's draw
         probabilities = self.presentation_probabilities(y_train)
+        kernel = TrainingKernel(network, x_train, y_norm)
         n = len(x_train)
         fit_start = time.perf_counter()
         history = TrainingHistory()
@@ -267,14 +275,12 @@ class EarlyStoppingTrainer:
             # one epoch = n presentations drawn at the weighted frequency
             order = self.rng.choice(n, size=n, p=probabilities)
             try:
-                for start in range(0, n, cfg.batch_size):
-                    batch = order[start : start + cfg.batch_size]
-                    network.train_batch(
-                        x_train[batch],
-                        y_norm[batch],
-                        learning_rate=learning_rate,
-                        momentum=cfg.momentum,
-                    )
+                kernel.run_epoch(
+                    order,
+                    cfg.batch_size,
+                    learning_rate=learning_rate,
+                    momentum=cfg.momentum,
+                )
             except TrainingDiverged as exc:
                 self._diverged(
                     str(exc), reason=exc.reason, epoch=epoch, history=history
@@ -452,7 +458,10 @@ class RobustTrainer:
             rng = self._attempt_rng(attempt)
             network = self.build_network(x_train.shape[1], rng)
             trainer = EarlyStoppingTrainer(
-                self.config, rng, self.telemetry, self.metrics
+                self.config,
+                context=RunContext(
+                    rng=rng, telemetry=self.telemetry, metrics=self.metrics
+                ),
             )
             try:
                 history = trainer.train(

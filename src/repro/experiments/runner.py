@@ -32,7 +32,7 @@ import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +44,7 @@ from ..core.checkpoint import (
 )
 from ..core.context import RunContext
 from ..obs.atomicio import atomic_write_pickle
-from ..core.encoding import ParameterEncoder
+from ..core.encoding import design_matrix
 from ..core.error import percentage_errors
 from ..core.fitting import evaluate_batch, fit_cv_round
 from ..core.training import TrainingConfig
@@ -120,16 +120,14 @@ class LearningCurve:
         return None
 
 
-_ENCODED_SPACES: Dict[str, np.ndarray] = {}
-
-
 def encoded_space(study: Study) -> np.ndarray:
-    """Feature matrix of every design point (cached per study)."""
-    if study.name not in _ENCODED_SPACES:
-        _ENCODED_SPACES[study.name] = ParameterEncoder(
-            study.space
-        ).encode_space()
-    return _ENCODED_SPACES[study.name]
+    """Feature matrix of every design point.
+
+    Kept as the runner's historical entry point; the caching now lives
+    in :func:`repro.core.encoding.design_matrix`, shared with the
+    explorer and every other full-space consumer.
+    """
+    return design_matrix(study.space)
 
 
 def _training_fingerprint(training: TrainingConfig) -> str:
