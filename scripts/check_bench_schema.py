@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Validate bench artifact JSON documents before CI uploads them.
+
+Two document kinds are understood:
+
+* ``kernels`` — the ``BENCH_kernels.json`` report written by
+  ``benchmarks/test_bench_kernels.py`` (schema 2: ``train_epoch``,
+  ``predict_space``, ``ensemble_fit`` and ``gate`` sections);
+* ``explore`` — ``--telemetry-out`` documents from ``repro explore``
+  (``BENCH_explore_*.json``: the ``repro.obs.report`` shape with
+  ``summary``/``iterations``/``telemetry``).
+
+The kind is inferred from the filename (``kernels``/``explore``) and
+double-checked against the content, so a renamed or truncated artifact
+fails loudly here instead of producing a confusing downstream diff.
+
+Usage::
+
+    python scripts/check_bench_schema.py BENCH_kernels.json \
+        BENCH_explore_serial.json BENCH_explore_parallel.json
+
+Exits non-zero listing every violation; prints one OK line per file
+otherwise.  Stdlib-only so it runs before the package is importable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+KERNELS_SCHEMA = 2
+EXPLORE_SCHEMA = 1
+
+#: required numeric fields in each train_epoch section
+TRAIN_EPOCH_KEYS = ("n_samples", "batch_size", "kernel_s", "legacy_s", "speedup")
+#: required numeric fields in the predict_space section
+PREDICT_KEYS = (
+    "n_points",
+    "n_members",
+    "per_config_full_equiv_s",
+    "chunked_warm_s",
+    "chunked_cold_s",
+    "speedup_warm",
+    "speedup_cold",
+)
+#: required studies and per-config fields in the ensemble_fit section
+ENSEMBLE_STUDIES = ("memory-system", "processor")
+ENSEMBLE_CONFIGS = ("paper", "batch_default")
+ENSEMBLE_KEYS = ("batch_size", "max_epochs", "stacked_s", "perfold_s", "speedup")
+GATE_KEYS = ("tolerance", "predict_floor", "ensemble_fit_floor")
+
+
+class Checker:
+    """Accumulates dotted-path violations for one document."""
+
+    def __init__(self) -> None:
+        self.problems: List[str] = []
+
+    def fail(self, path: str, message: str) -> None:
+        self.problems.append(f"{path}: {message}")
+
+    def require(self, doc: Dict[str, Any], path: str, key: str, kind) -> Any:
+        value = doc.get(key)
+        if key not in doc:
+            self.fail(f"{path}.{key}", "missing")
+        elif not isinstance(value, kind):
+            name = getattr(kind, "__name__", str(kind))
+            self.fail(
+                f"{path}.{key}",
+                f"expected {name}, got {type(value).__name__}",
+            )
+        else:
+            return value
+        return None
+
+    def number(self, doc: Dict[str, Any], path: str, key: str) -> None:
+        value = self.require(doc, path, key, (int, float))
+        if isinstance(value, bool):
+            self.fail(f"{path}.{key}", "expected a number, got bool")
+
+
+def check_kernels(doc: Dict[str, Any], check: Checker) -> None:
+    if doc.get("schema") != KERNELS_SCHEMA:
+        check.fail("schema", f"expected {KERNELS_SCHEMA}, got {doc.get('schema')!r}")
+    check.require(doc, "$", "small", bool)
+    check.require(doc, "$", "repeats", int)
+
+    train = check.require(doc, "$", "train_epoch", dict) or {}
+    for section in ("batch_default", "batch_1"):
+        block = check.require(train, "train_epoch", section, dict)
+        for key in TRAIN_EPOCH_KEYS if block is not None else ():
+            check.number(block, f"train_epoch.{section}", key)
+
+    predict = check.require(doc, "$", "predict_space", dict)
+    if predict is not None:
+        check.require(predict, "predict_space", "study", str)
+        for key in PREDICT_KEYS:
+            check.number(predict, "predict_space", key)
+
+    ensemble = check.require(doc, "$", "ensemble_fit", dict) or {}
+    for study in ENSEMBLE_STUDIES:
+        block = check.require(ensemble, "ensemble_fit", study, dict)
+        if block is None:
+            continue
+        path = f"ensemble_fit.{study}"
+        check.number(block, path, "n_points")
+        check.number(block, path, "k")
+        for config in ENSEMBLE_CONFIGS:
+            section = check.require(block, path, config, dict)
+            for key in ENSEMBLE_KEYS if section is not None else ():
+                check.number(section, f"{path}.{config}", key)
+
+    gate = check.require(doc, "$", "gate", dict)
+    if gate is not None:
+        for key in GATE_KEYS:
+            check.number(gate, "gate", key)
+
+
+def check_explore(doc: Dict[str, Any], check: Checker) -> None:
+    if doc.get("schema_version") != EXPLORE_SCHEMA:
+        check.fail(
+            "schema_version",
+            f"expected {EXPLORE_SCHEMA}, got {doc.get('schema_version')!r}",
+        )
+    check.require(doc, "$", "title", str)
+    check.require(doc, "$", "summary", dict)
+
+    iterations = check.require(doc, "$", "iterations", list)
+    if iterations is not None:
+        if not iterations:
+            check.fail("iterations", "empty (run produced no rounds)")
+        for i, row in enumerate(iterations):
+            if not isinstance(row, dict):
+                check.fail(f"iterations[{i}]", "expected an object")
+                continue
+            check.number(row, f"iterations[{i}]", "n_simulations")
+            check.number(row, f"iterations[{i}]", "error_mean")
+
+    telemetry = check.require(doc, "$", "telemetry", dict)
+    if telemetry is not None:
+        check.number(telemetry, "telemetry", "elapsed_s")
+        check.require(telemetry, "telemetry", "phases", dict)
+        events = check.require(telemetry, "telemetry", "events", list)
+        for i, event in enumerate(events or ()):
+            if not isinstance(event, dict) or "name" not in event:
+                check.fail(f"telemetry.events[{i}]", "expected {name, t, payload}")
+
+    if "metrics" in doc and not isinstance(doc["metrics"], dict):
+        check.fail("metrics", "expected an object when present")
+
+
+def detect_kind(path: Path, doc: Dict[str, Any]) -> str:
+    name = path.name.lower()
+    if "kernels" in name:
+        return "kernels"
+    if "explore" in name:
+        return "explore"
+    if "train_epoch" in doc:
+        return "kernels"
+    if "iterations" in doc:
+        return "explore"
+    raise SystemExit(f"{path}: cannot infer document kind from name or content")
+
+
+def check_file(path: Path) -> List[str]:
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        return ["file not found"]
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["top-level value must be an object"]
+    check = Checker()
+    kind = detect_kind(path, doc)
+    if kind == "kernels":
+        check_kernels(doc, check)
+    else:
+        check_explore(doc, check)
+    return check.problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    status = 0
+    for name in argv:
+        path = Path(name)
+        problems = check_file(path)
+        if problems:
+            status = 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok   {path}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

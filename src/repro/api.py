@@ -143,6 +143,7 @@ def fit_ensemble(
     seed: Optional[int] = None,
     context: Optional[RunContext] = None,
     min_folds: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> FitOutcome:
     """Fit one k-fold cross-validation ensemble on encoded samples.
 
@@ -152,6 +153,12 @@ def fit_ensemble(
     Returns a :class:`FitOutcome` whose ``ensemble.predictor`` is the
     trained :class:`EnsemblePredictor` and whose ``estimate`` is the
     cross-validation :class:`ErrorEstimate`.
+
+    ``engine`` picks the fold-training engine (see
+    :data:`repro.core.crossval.ENGINES`): ``"stacked"`` trains all
+    folds through one batched kernel, ``"perfold"`` runs one fit per
+    fold, and the default auto-selects by the context's worker budget.
+    All engines produce bit-identical ensembles at equal seeds.
     """
     return fit_cv_round(
         x,
@@ -159,6 +166,7 @@ def fit_ensemble(
         k=k,
         training=training,
         min_folds=min_folds,
+        engine=engine,
         context=_resolve(seed, context),
     )
 

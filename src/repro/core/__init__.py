@@ -26,6 +26,7 @@ from .crossapp import CrossApplicationModel
 from .crossval import (
     DEFAULT_FOLDS,
     DEFAULT_MIN_FOLDS,
+    ENGINES,
     CrossValidationEnsemble,
     make_folds,
 )
@@ -47,12 +48,17 @@ from .faults import FaultInjectingBackend, FaultPlan, InjectedFault
 from .fitting import FitOutcome, evaluate_batch, fit_cv_round
 from .kernels import (
     DEFAULT_PREDICT_CHUNK,
+    EnsembleTrainingKernel,
     TrainingKernel,
     ensemble_predict,
     ensemble_variance,
     member_predictions,
 )
-from .multitask import MultiTaskNetwork, auxiliary_target_names
+from .multitask import (
+    MultiTaskNetwork,
+    auxiliary_target_names,
+    fit_members_stacked,
+)
 from .network import (
     DEFAULT_HIDDEN_UNITS,
     DEFAULT_INIT_RANGE,
@@ -74,8 +80,11 @@ from .resilience import (
 from .training import (
     EarlyStoppingTrainer,
     RobustTrainer,
+    StackedEnsembleTrainer,
+    StackedFoldOutcome,
     TrainingConfig,
     TrainingHistory,
+    presentation_probabilities,
 )
 
 __all__ = [
@@ -94,8 +103,10 @@ __all__ = [
     "DEFAULT_MOMENTUM",
     "DEFAULT_PREDICT_CHUNK",
     "DesignSpaceExplorer",
+    "ENGINES",
     "EarlyStoppingTrainer",
     "EnsemblePredictor",
+    "EnsembleTrainingKernel",
     "EvaluationBackend",
     "EvaluationError",
     "EvaluationTimeout",
@@ -127,6 +138,8 @@ __all__ = [
     "SATURATION_THRESHOLD",
     "SerialBackend",
     "Sigmoid",
+    "StackedEnsembleTrainer",
+    "StackedFoldOutcome",
     "Tanh",
     "TargetScaler",
     "TrainingConfig",
@@ -144,12 +157,14 @@ __all__ = [
     "ensemble_variance",
     "evaluate_batch",
     "fit_cv_round",
+    "fit_members_stacked",
     "member_predictions",
     "get_activation",
     "load_checkpoint",
     "load_predictor",
     "make_folds",
     "percentage_errors",
+    "presentation_probabilities",
     "previous_path",
     "save_checkpoint",
     "save_predictor",

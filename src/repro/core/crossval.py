@@ -34,11 +34,12 @@ from .encoding import TargetScaler
 from .ensemble import EnsemblePredictor
 from .error import ErrorEstimate, percentage_errors
 from .network import FeedForwardNetwork, TrainingDiverged
-from .training import RobustTrainer, TrainingConfig
+from .training import RobustTrainer, StackedEnsembleTrainer, TrainingConfig
 
 __all__ = [
     "DEFAULT_FOLDS",
     "DEFAULT_MIN_FOLDS",
+    "ENGINES",
     "CrossValidationEnsemble",
     "FoldResult",
     "default_n_jobs",
@@ -51,6 +52,15 @@ DEFAULT_FOLDS = 10
 #: minimum number of folds that must survive training (after restarts)
 #: for an ensemble fit to stand; fewer raises instead of degrading
 DEFAULT_MIN_FOLDS = 2
+
+#: recognized fold-training engines: ``"stacked"`` trains every active
+#: fold's epoch as one batched matmul stack through
+#: :class:`~repro.core.training.StackedEnsembleTrainer`, ``"perfold"``
+#: is the legacy one-fit-per-fold path (serial, or process-pool when
+#: ``n_jobs > 1``).  ``None`` auto-selects: stacked in-process when
+#: ``n_jobs == 1``, the pool otherwise.  All three produce bit-identical
+#: networks, estimates and observability streams.
+ENGINES = ("stacked", "perfold")
 
 
 def _train_one_fold(
@@ -226,6 +236,14 @@ class CrossValidationEnsemble:
     metrics:
         Registry receiving ``train.fold`` timings and ``crossval.*``
         counters; defaults to the global registry.
+    engine:
+        Fold-training engine, one of :data:`ENGINES`.  ``None`` (the
+        default) auto-selects: the fold-stacked kernel when the context
+        allots one worker, the process pool when it allots several.
+        ``"stacked"`` forces the batched in-process kernel regardless of
+        ``n_jobs``; ``"perfold"`` forces the legacy one-fit-per-fold
+        path.  Engines are bit-identical in results and observability —
+        the choice is purely a wall-time/parallelism trade.
     """
 
     def __init__(
@@ -238,6 +256,7 @@ class CrossValidationEnsemble:
         metrics: Optional[MetricsRegistry] = None,
         context: Optional[RunContext] = None,
         min_folds: Optional[int] = None,
+        engine: Optional[str] = None,
     ):
         self.k = k
         self.training = training or TrainingConfig()
@@ -246,6 +265,12 @@ class CrossValidationEnsemble:
             raise ValueError(
                 f"min_folds must be in [1, k={k}], got {self.min_folds}"
             )
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choices: {sorted(ENGINES)} "
+                "(or None for auto-selection)"
+            )
+        self.engine = engine
         self.context = resolve_context(
             context, rng=rng, telemetry=telemetry, metrics=metrics,
             n_jobs=n_jobs, owner="CrossValidationEnsemble",
@@ -305,7 +330,10 @@ class CrossValidationEnsemble:
         tasks = self._fold_tasks(n)
         fit_start = time.perf_counter()
 
-        if self.n_jobs > 1:
+        engine = self.engine
+        if engine is None:
+            engine = "stacked" if self.n_jobs == 1 else "perfold"
+        if engine == "perfold" and self.n_jobs > 1:
             n_workers = min(self.n_jobs, self.k)
             with ProcessPoolExecutor(
                 max_workers=n_workers,
@@ -316,6 +344,27 @@ class CrossValidationEnsemble:
                 ),
             ) as pool:
                 results = list(pool.map(_run_fold_task, tasks))
+            for result in results:
+                result.replay(self.telemetry, self.metrics)
+        elif engine == "stacked":
+            # all folds' epochs run as batched matmuls through one
+            # fold-stacked kernel; each fold buffers its observability
+            # and the buffers replay in fold order, exactly like the
+            # process-pool path, so the streams stay engine-independent
+            n_workers = 1
+            outcomes = StackedEnsembleTrainer(self.training).fit_folds(
+                x, y, tasks, scaler,
+                capture_telemetry=self.telemetry.enabled,
+                capture_metrics=self.metrics.enabled,
+            )
+            results = [
+                FoldResult(
+                    outcome.network, outcome.test_errors, outcome.wall_s,
+                    outcome.epochs, outcome.events, outcome.metrics,
+                    outcome.error,
+                )
+                for outcome in outcomes
+            ]
             for result in results:
                 result.replay(self.telemetry, self.metrics)
         else:
@@ -331,6 +380,9 @@ class CrossValidationEnsemble:
                     FoldResult(network, errors, wall, epochs, error=error)
                 )
         wall_s = time.perf_counter() - fit_start
+        # fold-training phase wall time, engine-independent: the number
+        # the ensemble_fit bench gate tracks
+        self.metrics.observe("crossval.ensemble_fit", wall_s)
 
         # -- fold quarantine: drop diverged folds, keep the honest rest
         healthy = [result for result in results if not result.diverged]
@@ -391,6 +443,7 @@ class CrossValidationEnsemble:
             "crossval.fit",
             k=self.k,
             n_points=n,
+            engine=engine,
             n_workers=n_workers,
             n_folds_used=len(healthy),
             fold_coverage=self.estimate.fold_coverage,

@@ -72,6 +72,7 @@ def fit_cv_round(
     k: Optional[int] = None,
     training: Optional[TrainingConfig] = None,
     min_folds: Optional[int] = None,
+    engine: Optional[str] = None,
     context: RunContext,
 ) -> FitOutcome:
     """Train one cross-validation ensemble under ``context``.
@@ -80,6 +81,11 @@ def fit_cv_round(
     the telemetry/metrics hooks and the fold-training worker budget, so
     a round fitted here behaves identically whether the caller is the
     exploration loop, the learning-curve runner or the CLI.
+
+    ``engine`` picks the fold-training engine (see
+    :data:`repro.core.crossval.ENGINES`); the default auto-selects the
+    fold-stacked kernel in-process and the fold pool when the context
+    allots multiple workers.  Engines are bit-identical in results.
 
     Rows whose target is non-finite — evaluations that exhausted their
     retry budget and were NaN-marked by
@@ -106,7 +112,8 @@ def fit_cv_round(
         x, y = x[finite], y[finite]
     kwargs = {} if k is None else {"k": k}
     ensemble = CrossValidationEnsemble(
-        training=training, context=context, min_folds=min_folds, **kwargs
+        training=training, context=context, min_folds=min_folds,
+        engine=engine, **kwargs,
     )
     estimate = ensemble.fit(x, y)
     if n_failed:

@@ -34,7 +34,7 @@ from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 from .context import RunContext, resolve_context
 from .encoding import TargetScaler
 from .error import percentage_errors
-from .kernels import TrainingKernel
+from .kernels import EnsembleTrainingKernel, TrainingKernel
 from .network import (
     DEFAULT_HIDDEN_UNITS,
     DEFAULT_INIT_RANGE,
@@ -48,6 +48,35 @@ from .network import (
 #: "dead": a network whose outputs are this close to constant has
 #: collapsed (zeroed or fully saturated units), not merely plateaued
 DEAD_PREDICTION_SPREAD = 1e-12
+
+
+def presentation_probabilities(
+    targets: np.ndarray, weight_by_inverse_target: bool = True
+) -> np.ndarray:
+    """Per-point presentation frequency, proportional to 1/target.
+
+    The Section 3.1 percentage-error weighting; shared by the per-fold
+    :class:`EarlyStoppingTrainer` and the fold-stacked
+    :class:`StackedEnsembleTrainer` so both paths validate and weight
+    targets identically.
+    """
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(targets)
+    if not finite.all():
+        bad = np.flatnonzero(~finite).tolist()
+        raise ValueError(
+            "inverse-target weighting requires finite targets; "
+            f"non-finite values at indices {bad} (NaN marks a failed "
+            "evaluation — mask those rows out before fitting)"
+        )
+    if np.any(targets <= 0):
+        raise ValueError(
+            "inverse-target weighting requires strictly positive targets"
+        )
+    if not weight_by_inverse_target:
+        return np.full(len(targets), 1.0 / len(targets))
+    inverse = 1.0 / targets
+    return inverse / inverse.sum()
 
 
 @dataclass(frozen=True)
@@ -191,23 +220,9 @@ class EarlyStoppingTrainer:
 
     def presentation_probabilities(self, targets: np.ndarray) -> np.ndarray:
         """Per-point presentation frequency, proportional to 1/target."""
-        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
-        finite = np.isfinite(targets)
-        if not finite.all():
-            bad = np.flatnonzero(~finite).tolist()
-            raise ValueError(
-                "inverse-target weighting requires finite targets; "
-                f"non-finite values at indices {bad} (NaN marks a failed "
-                "evaluation — mask those rows out before fitting)"
-            )
-        if np.any(targets <= 0):
-            raise ValueError(
-                "inverse-target weighting requires strictly positive targets"
-            )
-        if not self.config.weight_by_inverse_target:
-            return np.full(len(targets), 1.0 / len(targets))
-        inverse = 1.0 / targets
-        return inverse / inverse.sum()
+        return presentation_probabilities(
+            targets, self.config.weight_by_inverse_target
+        )
 
     def _diverged(
         self,
@@ -486,3 +501,443 @@ class RobustTrainer:
             reason="restarts exhausted",
             epoch=last.epoch,
         )
+
+
+# ----------------------------------------------------------------------
+# fold-stacked ensemble training
+# ----------------------------------------------------------------------
+@dataclass
+class StackedFoldOutcome:
+    """One fold's result from a stacked ensemble fit.
+
+    Field-for-field the payload of
+    :class:`~repro.core.crossval.FoldResult`: the trained network (or
+    ``None`` for a quarantined fold), held-out test errors, attributed
+    wall seconds, the final attempt's epoch count (0 when quarantined,
+    matching the per-fold path), the fold's buffered telemetry events as
+    ``(name, payload)`` pairs, its local metrics registry, and the
+    quarantine error string.
+    """
+
+    network: Optional[FeedForwardNetwork]
+    test_errors: np.ndarray
+    wall_s: float
+    epochs: int
+    events: List = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+    error: Optional[str] = None
+
+
+class _FoldProgram:
+    """The per-fold early-stopping/restart state machine.
+
+    Replicates :meth:`EarlyStoppingTrainer.train` plus
+    :meth:`RobustTrainer.fit` exactly — same rng streams, same check
+    order, same divergence messages, same telemetry and counters — but
+    driven one epoch at a time against one member slice of an
+    :class:`~repro.core.kernels.EnsembleTrainingKernel`, so many folds'
+    epochs can share batched matmuls while each fold stops, decays,
+    restarts and quarantines on its own schedule.
+    """
+
+    def __init__(
+        self,
+        fold: int,
+        member: int,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_es: np.ndarray,
+        y_es: np.ndarray,
+        scaler: TargetScaler,
+        config: TrainingConfig,
+        seed: int,
+        telemetry: RunTelemetry,
+        metrics: MetricsRegistry,
+    ):
+        if len(x_train) != len(y_train):
+            raise ValueError("x_train and y_train must have equal length")
+        if len(x_es) != len(y_es):
+            raise ValueError("x_es and y_es must have equal length")
+        if len(x_train) == 0 or len(x_es) == 0:
+            raise ValueError(
+                "training and early-stopping sets must be non-empty"
+            )
+        self.fold = fold
+        self.member = member
+        self.x_train = x_train
+        self.y_train = y_train
+        self.y_norm = scaler.transform(y_train)[:, None]
+        self.x_es = x_es
+        self.y_es = y_es
+        self.scaler = scaler
+        self.cfg = config
+        self.seed = int(seed)
+        self.telemetry = telemetry
+        self.metrics = metrics
+        self.n = len(x_train)
+        # fixed targets: one probability computation per fold, like the
+        # once-per-fit hoisting in EarlyStoppingTrainer.train
+        self.probabilities = presentation_probabilities(
+            y_train, config.weight_by_inverse_target
+        )
+        self.attempt = 0
+        self.done = False
+        self.error: Optional[str] = None
+        self.network: Optional[FeedForwardNetwork] = None
+        self.wall_s = 0.0
+        self.attempt_wall = 0.0
+        self.start_attempt()
+
+    # -- the RobustTrainer layer ---------------------------------------
+    def _attempt_rng(self) -> np.random.Generator:
+        # bit-identical to RobustTrainer._attempt_rng
+        if self.attempt == 0:
+            return np.random.default_rng(self.seed)
+        return np.random.default_rng([self.seed, self.attempt])
+
+    def start_attempt(self) -> None:
+        """Fresh rng, network and early-stopping state for one attempt."""
+        cfg = self.cfg
+        self.rng = self._attempt_rng()
+        # network init consumes the rng exactly as RobustTrainer's
+        # build_network does; the same generator then drives this
+        # attempt's presentation draws
+        self.network = FeedForwardNetwork(
+            n_inputs=self.x_train.shape[1],
+            hidden_layers=cfg.hidden_layers,
+            hidden_activation=cfg.hidden_activation,
+            rng=self.rng,
+            init_range=cfg.init_range,
+        )
+        self.history = TrainingHistory()
+        self.best_weights = self.network.get_weights()
+        self.checks_without_improvement = 0
+        self.learning_rate = cfg.learning_rate
+        self.dead_streak = 0
+        self.epoch = 0
+        self.attempt_wall = 0.0
+
+    def draw_order(self) -> np.ndarray:
+        """This attempt's next weighted presentation order."""
+        return self.rng.choice(self.n, size=self.n, p=self.probabilities)
+
+    # -- the EarlyStoppingTrainer layer --------------------------------
+    def _diverged(
+        self, message: str, *, reason: str, epoch: int, **payload
+    ) -> None:
+        # mirrors EarlyStoppingTrainer._diverged: count the doomed
+        # epochs, emit one train.diverged event, raise
+        self.metrics.inc("train.epochs", self.history.epochs_run)
+        self.metrics.inc("train.diverged")
+        self.telemetry.emit(
+            "train.diverged", reason=reason, epoch=epoch, **payload
+        )
+        raise TrainingDiverged(message, reason=reason, epoch=epoch)
+
+    def after_epoch(
+        self,
+        kernel: EnsembleTrainingKernel,
+        weights_finite: Optional[bool] = None,
+    ) -> None:
+        """Post-epoch bookkeeping for this fold's member slice.
+
+        One iteration of the EarlyStoppingTrainer.train loop body —
+        finite guard, periodic health/ES check, plateau decay, patience
+        — with divergence handled by the restart/quarantine layer
+        instead of propagating.  ``weights_finite`` accepts the member's
+        entry of a batched :meth:`EnsembleTrainingKernel.members_finite`
+        check so the per-epoch guard costs one reduction per layer for
+        the whole group instead of one per fold.
+        """
+        cfg = self.cfg
+        self.epoch += 1
+        epoch = self.epoch
+        if weights_finite is None:
+            weights_finite = kernel.member_weights_finite(self.member)
+        try:
+            if not weights_finite:
+                # the per-fold kernel raises before epochs_run is set:
+                # the failed epoch is not counted
+                self._diverged(
+                    "training epoch produced non-finite weights",
+                    reason="non-finite weights",
+                    epoch=epoch,
+                )
+            self.history.epochs_run = epoch
+            if epoch % cfg.check_interval == 0:
+                self._run_check(kernel, epoch)
+        except TrainingDiverged as exc:
+            self._restart_or_quarantine(kernel, exc)
+            return
+        if self.history.stopped_early or epoch >= cfg.max_epochs:
+            self._complete(kernel)
+
+    def _run_check(
+        self, kernel: EnsembleTrainingKernel, epoch: int
+    ) -> None:
+        cfg = self.cfg
+        history = self.history
+        health = kernel.member_weight_health(self.member)
+        if not health.ok(cfg.max_weight):
+            reason = (
+                "weight explosion" if health.finite else "non-finite weights"
+            )
+            self._diverged(
+                f"unhealthy weights at epoch {epoch}: "
+                f"max |w| = {health.max_abs:g}, "
+                f"saturation = {health.saturation:.3f}",
+                reason=reason,
+                epoch=epoch,
+                max_abs=health.max_abs,
+                saturation=health.saturation,
+            )
+        try:
+            raw = kernel.predict_member(self.member, self.x_es)[:, 0]
+        except TrainingDiverged as exc:
+            self._diverged(str(exc), reason=exc.reason, epoch=epoch)
+        predictions = self.scaler.inverse_transform(raw)
+        es_error = float(np.mean(percentage_errors(predictions, self.y_es)))
+        if not np.isfinite(es_error) or es_error > cfg.divergence_error:
+            self._diverged(
+                f"early-stopping error {es_error:g} exceeds the "
+                f"divergence threshold {cfg.divergence_error:g}",
+                reason="exploding es_error",
+                epoch=epoch,
+                es_error=es_error,
+            )
+        if len(raw) >= 2 and float(np.ptp(raw)) < DEAD_PREDICTION_SPREAD:
+            self.dead_streak += 1
+            if self.dead_streak >= cfg.dead_checks:
+                self._diverged(
+                    f"constant predictions for {self.dead_streak} "
+                    "consecutive checks: the network is dead (zeroed or "
+                    "saturated)",
+                    reason="dead network",
+                    epoch=epoch,
+                    dead_streak=self.dead_streak,
+                )
+        else:
+            self.dead_streak = 0
+        history.es_errors.append(es_error)
+        self.telemetry.emit(
+            "train.check",
+            epoch=epoch,
+            es_error=es_error,
+            best_error=min(history.best_error, es_error),
+            learning_rate=self.learning_rate,
+        )
+        if es_error < history.best_error - 1e-12:
+            history.best_error = es_error
+            history.best_epoch = epoch
+            self.best_weights = kernel.get_member_weights(self.member)
+            self.checks_without_improvement = 0
+        else:
+            self.checks_without_improvement += 1
+            if (
+                cfg.lr_decay < 1.0
+                and self.checks_without_improvement % cfg.decay_after == 0
+            ):
+                self.learning_rate *= cfg.lr_decay
+                kernel.set_member_weights(self.member, self.best_weights)
+                kernel.reset_member_velocity(self.member)
+            if self.checks_without_improvement >= cfg.patience:
+                history.stopped_early = True
+
+    def _complete(self, kernel: EnsembleTrainingKernel) -> None:
+        """Early stop (or epoch budget): freeze the best weights."""
+        kernel.set_member_weights(self.member, self.best_weights)
+        self.network = kernel.sync_member(self.member)
+        self.metrics.inc("train.epochs", self.history.epochs_run)
+        self.metrics.observe("train.fit", self.attempt_wall)
+        self.telemetry.emit(
+            "train.stop",
+            epochs_run=self.history.epochs_run,
+            best_epoch=self.history.best_epoch,
+            best_error=self.history.best_error,
+            stopped_early=self.history.stopped_early,
+            n_train=self.n,
+            n_es=len(self.x_es),
+        )
+        self.done = True
+        kernel.deactivate(self.member)
+
+    def _restart_or_quarantine(
+        self, kernel: EnsembleTrainingKernel, exc: TrainingDiverged
+    ) -> None:
+        """The RobustTrainer retry loop, one divergence at a time."""
+        if self.attempt < self.cfg.max_restarts:
+            self.metrics.inc("train.restarts")
+            self.telemetry.emit(
+                "train.restart",
+                attempt=self.attempt + 1,
+                max_restarts=self.cfg.max_restarts,
+                seed=self.seed,
+                reason=exc.reason,
+            )
+            self.attempt += 1
+            self.start_attempt()
+            kernel.reinit_member(self.member, self.network)
+        else:
+            # the exact message the per-fold quarantine records:
+            # RobustTrainer's restarts-exhausted wrapper formatted by
+            # _train_one_fold as "{reason}: {message}"
+            self.error = (
+                "restarts exhausted: training diverged on all "
+                f"{self.cfg.max_restarts + 1} attempts "
+                f"(seed {self.seed}; last failure: {exc})"
+            )
+            self.network = None
+            self.done = True
+            kernel.deactivate(self.member)
+
+
+class StackedEnsembleTrainer:
+    """Train a whole CV ensemble through one fold-stacked kernel.
+
+    Drop-in replacement for the per-fold serial loop in
+    :class:`~repro.core.crossval.CrossValidationEnsemble`: given the
+    same ``(train_idx, es_idx, test_idx, seed)`` fold tasks it produces
+    bit-identical networks, test errors, telemetry events and counters
+    — but runs every still-active fold's epoch as one batched matmul
+    stack instead of ``k`` Python-level fits.  Folds are grouped by
+    training-set length (``n % k != 0`` makes fold sizes differ by at
+    most one, so at most three groups) because stacking requires equal
+    GEMM shapes for bit-identity; each group trains through its own
+    :class:`~repro.core.kernels.EnsembleTrainingKernel` until every
+    member has early-stopped, exhausted its epoch budget, or been
+    quarantined.
+
+    Observability matches the process-pool path: each fold records into
+    its own buffer and the caller replays buffers in fold order, so the
+    event stream is identical to both the per-fold serial and the
+    parallel engines.
+    """
+
+    def __init__(self, config: Optional[TrainingConfig] = None):
+        self.config = config or TrainingConfig()
+
+    def fit_folds(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        tasks: List,
+        scaler: TargetScaler,
+        capture_telemetry: bool = False,
+        capture_metrics: bool = False,
+    ) -> List[StackedFoldOutcome]:
+        """Train every fold task; returns one outcome per task, in order.
+
+        ``tasks`` carries ``(train_idx, es_idx, test_idx, seed)`` tuples
+        as produced by ``CrossValidationEnsemble._fold_tasks``.  When
+        ``capture_telemetry`` / ``capture_metrics`` are set each fold
+        records events and counters into a private buffer (returned on
+        the outcome for fold-order replay); otherwise the hooks are
+        no-ops, exactly like the process-pool workers' capture flags.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        programs: List[_FoldProgram] = []
+        fold_telemetry: List[Optional[RunTelemetry]] = []
+        fold_metrics: List[Optional[MetricsRegistry]] = []
+        groups: dict = {}
+        for fold, (train_idx, es_idx, test_idx, seed) in enumerate(tasks):
+            telemetry = (
+                RunTelemetry(enabled=True) if capture_telemetry
+                else NULL_TELEMETRY
+            )
+            metrics = (
+                MetricsRegistry(enabled=True) if capture_metrics
+                else MetricsRegistry(enabled=False)
+            )
+            fold_telemetry.append(telemetry if capture_telemetry else None)
+            fold_metrics.append(metrics if capture_metrics else None)
+            group = groups.setdefault(len(train_idx), [])
+            program = _FoldProgram(
+                fold=fold,
+                member=len(group),
+                x_train=x[train_idx],
+                y_train=y[train_idx],
+                x_es=x[es_idx],
+                y_es=y[es_idx],
+                scaler=scaler,
+                config=self.config,
+                seed=seed,
+                telemetry=telemetry,
+                metrics=metrics,
+            )
+            group.append(program)
+            programs.append(program)
+
+        for group in groups.values():
+            self._train_group(group)
+
+        outcomes: List[StackedFoldOutcome] = []
+        for fold, (train_idx, es_idx, test_idx, seed) in enumerate(tasks):
+            program = programs[fold]
+            started = time.perf_counter()
+            if program.network is not None:
+                test_predictions = scaler.inverse_transform(
+                    program.network.predict(x[test_idx])[:, 0]
+                )
+                test_errors = percentage_errors(
+                    test_predictions, y[test_idx]
+                )
+                epochs = program.history.epochs_run
+            else:
+                test_errors = np.empty(0)
+                epochs = 0
+            program.wall_s += time.perf_counter() - started
+            telemetry = fold_telemetry[fold]
+            events = (
+                [
+                    (event.name, dict(event.payload))
+                    for event in telemetry.events
+                ]
+                if telemetry is not None
+                else []
+            )
+            outcomes.append(
+                StackedFoldOutcome(
+                    network=program.network,
+                    test_errors=test_errors,
+                    wall_s=program.wall_s,
+                    epochs=epochs,
+                    events=events,
+                    metrics=fold_metrics[fold],
+                    error=program.error,
+                )
+            )
+        return outcomes
+
+    def _train_group(self, group: List[_FoldProgram]) -> None:
+        """Run one equal-length group of folds to completion."""
+        cfg = self.config
+        kernel = EnsembleTrainingKernel(
+            [program.network for program in group],
+            [program.x_train for program in group],
+            [program.y_norm for program in group],
+        )
+        while True:
+            active = [program for program in group if not program.done]
+            if not active:
+                break
+            step_start = time.perf_counter()
+            # one weighted presentation draw per active fold, from that
+            # fold's own attempt rng — the same stream order as the
+            # per-fold loop
+            orders = np.stack([program.draw_order() for program in active])
+            learning_rates = np.array(
+                [program.learning_rate for program in active]
+            )
+            kernel.run_epoch(
+                orders, cfg.batch_size, learning_rates, cfg.momentum
+            )
+            finite = kernel.members_finite()
+            for program in active:
+                program.after_epoch(kernel, bool(finite[program.member]))
+            # attribute the step's wall time equally across the folds it
+            # advanced, keeping per-fold wall_s an honest work share
+            share = (time.perf_counter() - step_start) / len(active)
+            for program in active:
+                program.wall_s += share
+                program.attempt_wall += share

@@ -1,0 +1,385 @@
+"""The fold-stacked training engine's bit-identity contract.
+
+Two layers of guarantees are locked here:
+
+* :class:`EnsembleTrainingKernel` — for any schedule of epochs,
+  deactivations, weight restores and reseeds, every member's weight and
+  velocity trajectory equals (``==``, not approximately) training that
+  member alone through :class:`TrainingKernel` with the same
+  presentation orders;
+* ``engine="stacked"`` through :class:`CrossValidationEnsemble` — the
+  full CV fit reproduces the legacy per-fold engine exactly: same
+  predictions, same error estimate, same telemetry stream, same
+  counters, same quarantine accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CrossValidationEnsemble, RunContext
+from repro.core.kernels import EnsembleTrainingKernel, TrainingKernel
+from repro.core.network import FeedForwardNetwork
+from repro.core.training import TrainingConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry
+
+N_FEATURES = 5
+N_SAMPLES = 40
+
+
+def make_problem(rng, n=250):
+    x = rng.random((n, 3))
+    y = 0.5 + 0.8 * x[:, 0] + 0.4 * x[:, 1] * x[:, 2]
+    return x, y
+
+
+def _member(seed, hidden, activation, n_outputs):
+    """One member's (network, x, y); same seed -> bit-identical twin."""
+    data_rng = np.random.default_rng(1000 + seed)
+    x = data_rng.random((N_SAMPLES, N_FEATURES))
+    y = data_rng.uniform(0.1, 0.9, (N_SAMPLES, n_outputs))
+    network = FeedForwardNetwork(
+        n_inputs=N_FEATURES,
+        hidden_layers=hidden,
+        n_outputs=n_outputs,
+        hidden_activation=activation,
+        rng=np.random.default_rng(seed),
+    )
+    return network, x, y
+
+
+def _orders(seed, epochs):
+    rng = np.random.default_rng(2000 + seed)
+    return [rng.permutation(N_SAMPLES) for _ in range(epochs)]
+
+
+class TestEnsembleTrainingKernel:
+    @pytest.mark.parametrize(
+        "hidden,activation,n_outputs,batch_size",
+        [
+            ((6,), "sigmoid", 1, 7),
+            ((6,), "tanh", 1, 1),
+            ((8, 5), "sigmoid", 3, 32),
+            ((8, 5), "tanh", 3, 8),
+        ],
+    )
+    def test_trajectories_match_solo_kernel(
+        self, hidden, activation, n_outputs, batch_size
+    ):
+        epochs, members, lr, momentum = 6, 3, 0.05, 0.9
+        stacked = EnsembleTrainingKernel(
+            *zip(*[_member(i, hidden, activation, n_outputs) for i in range(members)])
+        )
+        for epoch in range(epochs):
+            stacked.run_epoch(
+                np.stack([_orders(i, epochs)[epoch] for i in range(members)]),
+                batch_size,
+                np.full(members, lr),
+                momentum,
+            )
+        for i in range(members):
+            network, x, y = _member(i, hidden, activation, n_outputs)
+            solo = TrainingKernel(network, x, y)
+            for order in _orders(i, epochs):
+                solo.run_epoch(
+                    order, batch_size, learning_rate=lr, momentum=momentum
+                )
+            for got, want in zip(stacked.get_member_weights(i), network.weights):
+                np.testing.assert_array_equal(got, want)
+            synced = stacked.sync_member(i)
+            for got, want in zip(synced._velocity, network._velocity):
+                np.testing.assert_array_equal(got, want)
+
+    def test_deactivation_freezes_and_schedule_still_matches(self):
+        """Members stopping at different epochs — the early-stop mask —
+        leave each survivor's trajectory exactly per-fold."""
+        hidden, activation = (6,), "sigmoid"
+        stop_at = {0: 2, 1: 4, 2: 6}  # member -> epochs it trains
+        stacked = EnsembleTrainingKernel(
+            *zip(*[_member(i, hidden, activation, 1) for i in range(3)])
+        )
+        for epoch in range(6):
+            active = stacked.active_members
+            stacked.run_epoch(
+                np.stack([_orders(i, 6)[epoch] for i in active]),
+                7,
+                np.full(len(active), 0.05),
+                0.9,
+            )
+            for i in list(active):
+                if epoch + 1 >= stop_at[i]:
+                    stacked.deactivate(i)
+        assert len(stacked.active_members) == 0
+        for i, epochs in stop_at.items():
+            network, x, y = _member(i, hidden, activation, 1)
+            solo = TrainingKernel(network, x, y)
+            for order in _orders(i, 6)[:epochs]:
+                solo.run_epoch(order, 7, learning_rate=0.05, momentum=0.9)
+            for got, want in zip(stacked.get_member_weights(i), network.weights):
+                np.testing.assert_array_equal(got, want)
+
+    def test_reinit_member_matches_fresh_start(self):
+        """The divergence-restart path: one member reseeds mid-run
+        without perturbing its siblings."""
+        hidden, activation = (6,), "sigmoid"
+        stacked = EnsembleTrainingKernel(
+            *zip(*[_member(i, hidden, activation, 1) for i in range(3)])
+        )
+        for epoch in range(3):
+            stacked.run_epoch(
+                np.stack([_orders(i, 8)[epoch] for i in range(3)]),
+                7,
+                np.full(3, 0.05),
+                0.9,
+            )
+        replacement = FeedForwardNetwork(
+            n_inputs=N_FEATURES,
+            hidden_layers=hidden,
+            hidden_activation=activation,
+            rng=np.random.default_rng(77),
+        )
+        stacked.reinit_member(1, replacement)
+        for epoch in range(3, 8):
+            stacked.run_epoch(
+                np.stack([_orders(i, 8)[epoch] for i in range(3)]),
+                7,
+                np.full(3, 0.05),
+                0.9,
+            )
+        # member 1 == fresh seed-77 net trained on epochs 3..7 only
+        network = FeedForwardNetwork(
+            n_inputs=N_FEATURES,
+            hidden_layers=hidden,
+            hidden_activation=activation,
+            rng=np.random.default_rng(77),
+        )
+        _, x, y = _member(1, hidden, activation, 1)
+        solo = TrainingKernel(network, x, y)
+        for order in _orders(1, 8)[3:]:
+            solo.run_epoch(order, 7, learning_rate=0.05, momentum=0.9)
+        for got, want in zip(stacked.get_member_weights(1), network.weights):
+            np.testing.assert_array_equal(got, want)
+        # member 0 == uninterrupted 8-epoch solo run
+        network0, x0, y0 = _member(0, hidden, activation, 1)
+        solo0 = TrainingKernel(network0, x0, y0)
+        for order in _orders(0, 8):
+            solo0.run_epoch(order, 7, learning_rate=0.05, momentum=0.9)
+        for got, want in zip(stacked.get_member_weights(0), network0.weights):
+            np.testing.assert_array_equal(got, want)
+
+    def test_predict_member_matches_network(self):
+        stacked = EnsembleTrainingKernel(
+            *zip(*[_member(i, (6,), "sigmoid", 1) for i in range(2)])
+        )
+        stacked.run_epoch(
+            np.stack([_orders(i, 1)[0] for i in range(2)]),
+            7,
+            np.full(2, 0.05),
+            0.9,
+        )
+        probe = np.random.default_rng(5).random((9, N_FEATURES))
+        for i in range(2):
+            network = stacked.sync_member(i)
+            np.testing.assert_array_equal(
+                stacked.predict_member(i, probe), network.predict(probe)
+            )
+
+    def test_members_finite_flags_only_broken_member(self):
+        stacked = EnsembleTrainingKernel(
+            *zip(*[_member(i, (6,), "sigmoid", 1) for i in range(3)])
+        )
+        assert stacked.members_finite().all()
+        bad = stacked.get_member_weights(1)
+        bad[0][2, 1] = np.nan
+        stacked.set_member_weights(1, bad)
+        np.testing.assert_array_equal(
+            stacked.members_finite(), [True, False, True]
+        )
+        assert stacked.member_weights_finite(0)
+        assert not stacked.member_weights_finite(1)
+
+    def test_member_weight_health_matches_network(self):
+        stacked = EnsembleTrainingKernel(
+            *zip(*[_member(i, (6,), "tanh", 1) for i in range(2)])
+        )
+        weights = stacked.get_member_weights(0)
+        weights[0][1, 2] = 7.5  # saturated but finite
+        stacked.set_member_weights(0, weights)
+        for i in range(2):
+            network = stacked.sync_member(i)
+            got = stacked.member_weight_health(i)
+            want = network.weight_health()
+            assert (got.finite, got.max_abs, got.saturation) == (
+                want.finite,
+                want.max_abs,
+                want.saturation,
+            )
+        assert stacked.member_weight_health(0).saturation > 0
+
+    def test_ragged_training_sets_rejected(self):
+        (net_a, x_a, y_a), (net_b, x_b, y_b) = (
+            _member(0, (6,), "sigmoid", 1),
+            _member(1, (6,), "sigmoid", 1),
+        )
+        with pytest.raises(ValueError, match="group ragged folds by size"):
+            EnsembleTrainingKernel(
+                [net_a, net_b], [x_a, x_b[:-1]], [y_a, y_b[:-1]]
+            )
+
+    def test_mismatched_architectures_rejected(self):
+        net_a, x, y = _member(0, (6,), "sigmoid", 1)
+        net_b, _, _ = _member(1, (8,), "sigmoid", 1)
+        with pytest.raises(ValueError, match="share one architecture"):
+            EnsembleTrainingKernel([net_a, net_b], [x, x], [y, y])
+        net_c, _, _ = _member(2, (6,), "tanh", 1)
+        with pytest.raises(ValueError, match="share one activation pair"):
+            EnsembleTrainingKernel([net_a, net_c], [x, x], [y, y])
+
+
+class TestEngineParity:
+    """engine="stacked" is bit-identical to engine="perfold" end to end."""
+
+    @staticmethod
+    def _fit(engine, n=120, k=4, training=None, seed=7):
+        metrics = MetricsRegistry(enabled=True)
+        telemetry = RunTelemetry(metrics=metrics)
+        context = RunContext(
+            rng=np.random.default_rng(seed),
+            telemetry=telemetry,
+            metrics=metrics,
+            n_jobs=1,
+        )
+        x, y = make_problem(np.random.default_rng(5), n=n)
+        ensemble = CrossValidationEnsemble(
+            k=k, training=training, context=context, engine=engine
+        )
+        estimate = ensemble.fit(x, y)
+        return ensemble.predict(x[:16]), estimate, telemetry, metrics
+
+    # n=122 with k=4 makes ragged folds (sizes 31/31/30/30): the
+    # stacked engine must split them into same-length kernel groups
+    @pytest.mark.parametrize("n,k", [(120, 4), (122, 4), (123, 10)])
+    def test_predictions_and_estimate_bit_identical(
+        self, n, k, fast_training
+    ):
+        stacked, est_s, _, _ = self._fit(
+            "stacked", n=n, k=k, training=fast_training
+        )
+        perfold, est_p, _, _ = self._fit(
+            "perfold", n=n, k=k, training=fast_training
+        )
+        np.testing.assert_array_equal(stacked, perfold)
+        assert est_s == est_p
+
+    def test_event_streams_identical(self, fast_training):
+        _, _, stacked, _ = self._fit("stacked", training=fast_training)
+        _, _, perfold, _ = self._fit("perfold", training=fast_training)
+        assert [e.name for e in stacked.events] == [
+            e.name for e in perfold.events
+        ]
+        for name in ("train.check", "train.stop"):
+            assert [e.payload for e in stacked.events_named(name)] == [
+                e.payload for e in perfold.events_named(name)
+            ]
+
+    def test_counters_identical(self, fast_training):
+        _, _, _, stacked = self._fit("stacked", training=fast_training)
+        _, _, _, perfold = self._fit("perfold", training=fast_training)
+        for counter in ("train.epochs", "crossval.epochs", "crossval.fits"):
+            assert stacked.counter(counter) == perfold.counter(counter)
+
+    def test_crossval_fit_event_records_engine(self, fast_training):
+        _, _, telemetry, _ = self._fit("stacked", training=fast_training)
+        (done,) = telemetry.events_named("crossval.fit")
+        assert done.payload["engine"] == "stacked"
+
+    def test_per_fold_early_stop_epochs_match(self, fast_training):
+        """Folds stop at different epochs (the per-fold active mask),
+        and each fold's epoch count equals the per-fold engine's."""
+        _, _, stacked, _ = self._fit("stacked", training=fast_training)
+        _, _, perfold, _ = self._fit("perfold", training=fast_training)
+        epochs_s = [
+            e.payload["epochs_run"] for e in stacked.events_named("train.stop")
+        ]
+        epochs_p = [
+            e.payload["epochs_run"] for e in perfold.events_named("train.stop")
+        ]
+        assert epochs_s == epochs_p
+        assert len(set(epochs_s)) > 1, (
+            "degenerate fixture: every fold stopped at the same epoch, "
+            "so the per-fold mask is not exercised"
+        )
+
+    @pytest.mark.parametrize("study", ["memory-system", "processor"])
+    def test_study_design_matrix_parity(self, study, fast_training):
+        """Equal-seed fits on real study design matrices are identical
+        through either engine — the ISSUE's acceptance criterion."""
+        from repro.core.encoding import design_matrix
+        from repro.experiments.studies import get_study
+
+        matrix = design_matrix(get_study(study).space)
+        idx = np.random.default_rng(11).choice(
+            len(matrix), size=103, replace=False
+        )
+        x = np.array(matrix[idx])
+        y = 0.5 + 1.5 * np.abs(np.sin(x.sum(axis=1))) + 0.1
+
+        def fit(engine):
+            context = RunContext(rng=np.random.default_rng(7), n_jobs=1)
+            ensemble = CrossValidationEnsemble(
+                k=5, training=fast_training, context=context, engine=engine
+            )
+            estimate = ensemble.fit(x, y)
+            return estimate, ensemble.predict(matrix[:64])
+
+        est_s, pred_s = fit("stacked")
+        est_p, pred_p = fit("perfold")
+        assert est_s == est_p
+        np.testing.assert_array_equal(pred_s, pred_p)
+
+    @staticmethod
+    def _hostile_fit(engine):
+        """Near-zero target -> skewed presentation sampling -> some
+        folds diverge, restart and get quarantined."""
+        config = TrainingConfig(
+            hidden_layers=(8,),
+            max_epochs=60,
+            patience=6,
+            check_interval=10,
+            batch_size=32,
+            max_restarts=2,
+        )
+        metrics = MetricsRegistry(enabled=True)
+        telemetry = RunTelemetry(metrics=metrics)
+        context = RunContext(
+            rng=np.random.default_rng(3),
+            telemetry=telemetry,
+            metrics=metrics,
+            n_jobs=1,
+        )
+        x, y = make_problem(np.random.default_rng(5), n=120)
+        y = y.copy()
+        y[0] = 1e-9
+        ensemble = CrossValidationEnsemble(
+            k=10, training=config, context=context, engine=engine,
+            min_folds=2,
+        )
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            estimate = ensemble.fit(x, y)
+        return estimate, telemetry, metrics
+
+    def test_quarantine_parity(self):
+        est_s, tel_s, met_s = self._hostile_fit("stacked")
+        est_p, tel_p, met_p = self._hostile_fit("perfold")
+        assert est_s.n_folds_used < est_s.n_folds
+        assert est_s == est_p
+        for counter in (
+            "train.diverged",
+            "train.restarts",
+            "crossval.quarantined",
+        ):
+            assert met_s.counter(counter) == met_p.counter(counter) > 0
+        for name in ("train.diverged", "train.restart", "crossval.quarantine"):
+            assert [e.payload for e in tel_s.events_named(name)] == [
+                e.payload for e in tel_p.events_named(name)
+            ]

@@ -317,14 +317,26 @@ class TestFoldQuarantine:
         # restarts were actually spent before quarantining
         assert metrics.counter("train.restarts") >= quarantined
 
-    def test_min_folds_raises(self, fast_training, monkeypatch):
-        def doomed(self, *args, **kwargs):
-            raise TrainingDiverged("injected", reason="injected")
+    @pytest.mark.parametrize("engine", ["perfold", "stacked"])
+    def test_min_folds_raises(self, fast_training, monkeypatch, engine):
+        # inject total divergence at each engine's own training seam
+        if engine == "perfold":
+            def doomed(self, *args, **kwargs):
+                raise TrainingDiverged("injected", reason="injected")
 
-        monkeypatch.setattr(RobustTrainer, "fit", doomed)
+            monkeypatch.setattr(RobustTrainer, "fit", doomed)
+        else:
+            from repro.core.kernels import EnsembleTrainingKernel
+
+            monkeypatch.setattr(
+                EnsembleTrainingKernel,
+                "members_finite",
+                lambda self: np.zeros(self.n_members, dtype=bool),
+            )
         x, y = linear_data(seed=1, n=12)
         ensemble = CrossValidationEnsemble(
-            k=4, training=fast_training, rng=np.random.default_rng(0)
+            k=4, training=fast_training, rng=np.random.default_rng(0),
+            engine=engine,
         )
         with pytest.raises(TrainingDiverged) as info:
             ensemble.fit(x, y)
