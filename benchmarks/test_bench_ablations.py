@@ -21,10 +21,10 @@ from repro.core import (
     MultiTaskNetwork,
     ParameterEncoder,
     PolynomialRegression,
-    QueryByCommitteeSampler,
     TrainingConfig,
     percentage_errors,
 )
+from repro.core.context import RunContext
 from repro.core.explorer import DesignSpaceExplorer
 from repro.cpu import get_interval_simulator
 from repro.experiments import (
@@ -33,6 +33,7 @@ from repro.experiments import (
     get_study,
 )
 from repro.experiments.reporting import format_table
+from repro.search import CommitteeAgent
 
 BENCHMARK = "mesa"
 TRAIN_SIZE = 400
@@ -160,20 +161,17 @@ def test_ablation_active_learning(once):
             return evaluator.evaluate_ipc(study.to_machine(point))
 
         results = {}
-        for label, sampler in (
+        for label, agent in (
             ("random", None),
-            (
-                "active (QBC)",
-                QueryByCommitteeSampler(ParameterEncoder(study.space)),
-            ),
+            ("active (QBC)", CommitteeAgent()),
         ):
             explorer = DesignSpaceExplorer(
                 study.space,
                 simulate,
                 batch_size=100,
                 training=training,
-                rng=np.random.default_rng(SEED),
-                sampler=sampler,
+                context=RunContext.seeded(SEED),
+                agent=agent,
             )
             result = explorer.explore(target_error=0.1, max_simulations=300)
             heldout = np.ones(len(truth), dtype=bool)

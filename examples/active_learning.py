@@ -7,8 +7,10 @@ Two extensions the paper proposes, implemented here:
   let the model pick the points it is least sure about
   (query-by-committee over the cross-validation ensemble).
 * **Multi-task learning** — train one network that predicts IPC *and*
-  auxiliary simulator statistics (cache miss rates, misprediction rate),
-  sharing hidden-layer features across the correlated metrics.
+  auxiliary simulator statistics (L1/L2 miss rates; the memory-system
+  study holds the branch predictor fixed, so the misprediction rate is
+  constant and carries no trainable signal), sharing hidden-layer
+  features across the correlated metrics.
 
 Run:  python examples/active_learning.py [benchmark]
 """
@@ -21,26 +23,25 @@ from repro import get_study
 from repro.core import (
     DesignSpaceExplorer,
     MultiTaskNetwork,
-    ParameterEncoder,
-    QueryByCommitteeSampler,
     RunContext,
     TrainingConfig,
     percentage_errors,
 )
 from repro.cpu import get_interval_simulator
 from repro.experiments import encoded_space, full_space_ground_truth
+from repro.search import CommitteeAgent
 
 BUDGET = 300
 BATCH = 50
 
 
-def run_strategy(study, simulate, sampler, seed):
+def run_strategy(study, simulate, agent, seed):
     explorer = DesignSpaceExplorer(
         study.space,
         simulate,
         batch_size=BATCH,
         context=RunContext.seeded(seed),
-        sampler=sampler,
+        agent=agent,
     )
     return explorer.explore(target_error=0.1, max_simulations=BUDGET)
 
@@ -59,11 +60,14 @@ def main() -> None:
     print(f"{benchmark}: {BUDGET} simulations "
           f"({100 * BUDGET / len(study.space):.2f}% of the space)\n")
     print("strategy        estimated      true (full space)")
-    for label, sampler in (
+    # agent= accepts any repro.search strategy; "evolutionary",
+    # "annealing" and "bayesopt" plug in the same way (or via the CLI's
+    # --agent flag)
+    for label, agent in (
         ("random", None),
-        ("active (QBC)", QueryByCommitteeSampler(ParameterEncoder(study.space))),
+        ("active (QBC)", CommitteeAgent()),
     ):
-        result = run_strategy(study, simulate, sampler, seed=5)
+        result = run_strategy(study, simulate, agent, seed=5)
         heldout = np.ones(len(truth), dtype=bool)
         heldout[result.sampled_indices] = False
         errors = percentage_errors(
@@ -73,7 +77,7 @@ def main() -> None:
               f"{errors.mean():5.2f}% +/- {errors.std():.2f}%")
 
     # --- multi-task learning ---------------------------------------------
-    print("\nmulti-task learning (IPC + L1/L2 miss rates + mispredictions):")
+    print("\nmulti-task learning (IPC + L1/L2 miss rates):")
     rng = np.random.default_rng(9)
     indices = study.space.sample_indices(BUDGET, rng)
     metrics = [evaluator.evaluate(study.machine_at(i)) for i in indices]
@@ -83,7 +87,6 @@ def main() -> None:
                 m["ipc"],
                 m["l1d_misses_per_instruction"] + 1e-6,
                 m["l2_misses_per_instruction"] + 1e-6,
-                m["branch_mispredict_rate"] + 1e-6,
             ]
             for m in metrics
         ]
@@ -102,7 +105,7 @@ def main() -> None:
     print(f"  IPC error with shared auxiliary heads: "
           f"{errors.mean():.2f}% +/- {errors.std():.2f}%")
     predictions = model.predict_all(x_full[:3])
-    print("  sample predictions (ipc, l1_mpi, l2_mpi, mispredict):")
+    print("  sample predictions (ipc, l1_mpi, l2_mpi):")
     for row in predictions:
         print("   ", " ".join(f"{v:.4f}" for v in row))
 

@@ -1,23 +1,27 @@
 #!/usr/bin/env python
 """Validate bench artifact JSON documents before CI uploads them.
 
-Two document kinds are understood:
+Three document kinds are understood:
 
 * ``kernels`` — the ``BENCH_kernels.json`` report written by
   ``benchmarks/test_bench_kernels.py`` (schema 2: ``train_epoch``,
   ``predict_space``, ``ensemble_fit`` and ``gate`` sections);
 * ``explore`` — ``--telemetry-out`` documents from ``repro explore``
   (``BENCH_explore_*.json``: the ``repro.obs.report`` shape with
-  ``summary``/``iterations``/``telemetry``).
+  ``summary``/``iterations``/``telemetry``);
+* ``strategies`` — the ``BENCH_strategies.json`` shootout written by
+  ``benchmarks/test_bench_strategies.py`` (schema 1: per-study
+  simulations-to-threshold for every search agent, plus the gate).
 
-The kind is inferred from the filename (``kernels``/``explore``) and
-double-checked against the content, so a renamed or truncated artifact
-fails loudly here instead of producing a confusing downstream diff.
+The kind is inferred from the filename
+(``kernels``/``explore``/``strategies``) and double-checked against the
+content, so a renamed or truncated artifact fails loudly here instead
+of producing a confusing downstream diff.
 
 Usage::
 
     python scripts/check_bench_schema.py BENCH_kernels.json \
-        BENCH_explore_serial.json BENCH_explore_parallel.json
+        BENCH_strategies.json BENCH_explore_serial.json
 
 Exits non-zero listing every violation; prints one OK line per file
 otherwise.  Stdlib-only so it runs before the package is importable.
@@ -32,6 +36,7 @@ from typing import Any, Dict, List
 
 KERNELS_SCHEMA = 2
 EXPLORE_SCHEMA = 1
+STRATEGIES_SCHEMA = 1
 
 #: required numeric fields in each train_epoch section
 TRAIN_EPOCH_KEYS = ("n_samples", "batch_size", "kernel_s", "legacy_s", "speedup")
@@ -50,6 +55,13 @@ ENSEMBLE_STUDIES = ("memory-system", "processor")
 ENSEMBLE_CONFIGS = ("paper", "batch_default")
 ENSEMBLE_KEYS = ("batch_size", "max_epochs", "stacked_s", "perfold_s", "speedup")
 GATE_KEYS = ("tolerance", "predict_floor", "ensemble_fit_floor")
+
+#: required studies in a strategies document, and the minimum number of
+#: competing agents each must report
+STRATEGY_STUDIES = ("memory-system", "processor")
+STRATEGY_MIN_AGENTS = 5
+#: required numeric fields per agent row in a strategies document
+STRATEGY_AGENT_KEYS = ("n_simulations", "rounds", "final_error_mean")
 
 
 class Checker:
@@ -151,14 +163,70 @@ def check_explore(doc: Dict[str, Any], check: Checker) -> None:
         check.fail("metrics", "expected an object when present")
 
 
+def check_strategies(doc: Dict[str, Any], check: Checker) -> None:
+    if doc.get("schema") != STRATEGIES_SCHEMA:
+        check.fail(
+            "schema",
+            f"expected {STRATEGIES_SCHEMA}, got {doc.get('schema')!r}",
+        )
+    check.require(doc, "$", "seed", int)
+    check.require(doc, "$", "benchmark", str)
+    check.number(doc, "$", "batch_size")
+    check.number(doc, "$", "max_simulations")
+
+    studies = check.require(doc, "$", "studies", dict) or {}
+    for study in STRATEGY_STUDIES:
+        block = check.require(studies, "studies", study, dict)
+        if block is None:
+            continue
+        path = f"studies.{study}"
+        check.number(block, path, "target_error")
+        agents = check.require(block, path, "agents", dict)
+        if agents is None:
+            continue
+        if len(agents) < STRATEGY_MIN_AGENTS:
+            check.fail(
+                f"{path}.agents",
+                f"expected at least {STRATEGY_MIN_AGENTS} agents, "
+                f"got {len(agents)}",
+            )
+        for agent, row in agents.items():
+            if not isinstance(row, dict):
+                check.fail(f"{path}.agents.{agent}", "expected an object")
+                continue
+            check.require(row, f"{path}.agents.{agent}", "converged", bool)
+            for key in STRATEGY_AGENT_KEYS:
+                check.number(row, f"{path}.agents.{agent}", key)
+
+    gate = check.require(doc, "$", "gate", dict)
+    if gate is not None:
+        check.require(gate, "gate", "study", str)
+        reference = check.require(gate, "gate", "reference", str)
+        if reference is not None and studies:
+            block = studies.get(gate.get("study"), {})
+            if (
+                isinstance(block, dict)
+                and reference not in block.get("agents", {})
+            ):
+                check.fail(
+                    "gate.reference",
+                    f"{reference!r} is not a reported agent of the "
+                    f"gated study",
+                )
+
+
 def detect_kind(path: Path, doc: Dict[str, Any]) -> str:
     name = path.name.lower()
     if "kernels" in name:
         return "kernels"
+    if "strategies" in name:
+        return "strategies"
     if "explore" in name:
         return "explore"
     if "train_epoch" in doc:
         return "kernels"
+    if "studies" in doc:
+        return "strategies"
     if "iterations" in doc:
         return "explore"
     raise SystemExit(f"{path}: cannot infer document kind from name or content")
@@ -177,6 +245,8 @@ def check_file(path: Path) -> List[str]:
     kind = detect_kind(path, doc)
     if kind == "kernels":
         check_kernels(doc, check)
+    elif kind == "strategies":
+        check_strategies(doc, check)
     else:
         check_explore(doc, check)
     return check.problems

@@ -52,23 +52,45 @@ from .core.kernels import DEFAULT_PREDICT_CHUNK
 from .core.training import TrainingConfig
 from .designspace.space import DesignSpace
 from .experiments.studies import get_study, make_simulate_fn
+from .search import (
+    AGENTS,
+    Agent,
+    BayesOptAgent,
+    CommitteeAgent,
+    Environment,
+    EvolutionaryAgent,
+    Observation,
+    RandomAgent,
+    SimulatedAnnealingAgent,
+    make_agent,
+)
 
 __all__ = [
+    "AGENTS",
+    "Agent",
+    "BayesOptAgent",
     "CheckpointError",
+    "CommitteeAgent",
     "DesignSpace",
     "EnsemblePredictor",
+    "Environment",
     "ErrorEstimate",
     "ErrorStatistics",
+    "EvolutionaryAgent",
     "ExplorationResult",
     "ExplorerCheckpoint",
     "FitOutcome",
+    "Observation",
+    "RandomAgent",
     "RunContext",
+    "SimulatedAnnealingAgent",
     "TrainingConfig",
     "clear_checkpoint",
     "explore",
     "fit_ensemble",
     "get_study",
     "load_checkpoint",
+    "make_agent",
     "make_simulate_fn",
     "predict_space",
     "save_checkpoint",
@@ -98,6 +120,7 @@ def explore(
     seed: Optional[int] = None,
     context: Optional[RunContext] = None,
     min_folds: Optional[int] = None,
+    agent: Union[str, Agent, None] = None,
     sampler: Optional[Callable] = None,
     initial_samples: Optional[int] = None,
     checkpoint: Optional[str] = None,
@@ -110,11 +133,18 @@ def explore(
     ``max_simulations`` is spent.  ``simulate`` may be a plain
     ``config -> float`` callable or any evaluation backend.
 
+    ``agent`` selects the search strategy proposing each round's batch:
+    a name from :data:`AGENTS` (``"random"``, ``"committee"``,
+    ``"evolutionary"``, ``"annealing"``, ``"bayesopt"``), an agent
+    instance (e.g. ``CommitteeAgent(pool_size=500)``), or ``None`` for
+    the paper's uniform random sampling.  The ``sampler`` hook is
+    deprecated in favour of it.
+
     Pass ``seed`` for a reproducible run, or a full ``context``
     (:class:`RunContext`) to also control telemetry, metrics and the
     fold-training worker budget — one or the other, not both.  With
     ``checkpoint``, completed rounds persist to that path and a killed
-    run resumes bit-identically.
+    run resumes bit-identically (including the agent's own state).
     """
     explorer = DesignSpaceExplorer(
         space,
@@ -124,6 +154,7 @@ def explore(
         training=training,
         context=_resolve(seed, context),
         min_folds=min_folds,
+        agent=agent,
         sampler=sampler,
     )
     return explorer.explore(

@@ -41,6 +41,7 @@ from .core import (
 )
 from .cpu import Simulator, get_interval_simulator
 from .doe import PlackettBurmanStudy
+from .search import AGENTS
 from .experiments import (
     build_table51,
     estimation_curves,
@@ -187,6 +188,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             ),
             context=context,
             min_folds=getattr(args, "min_folds", None),
+            agent=getattr(args, "agent", None),
         )
         result = explorer.explore(
             target_error=args.target_error,
@@ -401,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--training", choices=TRAINING_PRESETS, default="default",
         help="training-recipe preset (fast = cheap sweeps, paper = "
         "Section 3.1's literal hyperparameters)",
+    )
+    explore.add_argument(
+        "--agent", choices=sorted(AGENTS), default="random",
+        help="search strategy proposing each round's batch (default: "
+        "the paper's uniform random sampling; see docs/architecture.md "
+        "and BENCH_strategies.json for the shootout)",
     )
     explore.add_argument(
         "--n-jobs", type=int, default=None, metavar="N",

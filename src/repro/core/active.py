@@ -4,8 +4,15 @@ Instead of drawing new simulation points uniformly at random, the model
 identifies the points it would benefit most from: query-by-committee uses
 the disagreement (variance) among the cross-validation ensemble's members
 as the acquisition signal, picking the highest-variance unsampled points
-from a random candidate pool.  Plugs into
-:class:`repro.core.explorer.DesignSpaceExplorer` via its ``sampler`` hook.
+from a random candidate pool.
+
+:class:`QueryByCommitteeSampler` is the **legacy** entry point for the
+explorer's deprecated ``sampler=`` hook; the strategy now lives in the
+search layer as :class:`repro.search.agents.CommitteeAgent`, and both
+delegate to the same :func:`repro.search.agents.committee_select` core
+(so the old hook also inherits its edge-case fixes: exploration
+fractions of 0/1 and pools smaller than the batch no longer over-ask
+the space or duplicate sampled points).
 """
 
 from __future__ import annotations
@@ -56,28 +63,19 @@ class QueryByCommitteeSampler:
         exclude: List[int],
         predictor: Optional[EnsemblePredictor],
     ) -> List[int]:
-        """Sampler hook: returns ``n`` new design-space indices."""
-        if predictor is None:
-            # first round: no committee yet, fall back to random
-            return space.sample_indices(n, rng, exclude)
+        """Sampler hook: returns up to ``n`` new design-space indices
+        (fewer only when the space has fewer unsampled points left)."""
+        # imported lazily: repro.search.environment builds on repro.core,
+        # so a module-level import here would be circular
+        from ..search.agents import committee_select
 
-        n_random = int(round(n * self.exploration_fraction))
-        n_active = n - n_random
-        chosen: List[int] = []
-        if n_random:
-            chosen.extend(space.sample_indices(n_random, rng, exclude))
-
-        if n_active:
-            excluded = set(exclude) | set(chosen)
-            pool_want = min(
-                self.pool_size + n_active, len(space) - len(excluded)
-            )
-            pool = space.sample_indices(pool_want, rng, excluded)
-            # the cached design matrix turns pool scoring into a row
-            # gather plus one chunked batch-predict per round
-            variance = predictor.prediction_variance(
-                self.encoder.encode_space()[np.asarray(pool, dtype=np.intp)]
-            )
-            ranked = np.argsort(variance)[::-1]
-            chosen.extend(pool[int(i)] for i in ranked[:n_active])
-        return chosen
+        return committee_select(
+            space,
+            self.encoder,
+            n,
+            rng,
+            exclude,
+            predictor,
+            pool_size=self.pool_size,
+            exploration_fraction=self.exploration_fraction,
+        )

@@ -81,6 +81,17 @@ class ExplorerCheckpoint:
     ``predictor`` is the ensemble trained in the checkpointed round, so
     a run that was killed after its final round resumes straight to an
     identical result without retraining.
+
+    ``agent`` names the search strategy that drove the run (resume
+    refuses a different one — swapping strategies mid-run would break
+    bit-identity), and ``agent_state`` is the strategy's own
+    checkpointable state in a versioned
+    ``{"version": AGENT_STATE_VERSION, "state": {...}}`` envelope (see
+    :mod:`repro.search.protocol`).  Both carry plain class-level
+    defaults rather than factories so checkpoints pickled before the
+    search layer existed still unpickle — they resume as the
+    ``"random"`` strategy with no state, which is exactly what wrote
+    them.
     """
 
     version: int
@@ -96,6 +107,8 @@ class ExplorerCheckpoint:
     rng_state: Optional[Dict[str, object]] = None
     predictor: Optional[object] = None
     converged: bool = False
+    agent: str = "random"
+    agent_state: Optional[Dict[str, object]] = None
 
     @property
     def round_number(self) -> int:

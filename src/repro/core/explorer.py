@@ -7,134 +7,52 @@
 7. if the estimate is too high, simulate N more points and repeat;
 8. predict any point by averaging the ensemble.
 
-:class:`DesignSpaceExplorer` drives this loop against an
-:class:`~repro.core.backend.EvaluationBackend` — every round's batch of
-configurations is evaluated in one call, so serial, process-pool and
-caching evaluation are interchangeable (plain simulate callables are
-adapted automatically).  The loop records the error-estimate trajectory
-so learning curves and estimated-vs-true studies fall out of its
-history.
+:class:`DesignSpaceExplorer` is a thin driver over the search layer
+(:mod:`repro.search`): an :class:`~repro.search.environment.Environment`
+owns simulation, fitting, convergence accounting and checkpointing,
+while a pluggable agent proposes each round's batch.  The default
+:class:`~repro.search.agents.RandomAgent` reproduces the paper's
+uniform random sampling bit-for-bit; ``agent=`` selects committee /
+evolutionary / annealing / Bayesian-optimization strategies (see
+:data:`repro.search.AGENTS`).  Every round's batch is evaluated in one
+:class:`~repro.core.backend.EvaluationBackend` call, so serial,
+process-pool and caching evaluation are interchangeable (plain
+simulate callables are adapted automatically).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from ..designspace.space import Config, DesignSpace
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import RunTelemetry
+
+# result types and the batch-size default moved to the search layer; they
+# are re-exported here (and resolved here by old pickled checkpoints)
+from ..search.agents import AgentLike, SamplerAgent, make_agent
+from ..search.protocol import DEFAULT_BATCH_SIZE
+from ..search.result import ExplorationResult, ExplorationRound
 from .backend import EvaluationBackend, as_backend
-from .checkpoint import (
-    CHECKPOINT_VERSION,
-    CheckpointError,
-    ExplorerCheckpoint,
-    clear_checkpoint,
-    load_checkpoint,
-    save_checkpoint,
-)
 from .context import RunContext, resolve_context
 from .crossval import DEFAULT_FOLDS
 from .encoding import ParameterEncoder
-from .ensemble import EnsemblePredictor
-from .error import ErrorEstimate
-from .fitting import evaluate_batch, fit_cv_round
 from .training import TrainingConfig
 
-#: the paper collects simulation results in batches of 50
-DEFAULT_BATCH_SIZE = 50
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "ExplorationRound",
+    "SimulateFn",
+]
 
 SimulateFn = Callable[[Config], float]
-
-
-@dataclass
-class ExplorationRound:
-    """One iteration of the incremental loop."""
-
-    n_samples: int
-    estimate: ErrorEstimate
-
-
-@dataclass
-class ExplorationResult:
-    """Everything the loop produced.
-
-    Attributes
-    ----------
-    space:
-        The explored design space.
-    sampled_indices:
-        Design-space indices of every simulated point, in sampling order.
-    targets:
-        Simulated results for those points.
-    rounds:
-        Error-estimate trajectory, one entry per training round.
-    predictor:
-        The final trained ensemble.
-    encoder:
-        Encoder used for all feature vectors.
-    converged:
-        Whether the stopping criterion was met (vs budget exhaustion).
-    """
-
-    space: DesignSpace
-    sampled_indices: List[int]
-    targets: List[float]
-    rounds: List[ExplorationRound]
-    predictor: EnsemblePredictor
-    encoder: ParameterEncoder
-    converged: bool
-    extra: Dict[str, object] = field(default_factory=dict)
-
-    @property
-    def n_simulations(self) -> int:
-        return len(self.sampled_indices)
-
-    @property
-    def final_estimate(self) -> ErrorEstimate:
-        return self.rounds[-1].estimate
-
-    def predict_config(self, config: Config) -> float:
-        """Predict one design point (procedure step 8)."""
-        return float(self.predictor.predict(self.encoder.encode(config)[None, :])[0])
-
-    def predict_space(self) -> np.ndarray:
-        """Predict every point of the space, in enumeration order."""
-        return self.predictor.predict(self.encoder.encode_space())
-
-    def best_configs(
-        self,
-        n: int = 1,
-        constraint: Optional[Callable[[Config], bool]] = None,
-        maximize: bool = True,
-    ) -> List[tuple]:
-        """The model's top-``n`` design points, optionally constrained.
-
-        This is the payoff of the whole approach: once trained, questions
-        like "best IPC with an L2 of at most 512 KB" are answered from
-        predictions alone, without further simulation.
-
-        Returns ``(config, predicted_value)`` pairs, best first.
-        """
-        if n <= 0:
-            raise ValueError(f"n must be positive, got {n}")
-        predictions = self.predict_space()
-        order = np.argsort(predictions)
-        if maximize:
-            order = order[::-1]
-        out = []
-        for index in order:
-            config = self.space.config_at(int(index))
-            if constraint is not None and not constraint(config):
-                continue
-            out.append((config, float(predictions[index])))
-            if len(out) == n:
-                break
-        return out
 
 
 class DesignSpaceExplorer:
@@ -167,6 +85,13 @@ class DesignSpaceExplorer:
         (see :data:`~repro.core.crossval.DEFAULT_MIN_FOLDS`).  Rounds
         with quarantined folds continue with a warning and report
         ``fold_coverage`` < 1 on their estimate.
+    agent:
+        Search strategy proposing each round's batch: a name from
+        :data:`repro.search.AGENTS` (``"random"``, ``"committee"``,
+        ``"evolutionary"``, ``"annealing"``, ``"bayesopt"``), an agent
+        instance, or ``None`` for the paper's uniform random sampling.
+        All agents draw from the context's generator, so seeded runs
+        replay bit-identically.
     context:
         :class:`~repro.core.context.RunContext` carrying the seeded
         generator, telemetry, metrics and the fold-training worker
@@ -177,20 +102,24 @@ class DesignSpaceExplorer:
     rng:
         Seeded generator for reproducible sampling and training.
     sampler:
-        Optional replacement for uniform random sampling; called as
-        ``sampler(space, n, rng, exclude, state)`` and must return new
-        design-space indices.  Used by the active-learning extension.
+        **Deprecated** — the pre-search-layer strategy hook, called as
+        ``sampler(space, n, rng, exclude, state)``.  Pass
+        ``agent=CommitteeAgent(...)`` (or another
+        :mod:`repro.search` agent) instead; a given sampler still runs
+        bit-identically through a
+        :class:`~repro.search.agents.SamplerAgent` adapter.
     telemetry:
         Optional event stream.  Each training round emits one
-        ``explore.round`` event (cumulative simulation count, estimated
-        error mean/SD, round wall time), bracketed by ``explore.start``
-        and ``explore.done``; simulation and training wall time
-        accumulate under the ``explore.simulate`` / ``explore.train``
-        phases.  The stream is forwarded to the cross-validation
-        ensembles the loop trains.
+        ``search.propose`` and one ``explore.round`` event (cumulative
+        simulation count, estimated error mean/SD, round wall time),
+        bracketed by ``explore.start`` and ``explore.done``; simulation
+        and training wall time accumulate under the
+        ``explore.simulate`` / ``explore.train`` phases.  The stream is
+        forwarded to the cross-validation ensembles the loop trains.
     metrics:
-        Registry receiving the ``explore.simulations`` counter and
-        round timers; defaults to the (normally disabled) global one.
+        Registry receiving the ``explore.simulations`` /
+        ``search.proposals`` counters and round timers; defaults to the
+        (normally disabled) global one.
     """
 
     def __init__(
@@ -206,6 +135,7 @@ class DesignSpaceExplorer:
         metrics: Optional[MetricsRegistry] = None,
         context: Optional[RunContext] = None,
         min_folds: Optional[int] = None,
+        agent: AgentLike = None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -220,6 +150,21 @@ class DesignSpaceExplorer:
             context, rng=rng, telemetry=telemetry, metrics=metrics,
             owner="DesignSpaceExplorer",
         )
+        if sampler is not None:
+            if agent is not None:
+                raise ValueError(
+                    "pass either agent= or the deprecated sampler=, not both"
+                )
+            warnings.warn(
+                "passing sampler= to DesignSpaceExplorer is deprecated; "
+                "pass agent=CommitteeAgent(...) (or another repro.search "
+                "agent) instead (see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.agent = SamplerAgent(sampler)
+        else:
+            self.agent = make_agent(agent)
         self.sampler = sampler
         self.encoder = ParameterEncoder(space)
 
@@ -236,39 +181,6 @@ class DesignSpaceExplorer:
     def metrics(self) -> MetricsRegistry:
         return self.context.metrics
 
-    # ------------------------------------------------------------------
-    def _draw_batch(
-        self, n: int, exclude: List[int], state: Optional[EnsemblePredictor]
-    ) -> List[int]:
-        if self.sampler is not None:
-            return list(
-                self.sampler(self.space, n, self.rng, exclude, state)
-            )
-        return self.space.sample_indices(n, self.rng, exclude)
-
-    def _restore_checkpoint(
-        self, state: ExplorerCheckpoint, target_error: float
-    ) -> None:
-        """Validate a loaded checkpoint against this explorer's setup.
-
-        The space, batch size and fold count define the run's identity
-        and must match exactly; ``target_error`` / ``max_simulations``
-        may differ (extending a finished run's budget is legitimate).
-        """
-        expected = (
-            ("version", CHECKPOINT_VERSION, state.version),
-            ("space_name", self.space.name, state.space_name),
-            ("space_size", len(self.space), state.space_size),
-            ("batch_size", self.batch_size, state.batch_size),
-            ("k", self.k, state.k),
-        )
-        for name, want, got in expected:
-            if want != got:
-                raise CheckpointError(
-                    f"checkpoint is incompatible with this explorer: "
-                    f"{name} is {got!r}, expected {want!r}"
-                )
-
     def explore(
         self,
         target_error: float,
@@ -281,50 +193,35 @@ class DesignSpaceExplorer:
 
         When ``checkpoint`` names a file, every completed round is
         persisted there atomically (sampled indices, targets, the
-        trajectory, the trained predictor and the RNG bit-generator
-        state) and an existing compatible checkpoint is resumed from:
-        the generator state is restored to exactly the point the next
-        batch would have been drawn at, so a killed-and-resumed run
-        produces a bit-identical :class:`ExplorationResult` to an
-        uninterrupted one.  The file is removed once the run completes.
+        trajectory, the trained predictor, the RNG bit-generator state
+        and the agent's own state) and an existing compatible
+        checkpoint is resumed from: the generator and agent state are
+        restored to exactly the point the next batch would have been
+        proposed at, so a killed-and-resumed run produces a
+        bit-identical :class:`ExplorationResult` to an uninterrupted
+        one.  The file is removed once the run completes.
         """
-        if target_error <= 0:
-            raise ValueError(f"target_error must be positive, got {target_error}")
-        if max_simulations < self.k:
-            raise ValueError(
-                f"max_simulations must allow at least k={self.k} points"
-            )
-        initial = initial_samples or self.batch_size
+        # imported here, not at module top: the environment builds on
+        # repro.core and importing it while this module initializes
+        # would close an import cycle
+        from ..search.environment import Environment
 
-        sampled: List[int] = []
-        targets: List[float] = []
-        rounds: List[ExplorationRound] = []
-        predictor: Optional[EnsemblePredictor] = None
-        converged = False
-        finished = False
-        resumed_rounds = 0
-
-        ckpt_path = Path(checkpoint) if checkpoint is not None else None
-        if ckpt_path is not None:
-            state = load_checkpoint(
-                ckpt_path, self.telemetry, self.metrics, strict=True
-            )
-            if state is not None:
-                if not isinstance(state, ExplorerCheckpoint):
-                    raise CheckpointError(
-                        f"checkpoint {ckpt_path} holds a "
-                        f"{type(state).__name__}, not an exploration state"
-                    )
-                self._restore_checkpoint(state, target_error)
-                sampled = list(state.sampled_indices)
-                targets = list(state.targets)
-                rounds = list(state.rounds)
-                predictor = state.predictor
-                converged = state.converged
-                resumed_rounds = len(rounds)
-                if state.rng_state is not None:
-                    self.rng.bit_generator.state = state.rng_state
-                finished = converged or len(sampled) >= max_simulations
+        env = Environment(
+            self.space,
+            self.backend,
+            target_error=target_error,
+            max_simulations=max_simulations,
+            encoder=self.encoder,
+            batch_size=self.batch_size,
+            k=self.k,
+            training=self.training,
+            min_folds=self.min_folds,
+            initial_samples=initial_samples,
+            context=self.context,
+            checkpoint=checkpoint,
+        )
+        agent = self.agent
+        resumed_rounds = env.resume(agent)
 
         telemetry = self.telemetry
         explore_start = time.perf_counter()
@@ -337,89 +234,51 @@ class DesignSpaceExplorer:
             target_error=target_error,
             max_simulations=max_simulations,
             backend=type(self.backend).__name__,
+            agent=agent.name,
             resumed_rounds=resumed_rounds,
         )
 
-        while not finished:
+        while not env.done:
             round_start = time.perf_counter()
-            want = initial if not sampled else self.batch_size
-            want = min(want, max_simulations - len(sampled))
-            if want > 0:
-                new_indices = self._draw_batch(want, sampled, predictor)
-                values = evaluate_batch(
-                    self.backend,
-                    [self.space.config_at(i) for i in new_indices],
-                    context=self.context,
-                )
-                sampled.extend(new_indices)
-                targets.extend(float(v) for v in values)
-            with telemetry.phase("explore.train"):
-                # the cached design matrix makes each round's training
-                # inputs a row gather instead of a re-encode of every
-                # sampled configuration
-                x = self.encoder.encode_space()[
-                    np.asarray(sampled, dtype=np.intp)
-                ]
-                y = np.asarray(targets)
-                outcome = fit_cv_round(
-                    x, y, k=self.k, training=self.training,
-                    min_folds=self.min_folds, context=self.context,
-                )
-                estimate = outcome.estimate
-            predictor = outcome.ensemble.predictor
-            rounds.append(ExplorationRound(len(sampled), estimate))
-            converged = estimate.meets(target_error)
-            finished = converged or len(sampled) >= max_simulations
-            if ckpt_path is not None:
-                save_checkpoint(
-                    ckpt_path,
-                    ExplorerCheckpoint(
-                        version=CHECKPOINT_VERSION,
-                        space_name=self.space.name,
-                        space_size=len(self.space),
-                        batch_size=self.batch_size,
-                        k=self.k,
-                        target_error=target_error,
-                        max_simulations=max_simulations,
-                        sampled_indices=list(sampled),
-                        targets=list(targets),
-                        rounds=list(rounds),
-                        rng_state=self.rng.bit_generator.state,
-                        predictor=predictor,
-                        converged=converged,
-                    ),
-                    self.telemetry,
-                    self.metrics,
-                )
+            want = env.next_batch_size()
+            observation = env.observe()
+            propose_start = time.perf_counter()
+            configs = agent.propose(observation, want, self.rng)
+            telemetry.emit(
+                "search.propose",
+                agent=agent.name,
+                round=len(env.rounds) + 1,
+                n_requested=want,
+                n_proposed=len(configs),
+                elapsed_s=time.perf_counter() - propose_start,
+            )
+            self.metrics.inc("search.proposals", len(configs))
+            if not configs:
+                # the agent cannot reach any more unsampled points;
+                # stop with what the completed rounds learned
+                env.exhausted = True
+                break
+            round_ = env.step(configs)
+            env.save(agent)
             round_elapsed = time.perf_counter() - round_start
             self.metrics.observe("explore.round", round_elapsed)
             telemetry.emit(
                 "explore.round",
-                round=len(rounds),
-                n_new=max(want, 0),
-                n_simulations=len(sampled),
-                error_mean=estimate.mean,
-                error_std=estimate.std,
-                fold_coverage=estimate.fold_coverage,
+                round=len(env.rounds),
+                n_new=len(configs),
+                n_simulations=env.n_simulations,
+                error_mean=round_.estimate.mean,
+                error_std=round_.estimate.std,
+                fold_coverage=round_.estimate.fold_coverage,
                 elapsed_s=round_elapsed,
             )
 
         telemetry.emit(
             "explore.done",
-            converged=converged,
-            n_simulations=len(sampled),
-            n_rounds=len(rounds),
+            converged=env.converged,
+            n_simulations=env.n_simulations,
+            n_rounds=len(env.rounds),
             elapsed_s=time.perf_counter() - explore_start,
         )
-        if ckpt_path is not None:
-            clear_checkpoint(ckpt_path, self.telemetry, self.metrics)
-        assert predictor is not None
-        return ExplorationResult(
-            space=self.space,
-            sampled_indices=sampled,
-            targets=targets,
-            rounds=rounds,
-            predictor=predictor,
-            encoder=self.encoder,
-            converged=converged,
-        )
+        env.finish()
+        return env.result()

@@ -1,0 +1,337 @@
+"""The simulator-backed environment of the search layer.
+
+:class:`Environment` owns everything about one exploration run except
+the choice of the next batch: the evaluation backend, the feature
+encoder, per-round cross-validation fitting, convergence/budget
+accounting, and crash-safe checkpointing (including the agent's own
+state, via the versioned agent-state slot of
+:class:`~repro.core.checkpoint.ExplorerCheckpoint`).  The driver loop —
+``DesignSpaceExplorer.explore`` — reduces to::
+
+    while not env.done:
+        configs = agent.propose(env.observe(), env.next_batch_size(), rng)
+        env.step(configs)
+        env.save(agent)
+
+This module is the search layer's one foot in ``repro.core`` (fitting,
+backends, checkpoints); the protocol and agents stay core-free — see
+:mod:`repro.search.protocol`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.backend import EvaluationBackend, as_backend
+from ..core.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    ExplorerCheckpoint,
+    clear_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..core.context import RunContext
+from ..core.crossval import DEFAULT_FOLDS
+from ..core.encoding import ParameterEncoder
+from ..core.ensemble import EnsemblePredictor
+from ..core.fitting import evaluate_batch, fit_cv_round
+from ..core.training import TrainingConfig
+from ..designspace.space import Config, DesignSpace
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import RunTelemetry
+from .protocol import (
+    AGENT_STATE_VERSION,
+    DEFAULT_BATCH_SIZE,
+    Agent,
+    Observation,
+    SearchError,
+)
+from .result import ExplorationResult, ExplorationRound
+
+
+class Environment:
+    """One exploration run's state machine (sample → simulate → fit).
+
+    Parameters mirror :class:`~repro.core.explorer.DesignSpaceExplorer`
+    plus the run bounds that used to live on ``explore()``:
+    ``target_error`` (stop once the CV estimate reaches it),
+    ``max_simulations`` (budget), ``initial_samples`` (first-round
+    batch, defaulting to ``batch_size``) and ``checkpoint`` (round
+    state persists there and a compatible file is resumed from).
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        backend: object,
+        *,
+        target_error: float,
+        max_simulations: int,
+        encoder: Optional[ParameterEncoder] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        k: int = DEFAULT_FOLDS,
+        training: Optional[TrainingConfig] = None,
+        min_folds: Optional[int] = None,
+        initial_samples: Optional[int] = None,
+        context: Optional[RunContext] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if target_error <= 0:
+            raise ValueError(
+                f"target_error must be positive, got {target_error}"
+            )
+        if max_simulations < k:
+            raise ValueError(
+                f"max_simulations must allow at least k={k} points"
+            )
+        self.space = space
+        self.backend: EvaluationBackend = as_backend(backend)
+        self.encoder = encoder if encoder is not None else ParameterEncoder(space)
+        self.batch_size = batch_size
+        self.k = k
+        self.training = training or TrainingConfig()
+        self.min_folds = min_folds
+        self.target_error = target_error
+        self.max_simulations = max_simulations
+        self.initial_samples = initial_samples or batch_size
+        self.context = context if context is not None else RunContext()
+        self.checkpoint_path = (
+            Path(checkpoint) if checkpoint is not None else None
+        )
+        self.sampled: List[int] = []
+        self.targets: List[float] = []
+        self.rounds: List[ExplorationRound] = []
+        self.predictor: Optional[EnsemblePredictor] = None
+        self.converged = False
+        #: set when the agent could not reach any more unsampled points
+        self.exhausted = False
+
+    # -- context accessors ---------------------------------------------
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.context.rng
+
+    @property
+    def telemetry(self) -> RunTelemetry:
+        return self.context.telemetry
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.context.metrics
+
+    # -- run accounting ------------------------------------------------
+    @property
+    def n_simulations(self) -> int:
+        return len(self.sampled)
+
+    @property
+    def done(self) -> bool:
+        """Converged, out of budget, or out of reachable points."""
+        return (
+            self.converged
+            or len(self.sampled) >= self.max_simulations
+            or self.exhausted
+        )
+
+    def next_batch_size(self) -> int:
+        """Points the next round should add (budget-clamped)."""
+        want = self.initial_samples if not self.sampled else self.batch_size
+        return min(want, self.max_simulations - len(self.sampled))
+
+    # -- the agent-facing surface --------------------------------------
+    def observe(self) -> Observation:
+        """Snapshot the run for an agent's next proposal."""
+        return Observation(
+            space=self.space,
+            encoder=self.encoder,
+            sampled_indices=tuple(self.sampled),
+            targets=tuple(self.targets),
+            round=len(self.rounds),
+            estimate=self.rounds[-1].estimate if self.rounds else None,
+            predictor=self.predictor,
+            telemetry=self.telemetry,
+            metrics=self.metrics,
+        )
+
+    def _resolve_proposal(self, configs: Sequence[Config]) -> List[int]:
+        """Map proposed configurations to indices, enforcing the protocol:
+        every proposal must be a valid point and must not re-simulate."""
+        indices: List[int] = []
+        seen = set(self.sampled)
+        for config in configs:
+            try:
+                index = self.space.index_of(config)
+            except ValueError as exc:
+                raise SearchError(
+                    f"agent proposed a configuration outside the design "
+                    f"space: {exc}"
+                ) from exc
+            if index in seen:
+                raise SearchError(
+                    f"agent proposed design point {index}, which was "
+                    "already sampled (agents must not re-simulate)"
+                )
+            seen.add(index)
+            indices.append(index)
+        return indices
+
+    def step(self, configs: Sequence[Config]) -> ExplorationRound:
+        """Simulate a proposed batch, then train/estimate this round.
+
+        An empty batch is legal (re-fits on the existing samples) —
+        the driver uses it only when resuming directly into training.
+        """
+        if configs:
+            indices = self._resolve_proposal(configs)
+            values = evaluate_batch(
+                self.backend, list(configs), context=self.context
+            )
+            self.sampled.extend(indices)
+            self.targets.extend(float(v) for v in values)
+        if not self.sampled:
+            raise SearchError("cannot train a round with no samples")
+        with self.telemetry.phase("explore.train"):
+            # the cached design matrix makes each round's training
+            # inputs a row gather instead of a re-encode of every
+            # sampled configuration
+            x = self.encoder.encode_space()[
+                np.asarray(self.sampled, dtype=np.intp)
+            ]
+            y = np.asarray(self.targets)
+            outcome = fit_cv_round(
+                x, y, k=self.k, training=self.training,
+                min_folds=self.min_folds, context=self.context,
+            )
+        self.predictor = outcome.ensemble.predictor
+        round_ = ExplorationRound(len(self.sampled), outcome.estimate)
+        self.rounds.append(round_)
+        self.converged = outcome.estimate.meets(self.target_error)
+        return round_
+
+    # -- checkpointing --------------------------------------------------
+    def checkpoint_state(self, agent: Agent) -> ExplorerCheckpoint:
+        """The resumable snapshot of this run after a completed round."""
+        return ExplorerCheckpoint(
+            version=CHECKPOINT_VERSION,
+            space_name=self.space.name,
+            space_size=len(self.space),
+            batch_size=self.batch_size,
+            k=self.k,
+            target_error=self.target_error,
+            max_simulations=self.max_simulations,
+            sampled_indices=list(self.sampled),
+            targets=list(self.targets),
+            rounds=list(self.rounds),
+            rng_state=self.rng.bit_generator.state,
+            predictor=self.predictor,
+            converged=self.converged,
+            agent=agent.name,
+            agent_state={
+                "version": AGENT_STATE_VERSION,
+                "state": agent.state_dict(),
+            },
+        )
+
+    def save(self, agent: Agent) -> None:
+        """Persist the round (no-op without a checkpoint path)."""
+        if self.checkpoint_path is None:
+            return
+        save_checkpoint(
+            self.checkpoint_path,
+            self.checkpoint_state(agent),
+            self.telemetry,
+            self.metrics,
+        )
+
+    def _validate_checkpoint(
+        self, state: ExplorerCheckpoint, agent: Agent
+    ) -> None:
+        """Reject checkpoints from a different run identity.
+
+        The space, batch size, fold count and agent define the run's
+        identity and must match exactly; ``target_error`` /
+        ``max_simulations`` may differ (extending a finished run's
+        budget is legitimate).
+        """
+        expected = (
+            ("version", CHECKPOINT_VERSION, state.version),
+            ("space_name", self.space.name, state.space_name),
+            ("space_size", len(self.space), state.space_size),
+            ("batch_size", self.batch_size, state.batch_size),
+            ("k", self.k, state.k),
+            ("agent", agent.name, getattr(state, "agent", "random")),
+        )
+        for name, want, got in expected:
+            if want != got:
+                raise CheckpointError(
+                    f"checkpoint is incompatible with this explorer: "
+                    f"{name} is {got!r}, expected {want!r}"
+                )
+
+    def resume(self, agent: Agent) -> int:
+        """Adopt a compatible checkpoint; returns the resumed round count.
+
+        Restores the sampled set, trajectory, predictor, the RNG
+        bit-generator state (so the next batch is redrawn exactly where
+        the interrupted run left off) and the agent's own state from
+        the versioned agent-state slot.
+        """
+        if self.checkpoint_path is None:
+            return 0
+        state = load_checkpoint(
+            self.checkpoint_path, self.telemetry, self.metrics, strict=True
+        )
+        if state is None:
+            return 0
+        if not isinstance(state, ExplorerCheckpoint):
+            raise CheckpointError(
+                f"checkpoint {self.checkpoint_path} holds a "
+                f"{type(state).__name__}, not an exploration state"
+            )
+        self._validate_checkpoint(state, agent)
+        self.sampled = list(state.sampled_indices)
+        self.targets = list(state.targets)
+        self.rounds = list(state.rounds)
+        self.predictor = state.predictor
+        self.converged = state.converged
+        if state.rng_state is not None:
+            self.rng.bit_generator.state = state.rng_state
+        slot = getattr(state, "agent_state", None)
+        if slot is not None:
+            if (
+                not isinstance(slot, dict)
+                or slot.get("version") != AGENT_STATE_VERSION
+            ):
+                raise CheckpointError(
+                    f"checkpoint {self.checkpoint_path} carries an "
+                    f"unsupported agent-state slot (expected version "
+                    f"{AGENT_STATE_VERSION}): {slot!r}"
+                )
+            agent.load_state_dict(dict(slot.get("state") or {}))
+        return len(self.rounds)
+
+    def finish(self) -> None:
+        """Remove the checkpoint once the run it protects completed."""
+        if self.checkpoint_path is not None:
+            clear_checkpoint(
+                self.checkpoint_path, self.telemetry, self.metrics
+            )
+
+    def result(self) -> ExplorationResult:
+        """Package the completed run (requires at least one round)."""
+        assert self.predictor is not None
+        return ExplorationResult(
+            space=self.space,
+            sampled_indices=self.sampled,
+            targets=self.targets,
+            rounds=self.rounds,
+            predictor=self.predictor,
+            encoder=self.encoder,
+            converged=self.converged,
+        )

@@ -143,6 +143,53 @@ def test_get_study_and_simulate_fn_importable_from_api():
 
 
 # ----------------------------------------------------------------------
+# the search layer on the facade
+# ----------------------------------------------------------------------
+def test_agent_registry_exported_and_canonical(strict_deprecations):
+    from repro.search import CommitteeAgent as DeepCommitteeAgent
+
+    assert set(api.AGENTS) == {
+        "random", "committee", "evolutionary", "annealing", "bayesopt"
+    }
+    assert api.CommitteeAgent is DeepCommitteeAgent
+    for name in api.AGENTS:
+        assert api.make_agent(name).name == name
+
+
+def test_explore_agent_name_matches_default(
+    tiny_space, fast_training, strict_deprecations
+):
+    """``agent="random"`` and the default are the same code path."""
+    simulate = _simulate_fn(tiny_space)
+    kwargs = dict(
+        target_error=100.0, max_simulations=16, batch_size=8, k=4,
+        training=fast_training,
+    )
+    default = explore(tiny_space, simulate, seed=7, **kwargs)
+    named = explore(tiny_space, simulate, seed=7, agent="random", **kwargs)
+    assert named.sampled_indices == default.sampled_indices
+    assert named.targets == default.targets
+
+
+def test_explore_sampler_kwarg_warns(tiny_space, fast_training):
+    from repro.core import QueryByCommitteeSampler
+    from repro.core.encoding import ParameterEncoder as Encoder
+
+    with pytest.warns(DeprecationWarning, match="agent=CommitteeAgent"):
+        explore(
+            tiny_space,
+            _simulate_fn(tiny_space),
+            target_error=100.0,
+            max_simulations=16,
+            batch_size=8,
+            k=4,
+            training=fast_training,
+            seed=7,
+            sampler=QueryByCommitteeSampler(Encoder(tiny_space)),
+        )
+
+
+# ----------------------------------------------------------------------
 # legacy keyword deprecations on component constructors
 # ----------------------------------------------------------------------
 def test_trainer_legacy_rng_kwarg_warns():

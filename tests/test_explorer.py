@@ -153,10 +153,13 @@ class TestActiveLearning:
     def test_sampler_plugs_into_explorer(self, tiny_space, fast_training, rng):
         encoder = ParameterEncoder(tiny_space)
         sampler = QueryByCommitteeSampler(encoder, pool_size=30)
-        explorer = DesignSpaceExplorer(
-            tiny_space, smooth_simulator, batch_size=10, k=4,
-            training=fast_training, rng=rng, sampler=sampler,
-        )
+        # the hook still works, but is deprecated in favour of the
+        # repro.search agents (see tests/test_search.py)
+        with pytest.warns(DeprecationWarning, match="agent=CommitteeAgent"):
+            explorer = DesignSpaceExplorer(
+                tiny_space, smooth_simulator, batch_size=10, k=4,
+                training=fast_training, rng=rng, sampler=sampler,
+            )
         result = explorer.explore(target_error=0.001, max_simulations=30)
         assert len(set(result.sampled_indices)) == result.n_simulations
 

@@ -8,6 +8,8 @@ from repro.core import ParameterEncoder
 from repro.cpu import MachineConfig, SlotScheduler, get_interval_simulator
 from repro.experiments import get_study
 from repro.memory import Cache, ReuseProfile
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.search import AGENTS, Observation, make_agent
 
 
 # ----------------------------------------------------------------------
@@ -208,3 +210,55 @@ class TestDesignSpaceProperties:
         first = encoder.encode(space.config_at(0))
         other = encoder.encode(space.config_at(index))
         assert not np.array_equal(first, other)
+
+
+# ----------------------------------------------------------------------
+# search agents: every proposal is valid, unsampled and distinct
+# ----------------------------------------------------------------------
+class _FakeSurrogate:
+    """Deterministic duck-typed predictor, so the committee/UCB paths
+    run without any network training inside the hypothesis loop."""
+
+    def predict(self, x):
+        return np.asarray(x).sum(axis=1)
+
+    def prediction_variance(self, x):
+        return np.abs(np.sin(np.asarray(x).sum(axis=1) * 7.0))
+
+
+class TestAgentProposalProperties:
+    @given(
+        st.sampled_from(sorted(AGENTS)),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_trajectory_valid_and_duplicate_free(self, name, seed):
+        """Over a whole trajectory on the *constrained* processor space,
+        every agent proposes only constraint-satisfying points and never
+        repeats one — for arbitrary seeds, with and without a trained
+        surrogate in the observation."""
+        space = get_study("processor").space
+        encoder = ParameterEncoder(space)
+        agent = make_agent(name)
+        rng = np.random.default_rng(seed)
+        sampled, targets = [], []
+        for round_number in range(3):
+            observation = Observation(
+                space=space,
+                encoder=encoder,
+                sampled_indices=tuple(sampled),
+                targets=tuple(targets),
+                round=round_number,
+                predictor=_FakeSurrogate() if round_number else None,
+                telemetry=NULL_TELEMETRY,
+            )
+            proposals = agent.propose(observation, 10, rng)
+            assert len(proposals) == 10
+            indices = []
+            for config in proposals:
+                space.validate(config)  # raises on a constraint violation
+                indices.append(space.index_of(config))
+            assert len(set(indices)) == len(indices)
+            assert not set(indices) & set(sampled)
+            sampled.extend(indices)
+            targets.extend(0.5 + (i % 97) / 100.0 for i in indices)
