@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Validate bench artifact JSON documents before CI uploads them.
 
-Three document kinds are understood:
+Four document kinds are understood:
 
 * ``kernels`` — the ``BENCH_kernels.json`` report written by
   ``benchmarks/test_bench_kernels.py`` (schema 2: ``train_epoch``,
@@ -11,17 +11,21 @@ Three document kinds are understood:
   ``summary``/``iterations``/``telemetry``);
 * ``strategies`` — the ``BENCH_strategies.json`` shootout written by
   ``benchmarks/test_bench_strategies.py`` (schema 1: per-study
-  simulations-to-threshold for every search agent, plus the gate).
+  simulations-to-threshold for every search agent, plus the gate);
+* ``campaign`` — the deterministic ``report.json`` a campaign
+  directory ends with (schema 1, ``kind: campaign-report``:
+  ``summary`` counts plus one row per cell, done/quarantined/pending).
 
 The kind is inferred from the filename
-(``kernels``/``explore``/``strategies``) and double-checked against the
-content, so a renamed or truncated artifact fails loudly here instead
-of producing a confusing downstream diff.
+(``kernels``/``explore``/``strategies``/``campaign``) and
+double-checked against the content, so a renamed or truncated artifact
+fails loudly here instead of producing a confusing downstream diff.
 
 Usage::
 
     python scripts/check_bench_schema.py BENCH_kernels.json \
-        BENCH_strategies.json BENCH_explore_serial.json
+        BENCH_strategies.json BENCH_explore_serial.json \
+        campaign_dir/report.json
 
 Exits non-zero listing every violation; prints one OK line per file
 otherwise.  Stdlib-only so it runs before the package is importable.
@@ -37,6 +41,8 @@ from typing import Any, Dict, List
 KERNELS_SCHEMA = 2
 EXPLORE_SCHEMA = 1
 STRATEGIES_SCHEMA = 1
+CAMPAIGN_SCHEMA = 1
+CAMPAIGN_KIND = "campaign-report"
 
 #: required numeric fields in each train_epoch section
 TRAIN_EPOCH_KEYS = ("n_samples", "batch_size", "kernel_s", "legacy_s", "speedup")
@@ -62,6 +68,28 @@ STRATEGY_STUDIES = ("memory-system", "processor")
 STRATEGY_MIN_AGENTS = 5
 #: required numeric fields per agent row in a strategies document
 STRATEGY_AGENT_KEYS = ("n_simulations", "rounds", "final_error_mean")
+
+#: required count fields in a campaign report's summary block
+CAMPAIGN_SUMMARY_KEYS = (
+    "n_cells",
+    "n_completed",
+    "n_quarantined",
+    "n_converged",
+    "n_pending",
+)
+#: required axis fields of every campaign cell row
+CAMPAIGN_CELL_KEYS = ("cell_id", "study", "workload", "agent")
+#: required numeric fields of a completed campaign cell row
+CAMPAIGN_DONE_KEYS = (
+    "n_simulations",
+    "n_rounds",
+    "error_mean",
+    "error_std",
+    "best_index",
+    "best_ipc",
+)
+#: cell statuses a campaign report may record
+CAMPAIGN_STATUSES = ("done", "quarantined", "pending")
 
 
 class Checker:
@@ -215,6 +243,71 @@ def check_strategies(doc: Dict[str, Any], check: Checker) -> None:
                 )
 
 
+def check_campaign(doc: Dict[str, Any], check: Checker) -> None:
+    if doc.get("schema") != CAMPAIGN_SCHEMA:
+        check.fail(
+            "schema", f"expected {CAMPAIGN_SCHEMA}, got {doc.get('schema')!r}"
+        )
+    if doc.get("kind") != CAMPAIGN_KIND:
+        check.fail(
+            "kind", f"expected {CAMPAIGN_KIND!r}, got {doc.get('kind')!r}"
+        )
+    check.require(doc, "$", "name", str)
+    digest = check.require(doc, "$", "spec_digest", str)
+    if digest is not None and len(digest) != 64:
+        check.fail("spec_digest", f"expected a sha256 hex digest, got {digest!r}")
+
+    summary = check.require(doc, "$", "summary", dict)
+    if summary is not None:
+        for key in CAMPAIGN_SUMMARY_KEYS:
+            check.number(summary, "summary", key)
+
+    cells = check.require(doc, "$", "cells", list)
+    if cells is not None:
+        if not cells:
+            check.fail("cells", "empty (campaign matrix had no cells)")
+        n_done = n_quarantined = 0
+        for i, row in enumerate(cells):
+            if not isinstance(row, dict):
+                check.fail(f"cells[{i}]", "expected an object")
+                continue
+            path = f"cells[{i}]"
+            for key in CAMPAIGN_CELL_KEYS:
+                check.require(row, path, key, str)
+            check.number(row, path, "seed")
+            check.number(row, path, "budget")
+            status = row.get("status")
+            if status not in CAMPAIGN_STATUSES:
+                check.fail(
+                    f"{path}.status",
+                    f"expected one of {CAMPAIGN_STATUSES}, got {status!r}",
+                )
+            elif status == "done":
+                n_done += 1
+                check.require(row, path, "converged", bool)
+                for key in CAMPAIGN_DONE_KEYS:
+                    check.number(row, path, key)
+            elif status == "quarantined":
+                n_quarantined += 1
+                check.require(row, path, "kind", str)
+                check.require(row, path, "error", str)
+                check.number(row, path, "attempts")
+        if isinstance(summary, dict):
+            recorded = summary.get("n_completed")
+            if isinstance(recorded, int) and recorded != n_done:
+                check.fail(
+                    "summary.n_completed",
+                    f"says {recorded} but {n_done} cell rows are done",
+                )
+            recorded = summary.get("n_quarantined")
+            if isinstance(recorded, int) and recorded != n_quarantined:
+                check.fail(
+                    "summary.n_quarantined",
+                    f"says {recorded} but {n_quarantined} cell rows are "
+                    f"quarantined",
+                )
+
+
 def detect_kind(path: Path, doc: Dict[str, Any]) -> str:
     name = path.name.lower()
     if "kernels" in name:
@@ -223,6 +316,8 @@ def detect_kind(path: Path, doc: Dict[str, Any]) -> str:
         return "strategies"
     if "explore" in name:
         return "explore"
+    if doc.get("kind") == CAMPAIGN_KIND or "campaign" in name:
+        return "campaign"
     if "train_epoch" in doc:
         return "kernels"
     if "studies" in doc:
@@ -247,6 +342,8 @@ def check_file(path: Path) -> List[str]:
         check_kernels(doc, check)
     elif kind == "strategies":
         check_strategies(doc, check)
+    elif kind == "campaign":
+        check_campaign(doc, check)
     else:
         check_explore(doc, check)
     return check.problems

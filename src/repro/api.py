@@ -30,6 +30,17 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from .campaign import (
+    CampaignError,
+    CampaignResult,
+    CampaignSpec,
+    CampaignSpecError,
+    campaign_status,
+    load_campaign_spec,
+    parse_campaign_spec,
+    resume_campaign,
+    run_campaign,
+)
 from .core.checkpoint import (
     CheckpointError,
     ExplorerCheckpoint,
@@ -69,6 +80,10 @@ __all__ = [
     "AGENTS",
     "Agent",
     "BayesOptAgent",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignSpecError",
     "CheckpointError",
     "CommitteeAgent",
     "DesignSpace",
@@ -85,14 +100,19 @@ __all__ = [
     "RunContext",
     "SimulatedAnnealingAgent",
     "TrainingConfig",
+    "campaign_status",
     "clear_checkpoint",
     "explore",
     "fit_ensemble",
     "get_study",
+    "load_campaign_spec",
     "load_checkpoint",
     "make_agent",
     "make_simulate_fn",
+    "parse_campaign_spec",
     "predict_space",
+    "resume_campaign",
+    "run_campaign",
     "save_checkpoint",
 ]
 

@@ -1,0 +1,74 @@
+"""Expansion of a campaign spec into its cell matrix.
+
+A *cell* is one atomic unit of campaign work: one (study, workload,
+agent, seed, budget) combination, run as one seeded exploration in one
+fault-isolated worker process.  Cell identifiers are deterministic
+functions of the axes — they key the manifest, name per-cell checkpoint
+files, and seed the campaign-scoped fault plan — so every driver
+process (original or resumed) agrees on what each cell is called.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Tuple
+
+from .spec import CampaignSpec
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the campaign matrix."""
+
+    study: str
+    workload: str
+    agent: str
+    seed: int
+    budget: int
+
+    @property
+    def cell_id(self) -> str:
+        """Deterministic identifier, filesystem- and manifest-safe."""
+        return (
+            f"{self.study}.{self.workload}.{self.agent}"
+            f".s{self.seed}.n{self.budget}"
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise the cell coordinates to a JSON-friendly dict."""
+        return {
+            "study": self.study,
+            "workload": self.workload,
+            "agent": self.agent,
+            "seed": self.seed,
+            "budget": self.budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignCell":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        return cls(
+            study=str(data["study"]),
+            workload=str(data["workload"]),
+            agent=str(data["agent"]),
+            seed=int(data["seed"]),
+            budget=int(data["budget"]),
+        )
+
+
+def expand_matrix(spec: CampaignSpec) -> Tuple[CampaignCell, ...]:
+    """All cells of ``spec``, in deterministic axis-major order.
+
+    The order is the cross product ``studies x workloads x agents x
+    seeds x budgets`` with the rightmost axis varying fastest — the
+    default scheduling order of the runner (completion order may differ
+    under parallelism; reports always sort by ``cell_id``).
+    """
+    return tuple(
+        CampaignCell(study, workload, agent, seed, budget)
+        for study, workload, agent, seed, budget in itertools.product(
+            spec.studies, spec.workloads, spec.agents, spec.seeds,
+            spec.budgets,
+        )
+    )

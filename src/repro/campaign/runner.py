@@ -1,0 +1,611 @@
+"""Fault-isolated campaign runner: a process pool of crash-safe cells.
+
+Each cell of the matrix runs as its **own** ``multiprocessing.Process``
+— one seeded exploration per worker, results returned over a pipe — so
+a cell that crashes, hangs or corrupts its interpreter takes down only
+itself, never the driver or its siblings.  The driver supervises:
+
+* a **watchdog** terminates (then kills) any cell past the spec's
+  ``cell_timeout_s`` wall-clock budget;
+* failed cells are **retried** up to ``cell_retries`` times with
+  seeded-jitter backoff (reusing
+  :class:`~repro.core.resilience.RetryPolicy`); thanks to the per-cell
+  exploration checkpoint, a retried cell resumes from its last
+  completed round instead of starting over;
+* cells that exhaust the retry budget are **quarantined** — the
+  campaign completes degraded and the report enumerates them;
+* the checksummed :class:`~repro.campaign.manifest.CampaignManifest`
+  is rewritten atomically after every terminal cell, so ``kill -9`` of
+  the *driver* loses at most in-flight cells: ``resume`` replays the
+  recorded ones and produces a byte-identical aggregated report.
+
+Determinism: every cell is an independently seeded exploration whose
+result does not depend on scheduling, worker count, retries or resume
+— the properties PRs 1-7 established for a single run, lifted to a
+whole matrix.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.faults import INJECTED_CRASH_EXIT, CellFaultPlan
+from ..core.resilience import RetryPolicy
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
+from .manifest import CampaignError, CampaignManifest, manifest_path
+from .matrix import CampaignCell, expand_matrix
+from .report import build_report, write_reports
+from .spec import CampaignSpec
+
+PathLike = Union[str, Path]
+
+#: subdirectory of a campaign directory holding per-cell checkpoints
+CELLS_DIR = "cells"
+
+#: scheduler poll interval; cells run for seconds-to-minutes so a
+#: coarse poll costs nothing and keeps the driver loop legible
+_POLL_S = 0.02
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _execute_cell(
+    spec: CampaignSpec, cell: CampaignCell, checkpoint: str
+) -> Dict[str, object]:
+    """Run one cell's exploration; returns the pipe message payload.
+
+    Everything under ``"result"`` must be a deterministic function of
+    the (spec, cell) pair — it feeds the byte-compared report.  The
+    accounting under ``"resources"`` is explicitly non-deterministic
+    and is kept out of that report.
+    """
+    # imported here so an injected-crash worker never pays (or breaks
+    # on) the numeric stack import
+    from ..core.backend import SerialBackend
+    from ..core.context import RunContext
+    from ..core.crossval import DEFAULT_FOLDS
+    from ..core.explorer import DesignSpaceExplorer
+    from ..core.training import TrainingConfig
+    from ..experiments.studies import get_study, make_simulate_fn
+    from ..obs.resources import ResourceMeter
+
+    study = get_study(cell.study)
+    backend: object = SerialBackend(make_simulate_fn(study, cell.workload))
+    if spec.max_retries > 0 or spec.eval_timeout_s is not None:
+        from ..core.resilience import ResilientBackend
+
+        backend = ResilientBackend(
+            backend,
+            policy=RetryPolicy(max_retries=spec.max_retries),
+            timeout_s=spec.eval_timeout_s,
+        )
+    with ResourceMeter() as meter:
+        explorer = DesignSpaceExplorer(
+            study.space,
+            backend,
+            batch_size=spec.batch_size,
+            k=spec.k if spec.k is not None else DEFAULT_FOLDS,
+            training=TrainingConfig.from_preset(spec.training),
+            # n_jobs=1: the cell process IS the unit of parallelism —
+            # nested fold-training pools would oversubscribe the host
+            context=RunContext.seeded(cell.seed, n_jobs=1),
+            min_folds=spec.min_folds,
+            agent=cell.agent,
+        )
+        result = explorer.explore(
+            target_error=spec.target_error,
+            max_simulations=cell.budget,
+            checkpoint=checkpoint,
+        )
+        predictions = result.predict_space()
+        best_index = int(predictions.argmax())
+        estimate = result.final_estimate
+    n_failed = len(getattr(backend, "failures", ()))
+    return {
+        "status": "done",
+        "result": {
+            "converged": bool(result.converged),
+            "n_simulations": int(result.n_simulations),
+            "n_rounds": len(result.rounds),
+            "error_mean": float(estimate.mean),
+            "error_std": float(estimate.std),
+            "coverage": float(estimate.coverage),
+            "fold_coverage": float(estimate.fold_coverage),
+            "n_failed_evals": n_failed,
+            "best_index": best_index,
+            "best_ipc": float(predictions[best_index]),
+            "rounds": [
+                {"n_samples": r.n_samples, "error_mean": float(r.estimate.mean)}
+                for r in result.rounds
+            ],
+        },
+        "resources": meter.usage.to_dict(),
+    }
+
+
+def _cell_entry(conn: object, payload: Dict[str, object]) -> None:
+    """Child-process entry point for one cell attempt.
+
+    Injected faults fire *before* any real work: ``crash`` exits hard
+    with :data:`~repro.core.faults.INJECTED_CRASH_EXIT` (no Python
+    teardown — indistinguishable from a segfault to the driver) and
+    ``hang`` sleeps past any sane watchdog.  Real failures are reported
+    over the pipe as ``error`` records; the driver treats a dead worker
+    with no message as a crash.
+    """
+    try:
+        fault = payload.get("fault")
+        if fault == "crash":
+            os._exit(INJECTED_CRASH_EXIT)
+        if fault == "hang":
+            time.sleep(float(payload["hang_s"]))
+        message = _execute_cell(
+            CampaignSpec.from_dict(payload["spec"]),  # type: ignore[arg-type]
+            CampaignCell.from_dict(payload["cell"]),  # type: ignore[arg-type]
+            str(payload["checkpoint"]),
+        )
+    except BaseException as exc:  # noqa: BLE001 - the pipe is the report
+        try:
+            conn.send(  # type: ignore[attr-defined]
+                {
+                    "status": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+        finally:
+            os._exit(1)
+    conn.send(message)  # type: ignore[attr-defined]
+    conn.close()  # type: ignore[attr-defined]
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+@dataclass
+class _Running:
+    """Book-keeping for one in-flight cell attempt."""
+
+    process: mp.Process
+    conn: object
+    cell: CampaignCell
+    attempt: int
+    deadline: Optional[float]
+
+
+@dataclass
+class CampaignResult:
+    """What a campaign run/resume produced."""
+
+    spec: CampaignSpec
+    directory: Path
+    manifest: CampaignManifest
+    cells: Tuple[CampaignCell, ...]
+    report_paths: Dict[str, Path] = field(default_factory=dict)
+    n_replayed: int = 0
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.manifest.completed)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.manifest.quarantined)
+
+    @property
+    def quarantined_cells(self) -> List[str]:
+        """Identifiers of quarantined cells, sorted."""
+        return sorted(self.manifest.quarantined)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the campaign completed with quarantined cells."""
+        return self.n_quarantined > 0
+
+    def report(self) -> Dict[str, object]:
+        """The deterministic aggregate (same dict report.json holds)."""
+        return build_report(self.manifest, self.cells)
+
+
+class CampaignRunner:
+    """Drives one campaign matrix to completion (or degraded completion).
+
+    Parameters
+    ----------
+    spec:
+        The validated campaign spec.
+    directory:
+        Campaign working directory: holds the manifest, per-cell
+        checkpoints under ``cells/`` and the final reports.
+    n_jobs:
+        Concurrent cell processes.  Determinism never depends on this —
+        cells are independent seeded runs keyed by cell id.
+    cell_faults:
+        Optional campaign-scoped chaos plan
+        (:class:`~repro.core.faults.CellFaultPlan`); recorded in the
+        manifest so a resumed driver re-applies the identical plan.
+    telemetry / metrics:
+        Observability hooks for the ``campaign.*`` vocabulary.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory: PathLike,
+        *,
+        n_jobs: int = 1,
+        cell_faults: Optional[CellFaultPlan] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.spec = spec
+        self.directory = Path(directory)
+        self.n_jobs = n_jobs
+        self.cell_faults = cell_faults
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
+        self.cells = expand_matrix(spec)
+        # whole-cell retry backoff: one deterministic schedule shared by
+        # every cell (delays never reach the report, so sharing is safe)
+        self._delays = RetryPolicy(
+            max_retries=spec.cell_retries,
+            base_delay_s=spec.retry_base_delay_s,
+            jitter=0.1 if spec.retry_base_delay_s > 0 else 0.0,
+            seed=spec.retry_seed,
+        ).schedule(spec.cell_retries)
+
+    # -- paths ----------------------------------------------------------
+    def _checkpoint_for(self, cell: CampaignCell) -> Path:
+        return self.directory / CELLS_DIR / f"{cell.cell_id}.ckpt"
+
+    # -- manifest lifecycle ---------------------------------------------
+    def _fresh_manifest(self) -> CampaignManifest:
+        return CampaignManifest(
+            spec=self.spec.to_dict(),
+            spec_digest=self.spec.digest(),
+            cell_faults=(
+                self.cell_faults.to_dict() if self.cell_faults else None
+            ),
+        )
+
+    def _load_manifest(self) -> CampaignManifest:
+        manifest = CampaignManifest.load(
+            self.directory, self.telemetry, self.metrics
+        )
+        if manifest.spec_digest != self.spec.digest():
+            raise CampaignError(
+                f"campaign directory {self.directory} belongs to a "
+                f"different spec (manifest digest "
+                f"{manifest.spec_digest[:12]}..., this spec "
+                f"{self.spec.digest()[:12]}...); use a fresh directory"
+            )
+        if manifest.cell_faults is not None:
+            # the killed driver's chaos plan wins over whatever (if
+            # anything) was passed to resume — same faults, same report
+            self.cell_faults = CellFaultPlan.from_dict(manifest.cell_faults)
+        return manifest
+
+    # -- scheduling -----------------------------------------------------
+    def _launch(self, cell: CampaignCell, attempt: int) -> _Running:
+        fault = self.cell_faults.decide(cell.cell_id) if self.cell_faults \
+            else None
+        payload: Dict[str, object] = {
+            "spec": self.spec.to_dict(),
+            "cell": cell.to_dict(),
+            "checkpoint": str(self._checkpoint_for(cell)),
+            "fault": fault,
+            "hang_s": self.cell_faults.hang_s if self.cell_faults else 0.0,
+        }
+        parent_conn, child_conn = mp.Pipe(duplex=False)
+        process = mp.Process(
+            target=_cell_entry,
+            args=(child_conn, payload),
+            name=f"repro-cell-{cell.cell_id}",
+        )
+        process.start()
+        child_conn.close()
+        deadline = None
+        if self.spec.cell_timeout_s is not None:
+            deadline = time.monotonic() + self.spec.cell_timeout_s
+        self.telemetry.emit(
+            "campaign.cell_start",
+            cell_id=cell.cell_id,
+            attempt=attempt,
+            fault=fault,
+        )
+        return _Running(
+            process=process,
+            conn=parent_conn,
+            cell=cell,
+            attempt=attempt,
+            deadline=deadline,
+        )
+
+    def _reap(self, entry: _Running) -> Tuple[str, Dict[str, object]]:
+        """Classify a finished (or expired) attempt.
+
+        Returns ``("done", message)`` or ``("<failure kind>", info)``
+        where the failure kinds are ``hang`` (watchdog fired), ``crash``
+        (worker died without a message) and ``error`` (worker reported
+        an exception).  Failure messages are deterministic so quarantine
+        records survive the byte-identity comparison.
+        """
+        process, conn = entry.process, entry.conn
+        if entry.deadline is not None and process.is_alive() \
+                and time.monotonic() >= entry.deadline:
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stubborn worker
+                process.kill()
+                process.join()
+            conn.close()
+            self.metrics.inc("campaign.watchdog_kills")
+            self.telemetry.emit(
+                "campaign.watchdog_kill",
+                cell_id=entry.cell.cell_id,
+                attempt=entry.attempt,
+            )
+            return "hang", {
+                "error": (
+                    f"cell exceeded its {self.spec.cell_timeout_s}s "
+                    f"wall-clock watchdog"
+                )
+            }
+        if process.is_alive():
+            return "running", {}
+        process.join()
+        message: Optional[Dict[str, object]] = None
+        if conn.poll():
+            try:
+                message = conn.recv()
+            except EOFError:  # pragma: no cover - torn pipe
+                message = None
+        conn.close()
+        if message is None:
+            return "crash", {
+                "error": f"worker exited with code {process.exitcode}"
+            }
+        if message.get("status") == "done":
+            return "done", message
+        return "error", {"error": str(message.get("error", "unknown error"))}
+
+    def _record_failure(
+        self,
+        manifest: CampaignManifest,
+        entry: _Running,
+        kind: str,
+        info: Dict[str, object],
+        waiting: List[Tuple[float, CampaignCell, int]],
+    ) -> None:
+        """Retry with backoff, or quarantine when the budget is spent."""
+        cell = entry.cell
+        if entry.attempt <= self.spec.cell_retries:
+            delay = self._delays[entry.attempt - 1]
+            self.metrics.inc("campaign.cell_retries")
+            self.telemetry.emit(
+                "campaign.cell_retry",
+                cell_id=cell.cell_id,
+                attempt=entry.attempt,
+                kind=kind,
+                delay_s=delay,
+                error=info["error"],
+            )
+            waiting.append(
+                (time.monotonic() + delay, cell, entry.attempt + 1)
+            )
+            return
+        manifest.record_quarantined(
+            cell.cell_id,
+            kind=kind,
+            error=str(info["error"]),
+            attempts=entry.attempt,
+        )
+        manifest.save(self.directory, self.telemetry, self.metrics)
+        self.metrics.inc("campaign.cells_quarantined")
+        self.telemetry.emit(
+            "campaign.cell_quarantined",
+            cell_id=cell.cell_id,
+            kind=kind,
+            attempts=entry.attempt,
+            error=info["error"],
+        )
+
+    def _record_done(
+        self,
+        manifest: CampaignManifest,
+        entry: _Running,
+        message: Dict[str, object],
+    ) -> None:
+        resources = dict(message.get("resources") or {})
+        manifest.record_done(
+            entry.cell.cell_id,
+            result=dict(message["result"]),  # type: ignore[arg-type]
+            resources=resources,
+            attempts=entry.attempt,
+        )
+        manifest.save(self.directory, self.telemetry, self.metrics)
+        self.metrics.inc("campaign.cells_completed")
+        self.metrics.inc(
+            "campaign.cpu_user_s", float(resources.get("cpu_user_s", 0.0))
+        )
+        self.metrics.inc(
+            "campaign.cpu_system_s", float(resources.get("cpu_system_s", 0.0))
+        )
+        self.metrics.observe(
+            "campaign.cell_wall_s", float(resources.get("wall_s", 0.0))
+        )
+        rss = float(resources.get("max_rss_kb", 0))
+        if rss > (self.metrics.gauge_value("campaign.max_rss_kb") or 0.0):
+            self.metrics.gauge("campaign.max_rss_kb", rss)
+        self.telemetry.emit(
+            "campaign.cell_done",
+            cell_id=entry.cell.cell_id,
+            attempt=entry.attempt,
+            wall_s=resources.get("wall_s"),
+            max_rss_kb=resources.get("max_rss_kb"),
+        )
+
+    # -- public API -----------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignResult:
+        """Execute the matrix; returns once every cell is terminal.
+
+        With ``resume=True`` an existing manifest is loaded and its
+        terminal cells are replayed instead of re-run; without it, an
+        existing manifest is a loud error (clobbering recorded progress
+        must be an explicit decision — pick a fresh directory).
+        """
+        has_manifest = manifest_path(self.directory).exists()
+        if resume:
+            if not has_manifest:
+                raise CampaignError(
+                    f"nothing to resume: no campaign manifest in "
+                    f"{self.directory}"
+                )
+            manifest = self._load_manifest()
+        else:
+            if has_manifest:
+                raise CampaignError(
+                    f"campaign directory {self.directory} already has a "
+                    f"manifest; use resume to continue it or pick a "
+                    f"fresh directory"
+                )
+            self.directory.mkdir(parents=True, exist_ok=True)
+            manifest = self._fresh_manifest()
+            manifest.save(self.directory, self.telemetry, self.metrics)
+        (self.directory / CELLS_DIR).mkdir(exist_ok=True)
+
+        todo = [
+            cell for cell in self.cells
+            if manifest.status_of(cell.cell_id) is None
+        ]
+        n_replayed = len(self.cells) - len(todo)
+        if n_replayed:
+            self.metrics.inc("campaign.cells_replayed", n_replayed)
+        self.telemetry.emit(
+            "campaign.start",
+            campaign=self.spec.name,
+            n_cells=len(self.cells),
+            n_replayed=n_replayed,
+            n_jobs=self.n_jobs,
+            resume=resume,
+            chaos=self.cell_faults is not None,
+        )
+
+        pending: List[Tuple[CampaignCell, int]] = [(c, 1) for c in todo]
+        waiting: List[Tuple[float, CampaignCell, int]] = []
+        running: Dict[str, _Running] = {}
+        try:
+            while pending or waiting or running:
+                now = time.monotonic()
+                ready = [w for w in waiting if w[0] <= now]
+                if ready:
+                    waiting = [w for w in waiting if w[0] > now]
+                    pending.extend((cell, attempt) for _, cell, attempt in ready)
+                while pending and len(running) < self.n_jobs:
+                    cell, attempt = pending.pop(0)
+                    running[cell.cell_id] = self._launch(cell, attempt)
+                finished: List[Tuple[_Running, str, Dict[str, object]]] = []
+                for entry in running.values():
+                    outcome, info = self._reap(entry)
+                    if outcome != "running":
+                        finished.append((entry, outcome, info))
+                for entry, outcome, info in finished:
+                    del running[entry.cell.cell_id]
+                    if outcome == "done":
+                        self._record_done(manifest, entry, info)
+                    else:
+                        self._record_failure(
+                            manifest, entry, outcome, info, waiting
+                        )
+                if not finished:
+                    time.sleep(_POLL_S)
+        finally:
+            # a dying driver must not leak cell processes
+            for entry in running.values():  # pragma: no cover - crash path
+                if entry.process.is_alive():
+                    entry.process.terminate()
+
+        report_paths = write_reports(self.directory, manifest, self.cells)
+        self.telemetry.emit(
+            "campaign.done",
+            campaign=self.spec.name,
+            n_completed=len(manifest.completed),
+            n_quarantined=len(manifest.quarantined),
+            n_replayed=n_replayed,
+        )
+        return CampaignResult(
+            spec=self.spec,
+            directory=self.directory,
+            manifest=manifest,
+            cells=self.cells,
+            report_paths=report_paths,
+            n_replayed=n_replayed,
+        )
+
+
+# ----------------------------------------------------------------------
+# module-level conveniences (exported through repro.api)
+# ----------------------------------------------------------------------
+def run_campaign(
+    spec: CampaignSpec,
+    directory: PathLike,
+    *,
+    n_jobs: int = 1,
+    cell_faults: Optional[CellFaultPlan] = None,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> CampaignResult:
+    """Run ``spec`` to (possibly degraded) completion in ``directory``."""
+    runner = CampaignRunner(
+        spec,
+        directory,
+        n_jobs=n_jobs,
+        cell_faults=cell_faults,
+        telemetry=telemetry,
+        metrics=metrics,
+    )
+    return runner.run(resume=False)
+
+
+def resume_campaign(
+    directory: PathLike,
+    *,
+    n_jobs: int = 1,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> CampaignResult:
+    """Continue the campaign recorded in ``directory``'s manifest.
+
+    The spec (and any chaos plan) is recovered from the manifest itself
+    — resuming needs nothing but the directory, which is exactly what a
+    ``kill -9``'d driver leaves behind.
+    """
+    manifest = CampaignManifest.load(directory)
+    spec = CampaignSpec.from_dict(manifest.spec)  # type: ignore[arg-type]
+    runner = CampaignRunner(
+        spec,
+        directory,
+        n_jobs=n_jobs,
+        telemetry=telemetry,
+        metrics=metrics,
+    )
+    return runner.run(resume=True)
+
+
+def campaign_status(directory: PathLike) -> Dict[str, object]:
+    """The deterministic report of whatever the manifest records so far.
+
+    Works on live, killed and completed campaign directories alike —
+    the report shape is identical, with unfinished cells ``pending``.
+    """
+    manifest = CampaignManifest.load(directory)
+    spec = CampaignSpec.from_dict(manifest.spec)  # type: ignore[arg-type]
+    return build_report(manifest, expand_matrix(spec))

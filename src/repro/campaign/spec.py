@@ -1,0 +1,339 @@
+"""Declarative campaign specs: a study matrix as one TOML document.
+
+The paper's headline results are a *matrix* of experiments — two
+studies x many workloads x sampling schedules — and ad-hoc scripts for
+each corner of that matrix are exactly the infrastructure debt the
+campaign layer retires.  A :class:`CampaignSpec` names the axes
+(studies, workloads, agents, seeds, sampling budgets) and the shared
+per-cell recipe; :func:`repro.campaign.matrix.expand_matrix` turns it
+into the cell list the runner executes.
+
+Example spec::
+
+    [campaign]
+    name = "paper-matrix"
+
+    [matrix]
+    studies   = ["memory-system", "processor"]
+    workloads = ["mcf", "gzip"]
+    agents    = ["random"]
+    seeds     = [0, 1, 2]
+    budgets   = [250, 500, 950]
+
+    [cells]
+    target_error = 2.0
+    batch_size   = 50
+    training     = "fast"
+    max_retries  = 2
+
+    [robustness]
+    cell_timeout_s     = 600.0
+    cell_retries       = 2
+    retry_base_delay_s = 0.05
+
+Validation is strict and fail-fast: unknown tables or keys, bad types,
+unknown study/workload/agent names and degenerate axes all raise
+:class:`CampaignSpecError` naming the offending token — a typo must
+die at parse time, not 40 cells into an overnight run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python < 3.11
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover - no TOML parser at all
+        tomllib = None  # type: ignore[assignment]
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.training import TrainingConfig
+from ..experiments.studies import STUDY_NAMES
+from ..search import AGENTS
+from ..workloads.spec import SPEC_WORKLOADS
+
+PathLike = Union[str, Path]
+
+
+class CampaignSpecError(ValueError):
+    """A campaign spec is malformed; the message names the bad token."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign: matrix axes plus the shared per-cell recipe.
+
+    Axes (``studies`` x ``workloads`` x ``agents`` x ``seeds`` x
+    ``budgets``) expand to one cell per combination; a budget is the
+    cell's ``max_simulations``.  The remaining fields configure every
+    cell identically: the in-cell evaluation resilience
+    (``max_retries`` / ``eval_timeout_s`` wrap the cell's backend in a
+    :class:`~repro.core.resilience.ResilientBackend`) and the
+    campaign-level robustness (``cell_timeout_s`` watchdog,
+    ``cell_retries`` whole-cell retry budget with seeded-jitter backoff
+    before the cell is quarantined).
+    """
+
+    name: str
+    studies: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    agents: Tuple[str, ...] = ("random",)
+    seeds: Tuple[int, ...] = (0,)
+    budgets: Tuple[int, ...] = field(default_factory=tuple)
+    # -- per-cell exploration recipe -----------------------------------
+    target_error: float = 2.0
+    batch_size: int = 50
+    training: str = "default"
+    k: Optional[int] = None
+    min_folds: Optional[int] = None
+    max_retries: int = 2
+    eval_timeout_s: Optional[float] = None
+    # -- campaign-level robustness -------------------------------------
+    cell_timeout_s: Optional[float] = None
+    cell_retries: int = 2
+    retry_base_delay_s: float = 0.05
+    retry_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CampaignSpecError("campaign.name must be a non-empty string")
+        for axis in ("studies", "workloads", "agents", "seeds", "budgets"):
+            values = getattr(self, axis)
+            if not values:
+                raise CampaignSpecError(
+                    f"matrix.{axis} must list at least one value"
+                )
+            if len(set(values)) != len(values):
+                raise CampaignSpecError(
+                    f"matrix.{axis} contains duplicates: {list(values)}"
+                )
+        for study in self.studies:
+            if study not in STUDY_NAMES:
+                raise CampaignSpecError(
+                    f"unknown study {study!r} in matrix.studies; "
+                    f"choices: {', '.join(STUDY_NAMES)}"
+                )
+        for workload in self.workloads:
+            if workload not in SPEC_WORKLOADS:
+                raise CampaignSpecError(
+                    f"unknown workload {workload!r} in matrix.workloads; "
+                    f"choices: {', '.join(sorted(SPEC_WORKLOADS))}"
+                )
+        for agent in self.agents:
+            if agent not in AGENTS:
+                raise CampaignSpecError(
+                    f"unknown agent {agent!r} in matrix.agents; "
+                    f"choices: {', '.join(sorted(AGENTS))}"
+                )
+        for seed in self.seeds:
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise CampaignSpecError(
+                    f"matrix.seeds must be integers, got {seed!r}"
+                )
+        for budget in self.budgets:
+            if not isinstance(budget, int) or isinstance(budget, bool) \
+                    or budget < 1:
+                raise CampaignSpecError(
+                    f"matrix.budgets must be positive integers "
+                    f"(simulations per cell), got {budget!r}"
+                )
+        if self.training not in TrainingConfig.PRESETS:
+            raise CampaignSpecError(
+                f"unknown training preset {self.training!r} in "
+                f"cells.training; choices: "
+                f"{', '.join(TrainingConfig.PRESETS)}"
+            )
+        if self.target_error <= 0:
+            raise CampaignSpecError(
+                f"cells.target_error must be positive, got {self.target_error}"
+            )
+        if self.batch_size < 1:
+            raise CampaignSpecError(
+                f"cells.batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.k is not None and self.k < 2:
+            raise CampaignSpecError(f"cells.k must be >= 2, got {self.k}")
+        if self.min_folds is not None and self.min_folds < 1:
+            raise CampaignSpecError(
+                f"cells.min_folds must be >= 1, got {self.min_folds}"
+            )
+        if self.max_retries < 0:
+            raise CampaignSpecError(
+                f"cells.max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
+            raise CampaignSpecError(
+                f"cells.eval_timeout_s must be positive, "
+                f"got {self.eval_timeout_s}"
+            )
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise CampaignSpecError(
+                f"robustness.cell_timeout_s must be positive, "
+                f"got {self.cell_timeout_s}"
+            )
+        if self.cell_retries < 0:
+            raise CampaignSpecError(
+                f"robustness.cell_retries must be >= 0, "
+                f"got {self.cell_retries}"
+            )
+        if self.retry_base_delay_s < 0:
+            raise CampaignSpecError(
+                f"robustness.retry_base_delay_s must be non-negative, "
+                f"got {self.retry_base_delay_s}"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        """Size of the expanded matrix."""
+        return (
+            len(self.studies) * len(self.workloads) * len(self.agents)
+            * len(self.seeds) * len(self.budgets)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (tuples become lists)."""
+        out: Dict[str, object] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            out[spec_field.name] = list(value) if isinstance(value, tuple) \
+                else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict` (used when resuming from a manifest)."""
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise CampaignSpecError(
+                f"unknown campaign spec fields {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        for axis in ("studies", "workloads", "agents", "seeds", "budgets"):
+            if axis in kwargs:
+                kwargs[axis] = tuple(kwargs[axis])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def digest(self) -> str:
+        """sha256 over the canonical spec — the manifest compatibility key.
+
+        Resuming a campaign directory with a *different* spec is a user
+        error the runner fails loudly on; this digest is how it tells.
+        """
+        blob = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: table -> (key -> spec field) mapping of the TOML surface
+_TABLES: Dict[str, Dict[str, str]] = {
+    "campaign": {"name": "name"},
+    "matrix": {
+        "studies": "studies",
+        "workloads": "workloads",
+        "agents": "agents",
+        "seeds": "seeds",
+        "budgets": "budgets",
+    },
+    "cells": {
+        "target_error": "target_error",
+        "batch_size": "batch_size",
+        "training": "training",
+        "k": "k",
+        "min_folds": "min_folds",
+        "max_retries": "max_retries",
+        "eval_timeout_s": "eval_timeout_s",
+    },
+    "robustness": {
+        "cell_timeout_s": "cell_timeout_s",
+        "cell_retries": "cell_retries",
+        "retry_base_delay_s": "retry_base_delay_s",
+        "retry_seed": "retry_seed",
+    },
+}
+
+#: axis keys that must arrive as TOML arrays
+_LIST_KEYS = frozenset(_TABLES["matrix"])
+
+
+def parse_campaign_spec(
+    text: str, source: str = "<campaign spec>"
+) -> CampaignSpec:
+    """Parse TOML ``text`` into a validated :class:`CampaignSpec`.
+
+    ``source`` names the document in error messages (the file path when
+    coming through :func:`load_campaign_spec`).
+    """
+    if tomllib is None:  # pragma: no cover - Python < 3.11 without tomli
+        raise CampaignSpecError(
+            "parsing campaign specs requires Python >= 3.11 (tomllib) "
+            "or the tomli package"
+        )
+    try:
+        document = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise CampaignSpecError(f"{source}: invalid TOML: {exc}") from exc
+
+    kwargs: Dict[str, object] = {}
+    unknown_tables = set(document) - set(_TABLES)
+    if unknown_tables:
+        raise CampaignSpecError(
+            f"{source}: unknown table(s) {sorted(unknown_tables)}; "
+            f"valid tables: {', '.join(_TABLES)}"
+        )
+    for table, keys in _TABLES.items():
+        section = document.get(table, {})
+        if not isinstance(section, dict):
+            raise CampaignSpecError(
+                f"{source}: [{table}] must be a table, "
+                f"got {type(section).__name__}"
+            )
+        unknown = set(section) - set(keys)
+        if unknown:
+            raise CampaignSpecError(
+                f"{source}: unknown key(s) {sorted(unknown)} in [{table}]; "
+                f"valid keys: {', '.join(keys)}"
+            )
+        for key, spec_field in keys.items():
+            if key not in section:
+                continue
+            value = section[key]
+            if key in _LIST_KEYS:
+                if not isinstance(value, list):
+                    raise CampaignSpecError(
+                        f"{source}: {table}.{key} must be an array, "
+                        f"got {value!r}"
+                    )
+                value = tuple(value)
+            kwargs[spec_field] = value
+
+    if "name" not in kwargs:
+        raise CampaignSpecError(f"{source}: missing required campaign.name")
+    for axis in ("studies", "workloads", "budgets"):
+        if axis not in kwargs:
+            raise CampaignSpecError(
+                f"{source}: missing required matrix.{axis}"
+            )
+    try:
+        return CampaignSpec(**kwargs)  # type: ignore[arg-type]
+    except CampaignSpecError as exc:
+        raise CampaignSpecError(f"{source}: {exc}") from None
+
+
+def load_campaign_spec(path: PathLike) -> CampaignSpec:
+    """Read and validate a campaign spec TOML file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CampaignSpecError(
+            f"cannot read campaign spec {path}: {exc}"
+        ) from exc
+    return parse_campaign_spec(text, source=str(path))

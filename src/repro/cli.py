@@ -10,7 +10,9 @@ writing Python:
 * ``figure``   — regenerate one of the evaluation figures (5.1, 5.2/5.3,
   5.4/5.5, 5.6, 5.7, 5.8);
 * ``profile``  — run a small exploration and print a phase-by-phase
-  time/allocation breakdown.
+  time/allocation breakdown;
+* ``campaign`` — run/resume/inspect a crash-safe study matrix declared
+  in a TOML spec (``repro campaign run|resume|status``).
 
 Every subcommand accepts ``--telemetry-out PATH`` (full run document:
 events, per-phase wall-clock timings, metrics; Markdown if the path ends
@@ -28,6 +30,14 @@ from typing import List, Optional
 
 import numpy as np
 
+from .campaign import (
+    CampaignError,
+    CampaignSpecError,
+    campaign_status,
+    load_campaign_spec,
+    resume_campaign,
+    run_campaign,
+)
 from .core import (
     DesignSpaceExplorer,
     FaultInjectingBackend,
@@ -39,6 +49,7 @@ from .core import (
     SerialBackend,
     TrainingConfig,
 )
+from .core.faults import CellFaultPlan
 from .cpu import Simulator, get_interval_simulator
 from .doe import PlackettBurmanStudy
 from .search import AGENTS
@@ -75,18 +86,13 @@ from .workloads.spec import SPEC_WORKLOADS
 
 
 #: training-recipe presets selectable from the command line
-TRAINING_PRESETS = ("default", "fast", "paper")
+TRAINING_PRESETS = TrainingConfig.PRESETS
 
 
 def _training_config(
     preset: str, max_restarts: Optional[int] = None
 ) -> TrainingConfig:
-    if preset == "fast":
-        config = TrainingConfig.fast_settings()
-    elif preset == "paper":
-        config = TrainingConfig.paper_settings()
-    else:
-        config = TrainingConfig()
+    config = TrainingConfig.from_preset(preset)
     if max_restarts is not None:
         config = dataclasses.replace(config, max_restarts=max_restarts)
     return config
@@ -138,7 +144,7 @@ def _evaluation_backend(args: argparse.Namespace, context: RunContext):
         backend = FaultInjectingBackend(
             backend,
             FaultPlan.parse(inject),
-            seed=getattr(args, "fault_seed", 0),
+            seed=getattr(args, "fault_seed", None) or 0,
             telemetry=context.telemetry,
             metrics=context.metrics,
         )
@@ -173,8 +179,49 @@ def _checkpoint_path(args: argparse.Namespace) -> Optional[str]:
     return checkpoint
 
 
+def _validate_explore_args(args: argparse.Namespace) -> None:
+    """Fail fast on flag combinations that cannot mean anything.
+
+    Argparse checks types and choices; the *relationships* between
+    flags — and value ranges argparse cannot express — are checked here
+    so a bad invocation dies with one clear sentence instead of a
+    traceback 40 rounds into a run.
+    """
+    if args.target_error <= 0:
+        raise SystemExit(
+            f"--target-error must be positive, got {args.target_error}"
+        )
+    if args.max_simulations < 1:
+        raise SystemExit(
+            f"--max-simulations must be >= 1, got {args.max_simulations}"
+        )
+    if args.batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.n_jobs is not None and args.n_jobs < 1:
+        raise SystemExit(f"--n-jobs must be >= 1, got {args.n_jobs}")
+    if args.max_retries < 0:
+        raise SystemExit(
+            f"--max-retries must be >= 0, got {args.max_retries}"
+        )
+    if args.eval_timeout is not None and args.eval_timeout <= 0:
+        raise SystemExit(
+            f"--eval-timeout must be positive, got {args.eval_timeout}"
+        )
+    if args.max_restarts is not None and args.max_restarts < 0:
+        raise SystemExit(
+            f"--max-restarts must be >= 0, got {args.max_restarts}"
+        )
+    if args.min_folds is not None and args.min_folds < 1:
+        raise SystemExit(f"--min-folds must be >= 1, got {args.min_folds}")
+    if args.fault_seed is not None and not args.inject_faults:
+        raise SystemExit(
+            "--fault-seed only makes sense with --inject-faults SPEC"
+        )
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     """Run the incremental modeling loop and report the best point."""
+    _validate_explore_args(args)
     study = get_study(args.study)
     context = _run_context(args)
     checkpoint = _checkpoint_path(args)
@@ -356,6 +403,97 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_result(result) -> None:
+    """Common epilogue of ``campaign run`` and ``campaign resume``."""
+    spec = result.spec
+    print(
+        f"campaign {spec.name!r}: {result.n_completed}/{len(result.cells)} "
+        f"cells completed"
+        + (f" ({result.n_replayed} replayed from manifest)"
+           if result.n_replayed else "")
+    )
+    if result.degraded:
+        print(
+            f"WARNING: campaign completed degraded — "
+            f"{result.n_quarantined} cell(s) quarantined after exhausting "
+            f"{spec.cell_retries} retr{'y' if spec.cell_retries == 1 else 'ies'}:"
+        )
+        for cell_id in result.quarantined_cells:
+            record = result.manifest.quarantined[cell_id]
+            print(f"  {cell_id}: {record['kind']} ({record['error']})")
+    print(f"wrote {result.report_paths['report']}")
+    print(f"wrote {result.report_paths['markdown']}")
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Run a campaign spec to (possibly degraded) completion."""
+    if args.n_jobs < 1:
+        raise SystemExit(f"--n-jobs must be >= 1, got {args.n_jobs}")
+    if args.fault_seed is not None and not args.inject_cell_faults:
+        raise SystemExit(
+            "--fault-seed only makes sense with --inject-cell-faults SPEC"
+        )
+    try:
+        spec = load_campaign_spec(args.spec)
+        faults = None
+        if args.inject_cell_faults:
+            faults = CellFaultPlan.parse(
+                args.inject_cell_faults, seed=args.fault_seed or 0
+            )
+        result = run_campaign(
+            spec,
+            args.dir,
+            n_jobs=args.n_jobs,
+            cell_faults=faults,
+            telemetry=args.telemetry,
+            metrics=args.metrics,
+        )
+    except (CampaignSpecError, CampaignError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    _print_campaign_result(result)
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    """Continue the campaign a (possibly killed) driver left behind."""
+    if args.n_jobs < 1:
+        raise SystemExit(f"--n-jobs must be >= 1, got {args.n_jobs}")
+    try:
+        result = resume_campaign(
+            args.dir,
+            n_jobs=args.n_jobs,
+            telemetry=args.telemetry,
+            metrics=args.metrics,
+        )
+    except (CampaignSpecError, CampaignError) as exc:
+        raise SystemExit(str(exc)) from exc
+    _print_campaign_result(result)
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Summarize whatever a campaign directory's manifest records."""
+    import json
+
+    try:
+        report = campaign_status(args.dir)
+    except (CampaignSpecError, CampaignError) as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0
+    summary = report["summary"]
+    print(f"campaign {report['name']!r} ({report['spec_digest'][:12]}...)")
+    print(
+        "cells: {n_cells} total, {n_completed} completed, "
+        "{n_quarantined} quarantined, {n_pending} pending".format(**summary)
+    )
+    for row in report["cells"]:
+        if row["status"] == "quarantined":
+            print(f"  quarantined {row['cell_id']}: {row['kind']}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Write the paper-vs-measured EXPERIMENTS.md report."""
     benchmarks = _parse_benchmarks(args.benchmarks)
@@ -457,9 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
         "hang, slow, outlier; see docs/robustness.md)",
     )
     explore.add_argument(
-        "--fault-seed", type=int, default=0, metavar="SEED",
+        "--fault-seed", type=int, default=None, metavar="SEED",
         help="seed for the fault-injection stream (independent of "
-        "--seed, so faults never perturb sampling)",
+        "--seed, so faults never perturb sampling; requires "
+        "--inject-faults, defaults to 0 when it is given)",
     )
     explore.set_defaults(func=cmd_explore)
 
@@ -521,7 +660,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(func=cmd_profile)
 
+    campaign = sub.add_parser(
+        "campaign", help="run/resume/inspect a crash-safe study matrix"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a campaign spec to completion"
+    )
+    campaign_run.add_argument(
+        "spec", metavar="SPEC.toml",
+        help="campaign spec (see docs/api.md for the TOML schema)",
+    )
+    campaign_run.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="campaign working directory (manifest, per-cell "
+        "checkpoints, reports); must not already hold a manifest",
+    )
+    campaign_run.add_argument(
+        "--n-jobs", type=int, default=1, metavar="N",
+        help="concurrent cell processes (results never depend on this)",
+    )
+    campaign_run.add_argument(
+        "--inject-cell-faults", metavar="SPEC", default=None,
+        help="campaign chaos harness: deterministically crash/hang a "
+        "fraction of cells, e.g. 'crash=0.3' or 'crash=0.2,hang=0.1,"
+        "hang_s=60' (kinds: crash, hang; see docs/robustness.md)",
+    )
+    campaign_run.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="seed for the per-cell fault decisions (requires "
+        "--inject-cell-faults, defaults to 0 when it is given)",
+    )
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue a killed or interrupted campaign"
+    )
+    campaign_resume.add_argument("--dir", required=True, metavar="DIR")
+    campaign_resume.add_argument(
+        "--n-jobs", type=int, default=1, metavar="N",
+        help="concurrent cell processes (results never depend on this)",
+    )
+    campaign_resume.set_defaults(func=cmd_campaign_resume)
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="summarize a campaign directory's manifest"
+    )
+    campaign_status_p.add_argument("--dir", required=True, metavar="DIR")
+    campaign_status_p.add_argument(
+        "--json", action="store_true",
+        help="print the full deterministic report document as JSON",
+    )
+    campaign_status_p.set_defaults(func=cmd_campaign_status)
+
     for subparser in sub.choices.values():
+        if subparser is campaign:
+            # options on a parser with nested subparsers would have to
+            # precede the nested command; attach them to the leaves
+            continue
+        _add_obs_args(subparser)
+    for subparser in campaign_sub.choices.values():
         _add_obs_args(subparser)
 
     return parser

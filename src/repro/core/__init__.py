@@ -44,7 +44,13 @@ from .explorer import (
     ExplorationResult,
     ExplorationRound,
 )
-from .faults import FaultInjectingBackend, FaultPlan, InjectedFault
+from .faults import (
+    INJECTED_CRASH_EXIT,
+    CellFaultPlan,
+    FaultInjectingBackend,
+    FaultPlan,
+    InjectedFault,
+)
 from .fitting import FitOutcome, evaluate_batch, fit_cv_round
 from .kernels import (
     DEFAULT_PREDICT_CHUNK,
@@ -107,6 +113,7 @@ __all__ = [
     "EarlyStoppingTrainer",
     "EnsemblePredictor",
     "EnsembleTrainingKernel",
+    "CellFaultPlan",
     "EvaluationBackend",
     "EvaluationError",
     "EvaluationTimeout",
@@ -119,6 +126,7 @@ __all__ = [
     "FailedEvaluation",
     "FaultInjectingBackend",
     "FaultPlan",
+    "INJECTED_CRASH_EXIT",
     "FeedForwardNetwork",
     "FitOutcome",
     "Identity",

@@ -35,13 +35,14 @@ events and counters.  The file format is documented in
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
-from ..obs.atomicio import atomic_write_pickle
+from ..obs.atomicio import atomic_write_pickle, atomic_write_text
 from ..obs.metrics import METRICS, MetricsRegistry
 from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
 
@@ -201,28 +202,19 @@ def _read_envelope(path: Path) -> object:
         ) from exc
 
 
-def load_checkpoint(
-    path: PathLike,
-    telemetry: Optional[RunTelemetry] = None,
-    metrics: Optional[MetricsRegistry] = None,
-    strict: bool = True,
+def _load_resilient(
+    path: Path,
+    read: "Callable[[Path], object]",
+    telemetry: RunTelemetry,
+    metrics: MetricsRegistry,
+    strict: bool,
 ) -> Optional[object]:
-    """Load the payload at ``path``; ``None`` when no checkpoint exists.
+    """The shared primary-then-``.prev`` fallback discipline.
 
-    Self-healing: when the primary file is corrupt (checksum mismatch,
-    unpicklable, wrong envelope version) — or missing while a rotated
-    ``<path>.prev`` exists (a crash between rotation and write) — the
-    previous round's checkpoint is loaded instead, narrated as
-    ``checkpoint.corrupt`` + ``checkpoint.fallback``.  Only when *both*
-    files are unusable does the call raise :class:`CheckpointError`
-    (``strict``, the explorer resume path — silently restarting an
-    expensive run is worse than failing) or degrade to ``None``
-    (lenient, the learning-curve resume path, where recomputing is
-    cheap relative to failing the whole sweep).
+    ``read`` is whatever envelope reader (pickle or JSON) applies; it
+    must raise :class:`CheckpointError` on every way a file can be bad.
+    Narration and degradation semantics are identical for both formats.
     """
-    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-    metrics = metrics if metrics is not None else METRICS
-    path = Path(path)
     prev = previous_path(path)
     if not path.exists() and not prev.exists():
         telemetry.emit("checkpoint.miss", path=str(path))
@@ -232,7 +224,7 @@ def load_checkpoint(
     primary_error: Optional[CheckpointError] = None
     if path.exists():
         try:
-            payload = _read_envelope(path)
+            payload = read(path)
         except CheckpointError as exc:
             primary_error = exc
             telemetry.emit(
@@ -250,7 +242,7 @@ def load_checkpoint(
 
     if prev.exists():
         try:
-            payload = _read_envelope(prev)
+            payload = read(prev)
         except CheckpointError as exc:
             telemetry.emit(
                 "checkpoint.corrupt", path=str(prev), error=str(exc)
@@ -279,6 +271,150 @@ def load_checkpoint(
             f"checkpoint {path} and its fallback {prev} are both unusable"
         )
     return None
+
+
+def load_checkpoint(
+    path: PathLike,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    strict: bool = True,
+) -> Optional[object]:
+    """Load the payload at ``path``; ``None`` when no checkpoint exists.
+
+    Self-healing: when the primary file is corrupt (checksum mismatch,
+    unpicklable, wrong envelope version) — or missing while a rotated
+    ``<path>.prev`` exists (a crash between rotation and write) — the
+    previous round's checkpoint is loaded instead, narrated as
+    ``checkpoint.corrupt`` + ``checkpoint.fallback``.  Only when *both*
+    files are unusable does the call raise :class:`CheckpointError`
+    (``strict``, the explorer resume path — silently restarting an
+    expensive run is worse than failing) or degrade to ``None``
+    (lenient, the learning-curve resume path, where recomputing is
+    cheap relative to failing the whole sweep).
+    """
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    metrics = metrics if metrics is not None else METRICS
+    return _load_resilient(
+        Path(path), _read_envelope, telemetry, metrics, strict
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON checkpoints: the same discipline for human-readable state
+# ----------------------------------------------------------------------
+#: bump when the JSON envelope layout changes incompatibly
+JSON_CHECKPOINT_VERSION = 1
+
+#: magic marking a JSON file as one of ours
+JSON_CHECKPOINT_FORMAT = "repro-json-checkpoint"
+
+
+def canonical_json(payload: object) -> str:
+    """The canonical serialization checksums are computed over.
+
+    Compact separators and sorted keys, so two semantically equal
+    payloads always hash identically regardless of construction order.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def save_json_checkpoint(
+    path: PathLike,
+    payload: object,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Persist a JSON-serializable ``payload`` with checkpoint semantics.
+
+    Same discipline as :func:`save_checkpoint` — checksummed envelope,
+    atomic write, rotation of the previous good file to ``<path>.prev``
+    — but the artifact stays a plain JSON document, so campaign
+    manifests remain greppable and diffable while still being
+    self-healing.  Non-finite floats are rejected (``allow_nan=False``):
+    they would round-trip as invalid JSON and silently break
+    checksums.
+    """
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    metrics = metrics if metrics is not None else METRICS
+    path = Path(path)
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    envelope = {
+        "format": JSON_CHECKPOINT_FORMAT,
+        "version": JSON_CHECKPOINT_VERSION,
+        "sha256": digest,
+        "payload": payload,
+    }
+    text = json.dumps(envelope, sort_keys=True, indent=2, allow_nan=False)
+    rotated = path.exists()
+    if rotated:
+        os.replace(path, previous_path(path))
+    atomic_write_text(path, text + "\n")
+    telemetry.emit(
+        "checkpoint.save",
+        path=str(path),
+        bytes=path.stat().st_size,
+        kind=type(payload).__name__,
+        sha256=digest,
+        rotated=rotated,
+    )
+    metrics.inc("checkpoint.saves")
+
+
+def _read_json_envelope(path: Path) -> object:
+    """Read one JSON checkpoint, verifying envelope and checksum."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} exists but cannot be read: {exc!r}"
+        ) from exc
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("format") != JSON_CHECKPOINT_FORMAT
+    ):
+        raise CheckpointError(
+            f"checkpoint {path} is not a {JSON_CHECKPOINT_FORMAT} envelope "
+            "(legacy or foreign file)"
+        )
+    version = envelope.get("version")
+    if version != JSON_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has envelope version {version!r}, "
+            f"expected {JSON_CHECKPOINT_VERSION}"
+        )
+    if "payload" not in envelope:
+        raise CheckpointError(f"checkpoint {path} carries no payload")
+    payload = envelope["payload"]
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    if digest != envelope.get("sha256"):
+        raise CheckpointError(
+            f"checkpoint {path} failed its checksum "
+            f"(stored {envelope.get('sha256')!r}, computed {digest!r})"
+        )
+    return payload
+
+
+def load_json_checkpoint(
+    path: PathLike,
+    telemetry: Optional[RunTelemetry] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    strict: bool = True,
+) -> Optional[object]:
+    """Load a :func:`save_json_checkpoint` payload; ``None`` when absent.
+
+    Fallback, narration and ``strict`` semantics are identical to
+    :func:`load_checkpoint` — a corrupt manifest costs one cell of
+    campaign progress (the rotated ``.prev`` round), never the
+    campaign.
+    """
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    metrics = metrics if metrics is not None else METRICS
+    return _load_resilient(
+        Path(path), _read_json_envelope, telemetry, metrics, strict
+    )
 
 
 def clear_checkpoint(

@@ -23,6 +23,7 @@ and counters.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -106,32 +107,158 @@ class FaultPlan:
             return "outlier"
         return None
 
+    #: the fault kinds a spec may set a probability for
+    KINDS = ("crash", "nan", "hang", "slow", "outlier")
+    #: the shape keys tuning how a fault manifests
+    SHAPE_KEYS = ("slow_s", "hang_s", "outlier_small", "outlier_large")
+
     @classmethod
     def parse(cls, spec: str, **overrides: float) -> "FaultPlan":
         """Build a plan from a CLI spec like ``"crash=0.15,nan=0.1"``.
 
         Recognized keys: ``crash``, ``nan``, ``hang``, ``slow``,
         ``outlier``, ``slow_s``, ``hang_s``, ``outlier_small``,
-        ``outlier_large``.
+        ``outlier_large``.  Errors name the offending token of the spec
+        and list the valid keys, so a typo in a long CLI spec is
+        locatable at a glance.
         """
         values: dict = dict(overrides)
+        valid = cls.KINDS + cls.SHAPE_KEYS
         for part in spec.split(","):
             part = part.strip()
             if not part:
                 continue
             if "=" not in part:
                 raise ValueError(
-                    f"bad fault spec component {part!r}; expected key=value"
+                    f"bad fault spec component {part!r} in {spec!r}: "
+                    f"expected key=value with key one of {', '.join(valid)}"
                 )
             key, _, raw = part.partition("=")
             key = key.strip()
-            if key not in (
-                "crash", "nan", "hang", "slow", "outlier",
-                "slow_s", "hang_s", "outlier_small", "outlier_large",
-            ):
-                raise ValueError(f"unknown fault kind {key!r}")
-            values[key] = float(raw)
+            if key not in valid:
+                raise ValueError(
+                    f"unknown fault kind {key!r} in fault spec component "
+                    f"{part!r}; valid kinds: {', '.join(cls.KINDS)} "
+                    f"(plus shape keys {', '.join(cls.SHAPE_KEYS)})"
+                )
+            try:
+                values[key] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad value {raw.strip()!r} for fault key {key!r} in "
+                    f"component {part!r}: expected a number"
+                ) from None
         return cls(**values)
+
+
+@dataclass(frozen=True)
+class CellFaultPlan:
+    """Campaign-scoped fault plan: break a fraction of *cells*, not evals.
+
+    Where :class:`FaultPlan` injects per-evaluation faults inside one
+    run, this plan decides — once, deterministically, per campaign cell
+    — whether the whole worker process running that cell misbehaves:
+
+    * ``crash`` — the worker exits immediately with
+      :data:`INJECTED_CRASH_EXIT`, the way an OOM-killed or segfaulting
+      cell would die;
+    * ``hang`` — the worker sleeps ``hang_s`` before doing any work,
+      long enough to trip the campaign runner's per-cell watchdog.
+
+    The decision is a pure function of ``(seed, cell_id)`` (a sha256
+    hash mapped to a uniform variate), so it is independent of cell
+    scheduling order, of how many attempts were already made, and of
+    which driver process asks: a faulted cell fails on *every* attempt,
+    exhausts its retry budget, and lands in quarantine — which is
+    exactly the degraded-completion semantics the campaign chaos tests
+    assert, and why a killed-and-resumed faulty campaign still produces
+    a bit-identical report.
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    hang_s: float = 3600.0
+    seed: int = 0
+
+    #: valid probability keys of :meth:`parse`
+    KINDS = ("crash", "hang")
+
+    def __post_init__(self) -> None:
+        for name in self.KINDS:
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"{name} probability must be in [0, 1], got {p}"
+                )
+        if self.crash + self.hang > 1.0 + 1e-12:
+            raise ValueError("cell fault probabilities must sum to at most 1")
+        if self.hang_s <= 0:
+            raise ValueError(f"hang_s must be positive, got {self.hang_s}")
+
+    def decide(self, cell_id: str) -> Optional[str]:
+        """The fault (or ``None``) this plan assigns to ``cell_id``."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{cell_id}".encode("utf-8")
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0**64
+        if u < self.crash:
+            return "crash"
+        if u < self.crash + self.hang:
+            return "hang"
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, stored in the campaign manifest so a
+        resumed driver re-applies the identical plan."""
+        return {
+            "crash": self.crash,
+            "hang": self.hang,
+            "hang_s": self.hang_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellFaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(**data)
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "CellFaultPlan":
+        """Build a plan from a CLI spec like ``"crash=0.3,hang=0.1"``.
+
+        Recognized keys: ``crash``, ``hang``, ``hang_s``.
+        """
+        values: dict = {"seed": seed}
+        valid = cls.KINDS + ("hang_s",)
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad cell-fault spec component {part!r} in {spec!r}: "
+                    f"expected key=value with key one of {', '.join(valid)}"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in valid:
+                raise ValueError(
+                    f"unknown cell fault kind {key!r} in component "
+                    f"{part!r}; valid kinds: {', '.join(cls.KINDS)} "
+                    f"(plus shape key hang_s)"
+                )
+            try:
+                values[key] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad value {raw.strip()!r} for cell fault key {key!r} "
+                    f"in component {part!r}: expected a number"
+                ) from None
+        return cls(**values)
+
+
+#: exit code of a worker killed by an injected campaign cell crash
+INJECTED_CRASH_EXIT = 13
 
 
 class FaultInjectingBackend(_BaseBackend):

@@ -139,11 +139,25 @@ class RetryPolicy:
         self.max_attempts = total
         if self.base_delay_s < 0 or self.max_delay_s < 0:
             raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError(
+                f"backoff must be >= 1 (delays may never shrink between "
+                f"attempts), got {self.backoff}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
         self._rng = np.random.default_rng(self.seed)
 
     def is_retryable(self, exc: BaseException) -> bool:
         """Whether ``exc`` is worth another attempt."""
         return isinstance(exc, self.retryable)
+
+    def _capped_delay(self, attempt: int) -> float:
+        """The un-jittered exponential delay before attempt ``attempt + 1``."""
+        return min(
+            self.base_delay_s * self.backoff ** (attempt - 1),
+            self.max_delay_s,
+        )
 
     def delay_s(self, attempt: int) -> float:
         """Backoff before attempt ``attempt + 1`` (``attempt`` >= 1).
@@ -153,13 +167,35 @@ class RetryPolicy:
         """
         if self.base_delay_s <= 0:
             return 0.0
-        delay = min(
-            self.base_delay_s * self.backoff ** (attempt - 1),
-            self.max_delay_s,
-        )
+        delay = self._capped_delay(attempt)
         if self.jitter > 0:
             delay *= 1.0 + self.jitter * float(self._rng.random())
         return delay
+
+    def schedule(self, n_delays: int) -> List[float]:
+        """The first ``n_delays`` backoff sleeps a fresh policy would take.
+
+        Uses a generator freshly seeded with ``seed`` rather than the
+        policy's own (stateful) one, so the returned schedule is
+        bit-identical no matter how many delays were already consumed —
+        and identical to the sequence ``delay_s(1..n)`` returns on a
+        newly constructed policy.  This is what lets a resumed campaign
+        driver replay the exact backoff a crashed driver would have
+        used (see :mod:`repro.campaign.runner`).
+        """
+        if n_delays < 0:
+            raise ValueError(f"n_delays must be non-negative, got {n_delays}")
+        rng = np.random.default_rng(self.seed)
+        delays = []
+        for attempt in range(1, n_delays + 1):
+            if self.base_delay_s <= 0:
+                delays.append(0.0)
+                continue
+            delay = self._capped_delay(attempt)
+            if self.jitter > 0:
+                delay *= 1.0 + self.jitter * float(rng.random())
+            delays.append(delay)
+        return delays
 
 
 @dataclass

@@ -162,6 +162,28 @@ class TrainingConfig:
         """Cheaper settings for tests and quick sweeps."""
         return cls(max_epochs=600, patience=15, check_interval=10)
 
+    #: preset names accepted by :meth:`from_preset` (and the CLI's
+    #: ``--training`` flag / campaign specs' ``training`` key)
+    PRESETS = ("default", "fast", "paper")
+
+    @classmethod
+    def from_preset(cls, name: str) -> "TrainingConfig":
+        """Resolve a named training-recipe preset.
+
+        The single source of truth behind ``repro explore --training``
+        and the ``training`` key of campaign specs.
+        """
+        if name == "default":
+            return cls()
+        if name == "fast":
+            return cls.fast_settings()
+        if name == "paper":
+            return cls.paper_settings()
+        raise ValueError(
+            f"unknown training preset {name!r}; choices: "
+            f"{', '.join(cls.PRESETS)}"
+        )
+
 
 @dataclass
 class TrainingHistory:

@@ -16,7 +16,10 @@ package is the substrate that accounting flows through at runtime:
   ``repro profile`` subcommand;
 * :mod:`repro.obs.atomicio` — write-temp-then-rename file writes, so an
   interrupted run never leaves a truncated artifact (telemetry
-  documents, metrics snapshots, caches, checkpoints).
+  documents, metrics snapshots, caches, checkpoints);
+* :mod:`repro.obs.resources` — ``getrusage``-based CPU/RSS/wall
+  accounting (:class:`ResourceMeter`), the per-cell cost meter behind
+  the campaign orchestrator's ``campaign.*`` accounting.
 
 Event and metric names are documented in ``docs/observability.md``.
 This package deliberately imports nothing from the rest of ``repro`` so
@@ -37,6 +40,7 @@ from .metrics import (
 )
 from .profile import PhaseProfiler, PhaseRecord
 from .report import TelemetryReport
+from .resources import ResourceMeter, ResourceUsage
 from .telemetry import (
     NULL_TELEMETRY,
     PhaseStats,
@@ -51,6 +55,8 @@ __all__ = [
     "PhaseProfiler",
     "PhaseRecord",
     "PhaseStats",
+    "ResourceMeter",
+    "ResourceUsage",
     "RunTelemetry",
     "TelemetryEvent",
     "TelemetryReport",

@@ -1,0 +1,117 @@
+"""Per-process resource accounting: CPU, peak RSS and wall clock.
+
+The campaign orchestrator (:mod:`repro.campaign`) bills every cell of a
+study matrix for what it actually consumed — the instrumentation-infra
+style of benchmarking, where rusage-based accounting per run is what
+makes "which study is eating the cluster" answerable.  This module is
+the measurement primitive: :class:`ResourceMeter` snapshots
+``resource.getrusage`` plus a monotonic wall clock around a block of
+work and reports the deltas as a :class:`ResourceUsage`.
+
+``resource`` is POSIX-only; on platforms without it the meter degrades
+to wall-clock-only accounting (CPU and RSS report zero) instead of
+failing, so the campaign layer stays importable everywhere.
+
+Like the rest of :mod:`repro.obs`, this module imports nothing from the
+rest of the package.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+try:  # pragma: no cover - resource is always present on POSIX CI
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _resource = None
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """What one measured block of work consumed.
+
+    ``max_rss_kb`` is the process's peak resident set size in kibibytes
+    (``ru_maxrss`` is already KiB on Linux; macOS reports bytes and is
+    normalized).  It is a high-water mark, not a delta: for a worker
+    process that runs exactly one campaign cell — the only way the
+    campaign runner uses it — the peak *is* the cell's footprint.
+    """
+
+    wall_s: float = 0.0
+    cpu_user_s: float = 0.0
+    cpu_system_s: float = 0.0
+    max_rss_kb: int = 0
+
+    @property
+    def cpu_total_s(self) -> float:
+        """User + system CPU seconds."""
+        return self.cpu_user_s + self.cpu_system_s
+
+    def to_dict(self) -> Dict[str, float]:
+        """Serialise the usage sample to a JSON-friendly dict."""
+        return {
+            "wall_s": self.wall_s,
+            "cpu_user_s": self.cpu_user_s,
+            "cpu_system_s": self.cpu_system_s,
+            "max_rss_kb": self.max_rss_kb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ResourceUsage":
+        """Rebuild a usage sample from :meth:`to_dict` output."""
+        return cls(
+            wall_s=float(data.get("wall_s", 0.0)),
+            cpu_user_s=float(data.get("cpu_user_s", 0.0)),
+            cpu_system_s=float(data.get("cpu_system_s", 0.0)),
+            max_rss_kb=int(data.get("max_rss_kb", 0)),
+        )
+
+
+def _rusage_self() -> tuple:
+    """(user_s, system_s, max_rss_kb) of the current process, or zeros."""
+    if _resource is None:  # pragma: no cover - non-POSIX fallback
+        return 0.0, 0.0, 0
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    max_rss = int(usage.ru_maxrss)
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        max_rss //= 1024
+    return float(usage.ru_utime), float(usage.ru_stime), max_rss
+
+
+class ResourceMeter:
+    """Context manager measuring one block's resource consumption.
+
+    CPU times are deltas across the block; ``max_rss_kb`` is the
+    process peak (see :class:`ResourceUsage`).  The measured usage is
+    available as :attr:`usage` after (or during) the block.
+    """
+
+    def __init__(self) -> None:
+        self._wall_start: Optional[float] = None
+        self._cpu_start = (0.0, 0.0, 0)
+        self.usage = ResourceUsage()
+
+    def __enter__(self) -> "ResourceMeter":
+        self._wall_start = time.perf_counter()
+        self._cpu_start = _rusage_self()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.snapshot()
+
+    def snapshot(self) -> ResourceUsage:
+        """Update :attr:`usage` with consumption since ``__enter__``."""
+        if self._wall_start is None:
+            raise RuntimeError("ResourceMeter used outside its context")
+        user, system, max_rss = _rusage_self()
+        self.usage = ResourceUsage(
+            wall_s=time.perf_counter() - self._wall_start,
+            cpu_user_s=max(0.0, user - self._cpu_start[0]),
+            cpu_system_s=max(0.0, system - self._cpu_start[1]),
+            max_rss_kb=max_rss,
+        )
+        return self.usage

@@ -1,0 +1,399 @@
+"""Tests for the crash-safe campaign orchestrator (repro.campaign)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    CampaignError,
+    CampaignManifest,
+    CampaignRunner,
+    CampaignSpec,
+    CampaignSpecError,
+    campaign_status,
+    expand_matrix,
+    manifest_path,
+    parse_campaign_spec,
+    resume_campaign,
+    run_campaign,
+)
+from repro.core.faults import CellFaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry
+
+
+def tiny_spec(**overrides):
+    """A real two-cell campaign cheap enough for unit tests (~1s/cell)."""
+    kwargs = dict(
+        name="test",
+        studies=("memory-system",),
+        workloads=("mcf",),
+        seeds=(0, 1),
+        budgets=(40,),
+        target_error=1.0,
+        batch_size=20,
+        training="fast",
+        max_retries=0,
+        cell_retries=1,
+        retry_base_delay_s=0.0,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+VALID_TOML = """
+[campaign]
+name = "toml-campaign"
+
+[matrix]
+studies   = ["memory-system", "processor"]
+workloads = ["mcf", "gzip"]
+agents    = ["random"]
+seeds     = [0, 1]
+budgets   = [100, 200]
+
+[cells]
+target_error = 2.0
+batch_size   = 25
+training     = "fast"
+max_retries  = 1
+
+[robustness]
+cell_timeout_s     = 600.0
+cell_retries       = 3
+retry_base_delay_s = 0.1
+"""
+
+
+class TestCampaignSpec:
+    def test_parse_valid_toml(self):
+        spec = parse_campaign_spec(VALID_TOML)
+        assert spec.name == "toml-campaign"
+        assert spec.studies == ("memory-system", "processor")
+        assert spec.budgets == (100, 200)
+        assert spec.batch_size == 25
+        assert spec.cell_retries == 3
+        assert spec.n_cells == 2 * 2 * 1 * 2 * 2
+
+    def test_unknown_table_is_named(self):
+        with pytest.raises(CampaignSpecError) as excinfo:
+            parse_campaign_spec("[campagne]\nname = 'x'\n")
+        assert "campagne" in str(excinfo.value)
+
+    def test_unknown_key_is_named(self):
+        toml = VALID_TOML.replace("batch_size   = 25", "batch_sizes = 25")
+        with pytest.raises(CampaignSpecError) as excinfo:
+            parse_campaign_spec(toml)
+        message = str(excinfo.value)
+        assert "batch_sizes" in message and "[cells]" in message
+
+    def test_missing_required_axes(self):
+        with pytest.raises(CampaignSpecError) as excinfo:
+            parse_campaign_spec("[campaign]\nname = 'x'\n")
+        assert "matrix.studies" in str(excinfo.value)
+
+    def test_invalid_toml_names_source(self):
+        with pytest.raises(CampaignSpecError) as excinfo:
+            parse_campaign_spec("not toml ===", source="bad.toml")
+        assert "bad.toml" in str(excinfo.value)
+
+    def test_unknown_study_names_choices(self):
+        with pytest.raises(CampaignSpecError) as excinfo:
+            tiny_spec(studies=("l2-only",))
+        message = str(excinfo.value)
+        assert "l2-only" in message and "memory-system" in message
+
+    def test_unknown_workload(self):
+        with pytest.raises(CampaignSpecError, match="nonsense"):
+            tiny_spec(workloads=("nonsense",))
+
+    def test_unknown_agent(self):
+        with pytest.raises(CampaignSpecError, match="alien"):
+            tiny_spec(agents=("alien",))
+
+    def test_unknown_training_preset(self):
+        with pytest.raises(CampaignSpecError, match="turbo"):
+            tiny_spec(training="turbo")
+
+    def test_empty_and_duplicate_axes(self):
+        with pytest.raises(CampaignSpecError, match="matrix.seeds"):
+            tiny_spec(seeds=())
+        with pytest.raises(CampaignSpecError, match="duplicates"):
+            tiny_spec(seeds=(1, 1))
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(CampaignSpecError, match="budgets"):
+            tiny_spec(budgets=(0,))
+        with pytest.raises(CampaignSpecError, match="target_error"):
+            tiny_spec(target_error=0.0)
+        with pytest.raises(CampaignSpecError, match="cell_retries"):
+            tiny_spec(cell_retries=-1)
+        with pytest.raises(CampaignSpecError, match="cell_timeout_s"):
+            tiny_spec(cell_timeout_s=0.0)
+
+    def test_dict_roundtrip_and_digest(self):
+        spec = parse_campaign_spec(VALID_TOML)
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+        assert tiny_spec().digest() != spec.digest()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = tiny_spec().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(CampaignSpecError, match="surprise"):
+            CampaignSpec.from_dict(data)
+
+
+class TestMatrix:
+    def test_expansion_order_and_ids(self):
+        spec = tiny_spec(seeds=(0, 1), budgets=(40, 80))
+        cells = expand_matrix(spec)
+        assert len(cells) == spec.n_cells == 4
+        assert [c.cell_id for c in cells] == [
+            "memory-system.mcf.random.s0.n40",
+            "memory-system.mcf.random.s0.n80",
+            "memory-system.mcf.random.s1.n40",
+            "memory-system.mcf.random.s1.n80",
+        ]
+
+    def test_cell_roundtrip(self):
+        cell = CampaignCell("processor", "gzip", "random", 3, 100)
+        assert CampaignCell.from_dict(cell.to_dict()) == cell
+
+
+class TestManifest:
+    def make_manifest(self):
+        spec = tiny_spec()
+        return CampaignManifest(spec=spec.to_dict(), spec_digest=spec.digest())
+
+    def test_roundtrip(self, tmp_path):
+        manifest = self.make_manifest()
+        manifest.record_done(
+            "a", result={"converged": True}, resources={"wall_s": 1.0},
+            attempts=1,
+        )
+        manifest.record_quarantined("b", kind="crash", error="boom", attempts=3)
+        manifest.save(tmp_path)
+        loaded = CampaignManifest.load(tmp_path)
+        assert loaded.cells == manifest.cells
+        assert loaded.spec_digest == manifest.spec_digest
+        assert set(loaded.completed) == {"a"}
+        assert set(loaded.quarantined) == {"b"}
+        assert loaded.status_of("a") == "done"
+        assert loaded.status_of("missing") is None
+
+    def test_corrupt_primary_falls_back_to_previous(self, tmp_path):
+        manifest = self.make_manifest()
+        manifest.save(tmp_path)  # becomes .prev on the next save
+        manifest.record_done("a", result={}, resources={}, attempts=1)
+        manifest.save(tmp_path)
+        path = manifest_path(tmp_path)
+        path.write_text(path.read_text()[:40])  # truncate: checksum fails
+        loaded = CampaignManifest.load(tmp_path)
+        # the fallback is the older snapshot: one recorded cell lost,
+        # which resume simply re-runs
+        assert loaded.cells == {}
+
+    def test_missing_manifest_is_loud(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            CampaignManifest.load(tmp_path)
+
+    def test_rejects_foreign_payloads(self):
+        with pytest.raises(CampaignError, match="version"):
+            CampaignManifest.from_payload({"version": 99})
+        with pytest.raises(CampaignError, match="object"):
+            CampaignManifest.from_payload([1, 2])
+
+
+class TestRunnerEndToEnd:
+    def test_deterministic_across_directories_and_n_jobs(self, tmp_path):
+        spec = tiny_spec()
+        run_campaign(spec, tmp_path / "a", n_jobs=2)
+        run_campaign(spec, tmp_path / "b", n_jobs=1)
+        bytes_a = (tmp_path / "a" / "report.json").read_bytes()
+        bytes_b = (tmp_path / "b" / "report.json").read_bytes()
+        assert bytes_a == bytes_b
+        report = json.loads(bytes_a)
+        assert report["kind"] == "campaign-report"
+        assert report["summary"]["n_completed"] == 2
+        assert report["summary"]["n_quarantined"] == 0
+        for row in report["cells"]:
+            assert row["status"] == "done"
+            assert row["n_simulations"] == 40
+            assert row["error_mean"] > 0
+        # accounting lives in its own file, never in the compared report
+        resources = json.loads(
+            (tmp_path / "a" / "resources.json").read_text()
+        )
+        assert set(resources["cells"]) == {r["cell_id"] for r in report["cells"]}
+        for usage in resources["cells"].values():
+            assert usage["wall_s"] > 0
+        assert "wall_s" not in report["cells"][0]
+
+    def test_run_refuses_existing_manifest(self, tmp_path):
+        spec = tiny_spec(seeds=(0,))
+        run_campaign(spec, tmp_path)
+        with pytest.raises(CampaignError, match="already has a manifest"):
+            run_campaign(spec, tmp_path)
+
+    def test_resume_requires_a_manifest(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            resume_campaign(tmp_path)
+
+    def test_resume_rejects_spec_mismatch(self, tmp_path):
+        run_campaign(tiny_spec(seeds=(0,)), tmp_path)
+        other = tiny_spec(seeds=(0, 1))
+        runner = CampaignRunner(other, tmp_path)
+        with pytest.raises(CampaignError, match="different spec"):
+            runner.run(resume=True)
+
+    def test_resume_replays_recorded_cells(self, tmp_path):
+        spec = tiny_spec()
+        telemetry = RunTelemetry()
+        metrics = MetricsRegistry(enabled=True)
+        full = run_campaign(spec, tmp_path / "full", n_jobs=2)
+        # rebuild a partial manifest: drop one recorded cell, as if the
+        # driver had been killed before it finished
+        partial = CampaignManifest.from_payload(full.manifest.to_payload())
+        dropped = sorted(partial.cells)[0]
+        del partial.cells[dropped]
+        (tmp_path / "partial").mkdir()
+        partial.save(tmp_path / "partial")
+        resumed = resume_campaign(
+            tmp_path / "partial", telemetry=telemetry, metrics=metrics,
+        )
+        assert resumed.n_replayed == 1
+        assert metrics.counter("campaign.cells_replayed") == 1
+        assert metrics.counter("campaign.cells_completed") == 1
+        bytes_full = (tmp_path / "full" / "report.json").read_bytes()
+        bytes_resumed = (tmp_path / "partial" / "report.json").read_bytes()
+        assert bytes_full == bytes_resumed
+        events = telemetry.events_named("campaign.start")
+        assert events and events[0].payload["n_replayed"] == 1
+
+    def test_status_reports_pending_cells(self, tmp_path):
+        spec = tiny_spec()
+        manifest = CampaignManifest(
+            spec=spec.to_dict(), spec_digest=spec.digest()
+        )
+        tmp_path.joinpath("camp").mkdir()
+        manifest.save(tmp_path / "camp")
+        report = campaign_status(tmp_path / "camp")
+        assert report["summary"]["n_pending"] == 2
+        assert all(row["status"] == "pending" for row in report["cells"])
+
+
+class TestChaosCells:
+    def test_crashing_cells_are_quarantined_not_fatal(self, tmp_path):
+        spec = tiny_spec(cell_retries=1)
+        metrics = MetricsRegistry(enabled=True)
+        telemetry = RunTelemetry()
+        # seed 0 crashes cells s0/n40; s1/n40 survives (asserted below)
+        faults = CellFaultPlan(crash=0.3, seed=0)
+        decisions = {
+            cell.cell_id: faults.decide(cell.cell_id)
+            for cell in expand_matrix(spec)
+        }
+        assert "crash" in decisions.values()
+        assert None in decisions.values()
+        result = run_campaign(
+            spec, tmp_path, cell_faults=faults,
+            telemetry=telemetry, metrics=metrics,
+        )
+        assert result.degraded
+        assert result.n_completed == 1
+        assert result.n_quarantined == 1
+        record = result.manifest.quarantined[result.quarantined_cells[0]]
+        assert record["kind"] == "crash"
+        assert record["attempts"] == 2  # first try + one retry
+        assert "exited with code 13" in record["error"]
+        assert metrics.counter("campaign.cells_quarantined") == 1
+        assert metrics.counter("campaign.cell_retries") == 1
+        assert telemetry.events_named("campaign.cell_quarantined")
+
+    def test_chaos_report_is_deterministic(self, tmp_path):
+        spec = tiny_spec(cell_retries=1)
+        faults = CellFaultPlan(crash=0.3, seed=0)
+        run_campaign(spec, tmp_path / "a", cell_faults=faults, n_jobs=2)
+        run_campaign(spec, tmp_path / "b", cell_faults=faults, n_jobs=1)
+        assert (tmp_path / "a" / "report.json").read_bytes() == \
+            (tmp_path / "b" / "report.json").read_bytes()
+
+    def test_hanging_cell_is_killed_by_watchdog(self, tmp_path):
+        spec = tiny_spec(seeds=(0,), cell_retries=0, cell_timeout_s=0.3)
+        metrics = MetricsRegistry(enabled=True)
+        start = time.monotonic()
+        result = run_campaign(
+            spec,
+            tmp_path,
+            cell_faults=CellFaultPlan(hang=1.0, hang_s=120.0),
+            metrics=metrics,
+        )
+        assert time.monotonic() - start < 30.0, "watchdog never fired"
+        assert result.n_quarantined == 1
+        record = result.manifest.quarantined[result.quarantined_cells[0]]
+        assert record["kind"] == "hang"
+        assert "watchdog" in record["error"]
+        assert metrics.counter("campaign.watchdog_kills") == 1
+
+    def test_fault_plan_survives_resume(self, tmp_path):
+        """A resumed driver re-applies the killed driver's chaos plan."""
+        spec = tiny_spec(seeds=(0,), cell_retries=0)
+        faults = CellFaultPlan(crash=1.0, seed=5)
+        run_campaign(spec, tmp_path, cell_faults=faults)
+        manifest = CampaignManifest.load(tmp_path)
+        assert CellFaultPlan.from_dict(manifest.cell_faults) == faults
+
+
+class TestDriverKill:
+    def test_kill_9_then_resume_is_byte_identical(self, tmp_path):
+        """The headline guarantee, at test scale: SIGKILL the campaign
+        driver mid-run, resume from the manifest, and the aggregated
+        report is byte-identical to an uninterrupted run."""
+        spec_toml = (
+            "[campaign]\nname = 'kill-test'\n"
+            "[matrix]\nstudies = ['memory-system']\nworkloads = ['mcf']\n"
+            "seeds = [0, 1]\nbudgets = [40]\n"
+            "[cells]\ntarget_error = 1.0\nbatch_size = 20\ntraining = 'fast'\n"
+            "[robustness]\ncell_retries = 0\n"
+        )
+        spec_path = tmp_path / "spec.toml"
+        spec_path.write_text(spec_toml)
+        spec = parse_campaign_spec(spec_toml)
+        run_campaign(spec, tmp_path / "clean")
+
+        killed_dir = tmp_path / "killed"
+        driver = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "campaign", "run",
+                str(spec_path), "--dir", str(killed_dir), "--n-jobs", "1",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        manifest_file = manifest_path(killed_dir)
+        deadline = time.monotonic() + 60
+        killed = False
+        while time.monotonic() < deadline:
+            if driver.poll() is not None:
+                break
+            if manifest_file.exists() and '"status"' in manifest_file.read_text():
+                os.kill(driver.pid, signal.SIGKILL)
+                killed = True
+                break
+            time.sleep(0.02)
+        driver.wait()
+        assert killed, "driver finished before it could be killed"
+
+        resumed = resume_campaign(killed_dir)
+        assert resumed.n_replayed >= 1
+        assert (tmp_path / "clean" / "report.json").read_bytes() == \
+            (killed_dir / "report.json").read_bytes()

@@ -464,3 +464,65 @@ class TestCurveResume:
         trained = context.telemetry.events_named("curve.point")
         assert [e.payload["n_samples"] for e in trained] == list(self.SIZES)
         assert [p.n_samples for p in resumed.points] == list(self.SIZES)
+
+
+class TestJsonCheckpoints:
+    """The JSON envelope variant backing campaign manifests."""
+
+    def test_roundtrip_and_counters(self, tmp_path):
+        from repro.core.checkpoint import (
+            load_json_checkpoint,
+            save_json_checkpoint,
+        )
+
+        metrics = MetricsRegistry(enabled=True)
+        telemetry = RunTelemetry()
+        path = tmp_path / "state.json"
+        payload = {"cells": {"a": 1}, "nested": [1, 2, {"b": True}]}
+        save_json_checkpoint(path, payload, telemetry, metrics)
+        assert load_json_checkpoint(path) == payload
+        assert metrics.counter("checkpoint.saves") == 1
+        assert telemetry.events_named("checkpoint.save")
+
+    def test_missing_file_is_a_miss(self, tmp_path):
+        from repro.core.checkpoint import load_json_checkpoint
+
+        assert load_json_checkpoint(tmp_path / "absent.json") is None
+
+    def test_checksum_mismatch_strict_raises(self, tmp_path):
+        import json as json_mod
+
+        from repro.core.checkpoint import (
+            CheckpointError,
+            load_json_checkpoint,
+            save_json_checkpoint,
+        )
+
+        path = tmp_path / "state.json"
+        save_json_checkpoint(path, {"value": 1})
+        doc = json_mod.loads(path.read_text())
+        doc["payload"]["value"] = 2  # tamper without updating the checksum
+        path.write_text(json_mod.dumps(doc))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_json_checkpoint(path, strict=True)
+
+    def test_corrupt_primary_falls_back_to_previous(self, tmp_path):
+        from repro.core.checkpoint import (
+            load_json_checkpoint,
+            save_json_checkpoint,
+        )
+
+        path = tmp_path / "state.json"
+        save_json_checkpoint(path, {"round": 1})
+        save_json_checkpoint(path, {"round": 2})
+        path.write_text("garbage")
+        assert load_json_checkpoint(path, strict=True) == {"round": 1}
+
+    def test_canonical_json_is_stable(self):
+        from repro.core.checkpoint import canonical_json
+
+        a = canonical_json({"b": 1, "a": [1, 2]})
+        b = canonical_json({"a": [1, 2], "b": 1})
+        assert a == b
+        with pytest.raises(ValueError):
+            canonical_json({"bad": float("nan")})

@@ -32,7 +32,7 @@ class TestParser:
         assert args.max_retries == 0
         assert args.eval_timeout is None
         assert args.inject_faults is None
-        assert args.fault_seed == 0
+        assert args.fault_seed is None  # defaults to 0 once faults are on
 
     def test_explore_robustness_flags(self):
         args = build_parser().parse_args(
@@ -49,6 +49,38 @@ class TestParser:
         assert args.eval_timeout == 2.5
         assert args.inject_faults == "crash=0.15,nan=0.1"
         assert args.fault_seed == 7
+
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "run", "spec.toml", "--dir", "camp",
+                "--n-jobs", "4", "--inject-cell-faults", "crash=0.3",
+                "--fault-seed", "7",
+            ]
+        )
+        assert args.spec == "spec.toml"
+        assert args.dir == "camp"
+        assert args.n_jobs == 4
+        assert args.inject_cell_faults == "crash=0.3"
+        assert args.fault_seed == 7
+
+    def test_campaign_run_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "spec.toml"])
+
+    def test_campaign_subcommands_accept_obs_flags(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "status", "--dir", "camp",
+                "--telemetry-out", "t.json", "--metrics-out", "m.json",
+            ]
+        )
+        assert args.telemetry_out == "t.json"
+        assert args.metrics_out == "m.json"
 
 
 class TestCommands:
@@ -115,6 +147,94 @@ class TestRobustnessFlags:
         path.write_bytes(b"stale")
         with pytest.raises(SystemExit, match="already exists"):
             main(["explore", "--checkpoint", str(path)])
+
+    def test_fault_seed_requires_inject_faults(self):
+        with pytest.raises(SystemExit, match="--inject-faults"):
+            main(["explore", "--fault-seed", "7"])
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["--max-retries", "-1"], "--max-retries"),
+            (["--eval-timeout", "0"], "--eval-timeout"),
+            (["--max-restarts", "-2"], "--max-restarts"),
+            (["--min-folds", "0"], "--min-folds"),
+            (["--batch-size", "0"], "--batch-size"),
+            (["--max-simulations", "0"], "--max-simulations"),
+            (["--target-error", "-1"], "--target-error"),
+            (["--n-jobs", "0"], "--n-jobs"),
+        ],
+    )
+    def test_out_of_range_explore_flags_fail_fast(self, argv, message):
+        with pytest.raises(SystemExit, match=message):
+            main(["explore", *argv])
+
+
+class TestCampaignCommands:
+    SPEC = (
+        "[campaign]\nname = 'cli-test'\n"
+        "[matrix]\nstudies = ['memory-system']\nworkloads = ['mcf']\n"
+        "seeds = [0]\nbudgets = [40]\n"
+        "[cells]\ntarget_error = 1.0\nbatch_size = 20\ntraining = 'fast'\n"
+        "[robustness]\ncell_retries = 0\n"
+    )
+
+    def write_spec(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(self.SPEC)
+        return path
+
+    def test_run_status_resume_cycle(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        directory = tmp_path / "camp"
+        assert main(["campaign", "run", str(spec), "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 cells completed" in out
+        assert (directory / "report.json").exists()
+        assert (directory / "resources.json").exists()
+        assert (directory / "report.md").exists()
+
+        assert main(["campaign", "status", "--dir", str(directory)]) == 0
+        assert "1 completed" in capsys.readouterr().out
+
+        assert main(["campaign", "resume", "--dir", str(directory)]) == 0
+        assert "1 replayed" in capsys.readouterr().out
+
+    def test_status_json_is_the_report_document(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        directory = tmp_path / "camp"
+        main(["campaign", "run", str(spec), "--dir", str(directory)])
+        capsys.readouterr()
+        assert main(["campaign", "status", "--dir", str(directory),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "campaign-report"
+        assert doc == json.loads((directory / "report.json").read_text())
+
+    def test_run_refuses_existing_directory(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        directory = tmp_path / "camp"
+        main(["campaign", "run", str(spec), "--dir", str(directory)])
+        with pytest.raises(SystemExit, match="already has a manifest"):
+            main(["campaign", "run", str(spec), "--dir", str(directory)])
+
+    def test_bad_spec_fails_fast(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[campaign]\nname = 'x'\n")
+        with pytest.raises(SystemExit, match="matrix.studies"):
+            main(["campaign", "run", str(path), "--dir", str(tmp_path / "c")])
+
+    def test_fault_seed_requires_cell_faults(self, tmp_path):
+        spec = self.write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="--inject-cell-faults"):
+            main([
+                "campaign", "run", str(spec), "--dir", str(tmp_path / "c"),
+                "--fault-seed", "3",
+            ])
+
+    def test_resume_without_manifest_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no campaign manifest"):
+            main(["campaign", "resume", "--dir", str(tmp_path)])
 
     @pytest.mark.slow
     def test_chaos_explore_end_to_end(self, tmp_path, capsys):

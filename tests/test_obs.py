@@ -294,3 +294,40 @@ class TestCliObservability:
         assert "error_mean" in row and "error_std" in row
         phases = doc["telemetry"]["phases"]
         assert "explore.simulate" in phases and "explore.train" in phases
+
+
+class TestResourceMeter:
+    def test_measures_wall_and_cpu(self):
+        import pytest
+
+        from repro.obs import ResourceMeter, ResourceUsage
+
+        with ResourceMeter() as meter:
+            # burn a little CPU so the rusage delta is visible
+            total = sum(i * i for i in range(200_000))
+        assert total > 0
+        usage = meter.usage
+        assert isinstance(usage, ResourceUsage)
+        assert usage.wall_s > 0
+        assert usage.cpu_total_s == usage.cpu_user_s + usage.cpu_system_s
+        assert usage.max_rss_kb > 0  # peak RSS of this process, not a delta
+        with pytest.raises(RuntimeError):
+            ResourceMeter().snapshot()  # outside the context
+
+    def test_snapshot_inside_context(self):
+        from repro.obs import ResourceMeter
+
+        with ResourceMeter() as meter:
+            first = meter.snapshot()
+            time.sleep(0.01)
+            second = meter.snapshot()
+        assert second.wall_s >= first.wall_s
+        assert meter.usage.wall_s >= second.wall_s
+
+    def test_roundtrips_through_dict(self):
+        from repro.obs import ResourceUsage
+
+        usage = ResourceUsage(
+            wall_s=1.5, cpu_user_s=1.0, cpu_system_s=0.25, max_rss_kb=4096
+        )
+        assert ResourceUsage.from_dict(usage.to_dict()) == usage

@@ -5,8 +5,11 @@ import time
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
+    CellFaultPlan,
     DesignSpaceExplorer,
     EvaluationError,
     EvaluationTimeout,
@@ -381,3 +384,137 @@ class TestChaosEquivalence:
         np.testing.assert_array_equal(
             chaotic.predict_space(), clean.predict_space()
         )
+
+
+class TestRetryPolicyProperties:
+    """Hypothesis property tests for the backoff schedule (satellite of
+    the campaign PR: the whole-cell retry loop trusts these invariants)."""
+
+    @given(
+        max_retries=st.integers(min_value=0, max_value=8),
+        base=st.floats(min_value=0.001, max_value=2.0),
+        backoff=st.floats(min_value=1.0, max_value=4.0),
+        cap=st.floats(min_value=0.5, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_capped_schedule_is_monotone_nondecreasing(
+        self, max_retries, base, backoff, cap, seed
+    ):
+        policy = RetryPolicy(
+            max_retries=max_retries, base_delay_s=base, backoff=backoff,
+            max_delay_s=cap, jitter=0.0, seed=seed,
+        )
+        schedule = policy.schedule(max_retries)
+        assert len(schedule) == max_retries
+        assert all(a <= b for a, b in zip(schedule, schedule[1:]))
+        assert all(d <= cap for d in schedule)
+
+    @given(
+        base=st.floats(min_value=0.001, max_value=2.0),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_jitter_stays_within_bounds(self, base, jitter, seed):
+        policy = RetryPolicy(
+            max_retries=6, base_delay_s=base, jitter=jitter, seed=seed,
+        )
+        for attempt, delay in enumerate(policy.schedule(6), start=1):
+            floor = min(base * 2.0 ** (attempt - 1), policy.max_delay_s)
+            assert floor <= delay <= floor * (1.0 + jitter) + 1e-12
+
+    @given(
+        base=st.floats(min_value=0.001, max_value=2.0),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=0, max_value=10),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_schedule_is_bit_identical_for_fixed_seed(
+        self, base, jitter, seed, n
+    ):
+        def build():
+            return RetryPolicy(
+                max_retries=10, base_delay_s=base, jitter=jitter, seed=seed,
+            )
+
+        assert build().schedule(n) == build().schedule(n)
+        # schedule() must agree with sequential delay_s() draws on a
+        # fresh policy: both views of the backoff are the same stream
+        assert build().schedule(n) == [
+            build_once.delay_s(attempt)
+            for build_once in [build()]
+            for attempt in range(1, n + 1)
+        ]
+
+    def test_schedule_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().schedule(-1)
+
+
+class TestFaultPlanMessages:
+    """Parse errors must name the offending token and the valid kinds."""
+
+    def test_unknown_kind_names_token_and_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.parse("explode=0.5")
+        message = str(excinfo.value)
+        assert "explode" in message
+        for kind in FaultPlan.KINDS:
+            assert kind in message
+
+    def test_missing_value_names_component(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.parse("crash")
+        assert "crash" in str(excinfo.value)
+
+    def test_bad_float_names_token(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultPlan.parse("crash=lots")
+        assert "lots" in str(excinfo.value)
+
+
+class TestCellFaultPlan:
+    def test_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            CellFaultPlan(crash=1.5)
+        with pytest.raises(ValueError):
+            CellFaultPlan(crash=0.6, hang=0.6)
+        with pytest.raises(ValueError):
+            CellFaultPlan(hang=0.1, hang_s=0.0)
+
+    def test_decide_is_a_pure_function_of_seed_and_id(self):
+        plan = CellFaultPlan(crash=0.3, seed=7)
+        cell_ids = [f"study.mcf.random.s{i}.n40" for i in range(50)]
+        first = [plan.decide(cid) for cid in cell_ids]
+        again = [plan.decide(cid) for cid in cell_ids]
+        assert first == again
+        other_seed = [
+            CellFaultPlan(crash=0.3, seed=8).decide(cid) for cid in cell_ids
+        ]
+        assert first != other_seed
+
+    def test_decide_rates_are_roughly_honoured(self):
+        plan = CellFaultPlan(crash=0.5, seed=0)
+        decisions = [plan.decide(f"cell-{i}") for i in range(400)]
+        crashes = decisions.count("crash")
+        assert 120 < crashes < 280  # ~50% with generous slack
+
+    def test_roundtrips_through_dict(self):
+        plan = CellFaultPlan(crash=0.2, hang=0.1, hang_s=42.0, seed=9)
+        assert CellFaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_parse(self):
+        plan = CellFaultPlan.parse("crash=0.2, hang=0.1, hang_s=60", seed=3)
+        assert plan.crash == 0.2
+        assert plan.hang == 0.1
+        assert plan.hang_s == 60.0
+        assert plan.seed == 3
+
+    def test_parse_rejects_unknown_kind_naming_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            CellFaultPlan.parse("nan=0.5")
+        message = str(excinfo.value)
+        assert "nan" in message
+        assert "crash" in message and "hang" in message
