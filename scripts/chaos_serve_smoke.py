@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Service crash-safety smoke: chaos jobs, worker + service SIGKILL.
+
+This is the acceptance test of ``repro serve``, runnable locally and in
+CI:
+
+1. **Run A** starts a service with injected job faults (a
+   deterministic fraction of jobs crash on entry), submits a batch of
+   jobs over HTTP — one more than admission allows, so the overload
+   path fires — and lets it finish undisturbed.  Faulted jobs must
+   quarantine with a recorded reason, healthy jobs complete, and the
+   shed submission must be rejected with ``queue-full`` accounting.
+2. **Run B** submits the *accepted* jobs of run A to a fresh service
+   with the same fault plan, then ``SIGKILL``-s one healthy worker
+   mid-round and the *service process itself* mid-flight — the two
+   failure modes graceful shutdown cannot see coming.  A restarted
+   service on the same directory must recover the registry, resume
+   every unfinished job and finish.
+3. The two ``/report`` documents must be **byte-identical**: crashes,
+   kills, retries and restarts cost wall-clock, never results.
+
+The run-A ``/readyz`` body is additionally checked against the
+``serve-status`` schema by ``scripts/check_bench_schema.py``.
+
+Usage::
+
+    python scripts/chaos_serve_smoke.py [--keep] [--workdir DIR]
+
+Exits non-zero with a diagnostic on the first violated property.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+#: chaos plan: at seed 0, job j000002-chaos draws "crash" while
+#: j000001/j000003 stay healthy — deterministic, see CellFaultPlan
+FAULTS = "crash=0.3"
+FAULT_SEED = 0
+TENANT = "chaos"
+
+#: run A submits MAX_DEPTH + 1 jobs; the last is shed as queue-full
+MAX_DEPTH = 3
+JOB_SEEDS = (0, 1, 2)
+SHED_SEED = 3
+
+SERVE_ARGS = (
+    "--max-depth", str(MAX_DEPTH),
+    "--max-inflight", "2",
+    "--job-retries", "1",
+    "--inject-job-faults", FAULTS,
+    "--fault-seed", str(FAULT_SEED),
+)
+
+
+def job_spec(seed: int) -> dict:
+    return {
+        "study": "memory-system",
+        "workload": "mcf",
+        "seed": seed,
+        "budget": 40,
+        "target_error": 1.0,
+        "batch_size": 20,
+        "training": "fast",
+        "max_retries": 0,
+    }
+
+
+class Service:
+    """One ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, directory: Path):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dir", str(directory), "--port", "0", *SERVE_ARGS,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.base = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line and self.proc.poll() is not None:
+                raise SystemExit(
+                    f"serve exited ({self.proc.returncode}) before binding"
+                )
+            if "repro-serve listening on " in line:
+                self.base = line.rsplit("listening on ", 1)[1].strip()
+                break
+        if self.base is None:
+            self.proc.kill()
+            raise SystemExit("serve never announced its port")
+        # keep draining stdout so the service never blocks on the pipe
+        threading.Thread(
+            target=lambda: self.proc.stdout.read(), daemon=True
+        ).start()
+
+    def request(self, method: str, path: str, payload=None):
+        data = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None else None
+        )
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def request_json(self, method: str, path: str, payload=None):
+        code, body = self.request(method, path, payload)
+        return code, json.loads(body)
+
+    def submit(self, seed: int):
+        return self.request_json(
+            "POST", "/jobs", {"tenant": TENANT, "spec": job_spec(seed)}
+        )
+
+    def wait_terminal(self, job_ids, timeout_s: float = 300.0) -> dict:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            _, body = self.request_json("GET", "/jobs")
+            states = {j: body["jobs"][j]["status"] for j in job_ids}
+            if all(s in ("done", "quarantined") for s in states.values()):
+                return states
+            time.sleep(0.05)
+        raise SystemExit(f"jobs never finished: {states}")
+
+    def stop(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=120)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default=None,
+        help="directory for service dirs (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--keep", action="store_true",
+        help="keep the service directories for inspection",
+    )
+    args = parser.parse_args()
+
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="chaos-serve-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    dir_a = workdir / "uninterrupted"
+    dir_b = workdir / "killed"
+    for directory in (dir_a, dir_b):
+        shutil.rmtree(directory, ignore_errors=True)
+
+    print("== run A: chaos service, uninterrupted ==")
+    service = Service(dir_a)
+    accepted = []
+    for seed in JOB_SEEDS:
+        code, body = service.submit(seed)
+        assert code == 202 and body["accepted"], (code, body)
+        accepted.append(body["job_id"])
+    print(f"accepted: {', '.join(accepted)}")
+
+    code, body = service.submit(SHED_SEED)
+    assert code == 429, f"overload submission not shed: {(code, body)}"
+    assert body["reason"] == "queue-full", body
+    print(f"overload shed with reason {body['reason']!r}")
+
+    code, ready = service.request_json("GET", "/readyz")
+    assert code == 503, f"saturated service claimed ready: {ready}"
+    assert ready["rejected"] == 1, ready
+    assert ready["rejected_by_reason"] == {"queue-full": 1}, ready
+    assert ready["tenants"][TENANT] == {"accepted": 3, "rejected": 1}, ready
+    status_doc = workdir / "serve_status.json"
+    status_doc.write_text(json.dumps(ready, indent=2, sort_keys=True))
+    schema = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).with_name("check_bench_schema.py")),
+            str(status_doc),
+        ],
+        capture_output=True, text=True,
+    )
+    sys.stdout.write(schema.stdout)
+    if schema.returncode != 0:
+        raise SystemExit(f"/readyz failed the schema check:\n{schema.stderr}")
+
+    states = service.wait_terminal(accepted)
+    quarantined = sorted(j for j, s in states.items() if s == "quarantined")
+    completed = sorted(j for j, s in states.items() if s == "done")
+    assert quarantined, "chaos plan quarantined no jobs"
+    assert completed, "chaos plan quarantined every job"
+    _, report = service.request_json("GET", "/report")
+    for job_id in quarantined:
+        entry = report["jobs"][job_id]
+        assert entry["kind"] == "crash", entry
+        assert "exited with code 13" in entry["error"], entry
+    _, report_a = service.request("GET", "/report")
+    code = service.stop()
+    assert code == 0, f"serve exited with {code} on SIGTERM"
+    print(
+        f"degraded completion: {len(completed)} done, "
+        f"{len(quarantined)} quarantined ({', '.join(quarantined)})"
+    )
+
+    print("== run B: same jobs; worker SIGKILL, then service SIGKILL ==")
+    service = Service(dir_b)
+    for seed in JOB_SEEDS:
+        code, body = service.submit(seed)
+        assert code == 202, (code, body)
+        assert body["job_id"] in accepted, (
+            f"run B produced a different job id: {body['job_id']}"
+        )
+    healthy = [j for j in accepted if j not in quarantined]
+
+    victim = None
+    deadline = time.monotonic() + 60
+    while victim is None and time.monotonic() < deadline:
+        for job_id in healthy:
+            _, body = service.request_json("GET", f"/jobs/{job_id}")
+            pid = body.get("worker_pid")
+            if body["status"] == "running" and pid:
+                os.kill(pid, signal.SIGKILL)
+                victim = (job_id, pid)
+                break
+        time.sleep(0.005)
+    assert victim is not None, "no healthy worker appeared to kill"
+    print(f"SIGKILL'd worker {victim[1]} of {victim[0]}")
+
+    # SIGKILL the service itself mid-flight, then reap any workers it
+    # orphaned (a SIGKILL'd parent cannot clean them up)
+    orphans = []
+    for job_id in accepted:
+        _, body = service.request_json("GET", f"/jobs/{job_id}")
+        pid = body.get("worker_pid")
+        if pid:
+            orphans.append(pid)
+    os.kill(service.proc.pid, signal.SIGKILL)
+    service.proc.wait()
+    for pid in orphans:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    print(f"SIGKILL'd the service (and {len(orphans)} orphaned worker(s))")
+
+    service = Service(dir_b)
+    service.wait_terminal(accepted)
+    _, report_b = service.request("GET", "/report")
+    code = service.stop()
+    assert code == 0, f"restarted serve exited with {code} on SIGTERM"
+
+    print("== checks ==")
+    assert report_a == report_b, (
+        "worker kill + service SIGKILL + restart produced a different "
+        f"report than the uninterrupted run:\n--- A ---\n"
+        f"{report_a.decode()}\n--- B ---\n{report_b.decode()}"
+    )
+    print(f"/report byte-identical across kills ({len(report_a)} bytes)")
+
+    if not args.keep and args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("chaos serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

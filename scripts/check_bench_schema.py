@@ -14,10 +14,13 @@ Four document kinds are understood:
   simulations-to-threshold for every search agent, plus the gate);
 * ``campaign`` — the deterministic ``report.json`` a campaign
   directory ends with (schema 1, ``kind: campaign-report``:
-  ``summary`` counts plus one row per cell, done/quarantined/pending).
+  ``summary`` counts plus one row per cell, done/quarantined/pending);
+* ``serve-status`` — the ``/readyz`` body of ``repro serve`` (schema
+  1, ``kind: serve-status``: readiness flags plus the admission and
+  job accounting snapshot).
 
 The kind is inferred from the filename
-(``kernels``/``explore``/``strategies``/``campaign``) and
+(``kernels``/``explore``/``strategies``/``campaign``/``serve``) and
 double-checked against the content, so a renamed or truncated artifact
 fails loudly here instead of producing a confusing downstream diff.
 
@@ -43,6 +46,8 @@ EXPLORE_SCHEMA = 1
 STRATEGIES_SCHEMA = 1
 CAMPAIGN_SCHEMA = 1
 CAMPAIGN_KIND = "campaign-report"
+SERVE_STATUS_SCHEMA = 1
+SERVE_STATUS_KIND = "serve-status"
 
 #: required numeric fields in each train_epoch section
 TRAIN_EPOCH_KEYS = ("n_samples", "batch_size", "kernel_s", "legacy_s", "speedup")
@@ -90,6 +95,19 @@ CAMPAIGN_DONE_KEYS = (
 )
 #: cell statuses a campaign report may record
 CAMPAIGN_STATUSES = ("done", "quarantined", "pending")
+
+#: boolean fields of a serve-status document
+SERVE_BOOL_KEYS = ("ready", "draining")
+#: numeric fields of a serve-status document
+SERVE_NUMBER_KEYS = (
+    "queue_depth",
+    "inflight",
+    "rss_committed_kb",
+    "submitted",
+    "rejected",
+)
+#: job statuses every serve-status ``jobs`` block must count
+SERVE_JOB_STATUSES = ("accepted", "running", "done", "quarantined")
 
 
 class Checker:
@@ -308,6 +326,51 @@ def check_campaign(doc: Dict[str, Any], check: Checker) -> None:
                 )
 
 
+def check_serve_status(doc: Dict[str, Any], check: Checker) -> None:
+    if doc.get("schema") != SERVE_STATUS_SCHEMA:
+        check.fail(
+            "schema",
+            f"expected {SERVE_STATUS_SCHEMA}, got {doc.get('schema')!r}",
+        )
+    if doc.get("kind") != SERVE_STATUS_KIND:
+        check.fail(
+            "kind", f"expected {SERVE_STATUS_KIND!r}, got {doc.get('kind')!r}"
+        )
+    for key in SERVE_BOOL_KEYS:
+        check.require(doc, "$", key, bool)
+    for key in SERVE_NUMBER_KEYS:
+        check.number(doc, "$", key)
+
+    jobs = check.require(doc, "$", "jobs", dict)
+    if jobs is not None:
+        for status in SERVE_JOB_STATUSES:
+            check.number(jobs, "jobs", status)
+        for status in jobs:
+            if status not in SERVE_JOB_STATUSES:
+                check.fail(
+                    f"jobs.{status}",
+                    f"unknown job status (expected {SERVE_JOB_STATUSES})",
+                )
+
+    by_reason = check.require(doc, "$", "rejected_by_reason", dict)
+    if by_reason is not None:
+        for reason, count in by_reason.items():
+            if not isinstance(count, int) or isinstance(count, bool):
+                check.fail(
+                    f"rejected_by_reason.{reason}",
+                    f"expected an int, got {type(count).__name__}",
+                )
+
+    tenants = check.require(doc, "$", "tenants", dict)
+    if tenants is not None:
+        for tenant, row in tenants.items():
+            if not isinstance(row, dict):
+                check.fail(f"tenants.{tenant}", "expected an object")
+                continue
+            check.number(row, f"tenants.{tenant}", "accepted")
+            check.number(row, f"tenants.{tenant}", "rejected")
+
+
 def detect_kind(path: Path, doc: Dict[str, Any]) -> str:
     name = path.name.lower()
     if "kernels" in name:
@@ -318,6 +381,8 @@ def detect_kind(path: Path, doc: Dict[str, Any]) -> str:
         return "explore"
     if doc.get("kind") == CAMPAIGN_KIND or "campaign" in name:
         return "campaign"
+    if doc.get("kind") == SERVE_STATUS_KIND or "serve" in name:
+        return "serve-status"
     if "train_epoch" in doc:
         return "kernels"
     if "studies" in doc:
@@ -344,6 +409,8 @@ def check_file(path: Path) -> List[str]:
         check_strategies(doc, check)
     elif kind == "campaign":
         check_campaign(doc, check)
+    elif kind == "serve-status":
+        check_serve_status(doc, check)
     else:
         check_explore(doc, check)
     return check.problems

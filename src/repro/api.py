@@ -75,9 +75,19 @@ from .search import (
     SimulatedAnnealingAgent,
     make_agent,
 )
+from .serve import (
+    AdmissionPolicy,
+    ExplorationService,
+    JobSpec,
+    JobSpecError,
+    ServeError,
+    StudyRegistry,
+    SubmitResult,
+)
 
 __all__ = [
     "AGENTS",
+    "AdmissionPolicy",
     "Agent",
     "BayesOptAgent",
     "CampaignError",
@@ -93,12 +103,18 @@ __all__ = [
     "ErrorStatistics",
     "EvolutionaryAgent",
     "ExplorationResult",
+    "ExplorationService",
     "ExplorerCheckpoint",
     "FitOutcome",
+    "JobSpec",
+    "JobSpecError",
     "Observation",
     "RandomAgent",
     "RunContext",
+    "ServeError",
     "SimulatedAnnealingAgent",
+    "StudyRegistry",
+    "SubmitResult",
     "TrainingConfig",
     "campaign_status",
     "clear_checkpoint",

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Union
 from ..core.checkpoint import (
     CheckpointError,
     load_json_checkpoint,
+    previous_path,
     save_json_checkpoint,
 )
 from ..obs.metrics import MetricsRegistry
@@ -57,6 +58,20 @@ class CampaignError(RuntimeError):
 def manifest_path(directory: PathLike) -> Path:
     """Where a campaign directory keeps its manifest."""
     return Path(directory) / MANIFEST_NAME
+
+
+def manifest_exists(directory: PathLike) -> bool:
+    """Whether ``directory`` holds a (possibly mid-rotation) manifest.
+
+    A crash between ``save_json_checkpoint``'s rotation and its atomic
+    rewrite leaves only ``MANIFEST.json.prev`` on disk.  That directory
+    still *has* a campaign — :meth:`CampaignManifest.load` recovers it
+    from the rotated copy — so existence checks must consider both
+    files: ``resume`` on a mid-rotation directory must work, and a
+    fresh ``run`` must refuse to clobber it.
+    """
+    path = manifest_path(directory)
+    return path.exists() or previous_path(path).exists()
 
 
 @dataclass

@@ -1,9 +1,11 @@
 """Fault-isolated campaign runner: a process pool of crash-safe cells.
 
 Each cell of the matrix runs as its **own** ``multiprocessing.Process``
-— one seeded exploration per worker, results returned over a pipe — so
-a cell that crashes, hangs or corrupts its interpreter takes down only
-itself, never the driver or its siblings.  The driver supervises:
+— one seeded exploration per worker, results returned over a pipe (the
+shared :class:`~repro.core.supervise.ProcessSupervisor` machinery, also
+used by the exploration service) — so a cell that crashes, hangs or
+corrupts its interpreter takes down only itself, never the driver or
+its siblings.  The driver supervises:
 
 * a **watchdog** terminates (then kills) any cell past the spec's
   ``cell_timeout_s`` wall-clock budget;
@@ -19,6 +21,12 @@ itself, never the driver or its siblings.  The driver supervises:
   the *driver* loses at most in-flight cells: ``resume`` replays the
   recorded ones and produces a byte-identical aggregated report.
 
+Workers install the cooperative SIGTERM handler
+(:func:`~repro.core.supervise.install_sigterm_flush_handler`), so a
+plain ``kill <pid>`` of a cell worker exits *after* the in-flight
+round's checkpoint is flushed — the relaunched attempt resumes
+bit-identically, same as the SIGKILL story.
+
 Determinism: every cell is an independently seeded exploration whose
 result does not depend on scheduling, worker count, retries or resume
 — the properties PRs 1-7 established for a single run, lifted to a
@@ -27,18 +35,24 @@ whole matrix.
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..core.faults import INJECTED_CRASH_EXIT, CellFaultPlan
+from ..core.faults import CellFaultPlan
 from ..core.resilience import RetryPolicy
+from ..core.supervise import (
+    OUTCOME_DONE,
+    OUTCOME_HANG,
+    OUTCOME_SHUTDOWN,
+    ProcessSupervisor,
+    WorkerResult,
+    run_worker,
+)
 from ..obs.metrics import METRICS, MetricsRegistry
 from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
-from .manifest import CampaignError, CampaignManifest, manifest_path
+from .manifest import CampaignError, CampaignManifest, manifest_exists
 from .matrix import CampaignCell, expand_matrix
 from .report import build_report, write_reports
 from .spec import CampaignSpec
@@ -56,15 +70,37 @@ _POLL_S = 0.02
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-def _execute_cell(
-    spec: CampaignSpec, cell: CampaignCell, checkpoint: str
+def execute_exploration(
+    *,
+    study: str,
+    workload: str,
+    agent: str,
+    seed: int,
+    budget: int,
+    target_error: float,
+    batch_size: int,
+    training: str,
+    k: Optional[int],
+    min_folds: Optional[int],
+    max_retries: int,
+    eval_timeout_s: Optional[float],
+    checkpoint: str,
+    deadline_s: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Run one cell's exploration; returns the pipe message payload.
+    """Run one seeded exploration; returns the worker's pipe message.
 
-    Everything under ``"result"`` must be a deterministic function of
-    the (spec, cell) pair — it feeds the byte-compared report.  The
-    accounting under ``"resources"`` is explicitly non-deterministic
-    and is kept out of that report.
+    This is the unit of work both the campaign runner (one call per
+    cell) and the exploration service (one call per job) execute inside
+    a fault-isolated worker.  Everything under ``"result"`` is a
+    deterministic function of the arguments — it feeds byte-compared
+    reports — while the accounting under ``"resources"`` is explicitly
+    non-deterministic and is kept out of them.
+
+    ``deadline_s`` (relative seconds, service jobs only) becomes an
+    absolute monotonic deadline on the
+    :class:`~repro.core.resilience.ResilientBackend`, so a job that
+    outlives its budget fails fast with ``DeadlineExceeded`` instead of
+    burning simulator time the tenant no longer wants.
     """
     # imported here so an injected-crash worker never pays (or breaks
     # on) the numeric stack import
@@ -76,32 +112,36 @@ def _execute_cell(
     from ..experiments.studies import get_study, make_simulate_fn
     from ..obs.resources import ResourceMeter
 
-    study = get_study(cell.study)
-    backend: object = SerialBackend(make_simulate_fn(study, cell.workload))
-    if spec.max_retries > 0 or spec.eval_timeout_s is not None:
+    study_obj = get_study(study)
+    backend: object = SerialBackend(make_simulate_fn(study_obj, workload))
+    if max_retries > 0 or eval_timeout_s is not None or deadline_s is not None:
         from ..core.resilience import ResilientBackend
 
         backend = ResilientBackend(
             backend,
-            policy=RetryPolicy(max_retries=spec.max_retries),
-            timeout_s=spec.eval_timeout_s,
+            policy=RetryPolicy(max_retries=max_retries),
+            timeout_s=eval_timeout_s,
+            deadline=(
+                time.monotonic() + deadline_s
+                if deadline_s is not None else None
+            ),
         )
     with ResourceMeter() as meter:
         explorer = DesignSpaceExplorer(
-            study.space,
+            study_obj.space,
             backend,
-            batch_size=spec.batch_size,
-            k=spec.k if spec.k is not None else DEFAULT_FOLDS,
-            training=TrainingConfig.from_preset(spec.training),
-            # n_jobs=1: the cell process IS the unit of parallelism —
+            batch_size=batch_size,
+            k=k if k is not None else DEFAULT_FOLDS,
+            training=TrainingConfig.from_preset(training),
+            # n_jobs=1: the worker process IS the unit of parallelism —
             # nested fold-training pools would oversubscribe the host
-            context=RunContext.seeded(cell.seed, n_jobs=1),
-            min_folds=spec.min_folds,
-            agent=cell.agent,
+            context=RunContext.seeded(seed, n_jobs=1),
+            min_folds=min_folds,
+            agent=agent,
         )
         result = explorer.explore(
-            target_error=spec.target_error,
-            max_simulations=cell.budget,
+            target_error=target_error,
+            max_simulations=budget,
             checkpoint=checkpoint,
         )
         predictions = result.predict_space()
@@ -130,55 +170,47 @@ def _execute_cell(
     }
 
 
+def _execute_cell(
+    spec: CampaignSpec, cell: CampaignCell, checkpoint: str
+) -> Dict[str, object]:
+    """Run one cell's exploration; returns the pipe message payload."""
+    return execute_exploration(
+        study=cell.study,
+        workload=cell.workload,
+        agent=cell.agent,
+        seed=cell.seed,
+        budget=cell.budget,
+        target_error=spec.target_error,
+        batch_size=spec.batch_size,
+        training=spec.training,
+        k=spec.k,
+        min_folds=spec.min_folds,
+        max_retries=spec.max_retries,
+        eval_timeout_s=spec.eval_timeout_s,
+        checkpoint=checkpoint,
+    )
+
+
 def _cell_entry(conn: object, payload: Dict[str, object]) -> None:
     """Child-process entry point for one cell attempt.
 
-    Injected faults fire *before* any real work: ``crash`` exits hard
-    with :data:`~repro.core.faults.INJECTED_CRASH_EXIT` (no Python
-    teardown — indistinguishable from a segfault to the driver) and
-    ``hang`` sleeps past any sane watchdog.  Real failures are reported
-    over the pipe as ``error`` records; the driver treats a dead worker
-    with no message as a crash.
+    Delegates the fault-injection / SIGTERM / error-reporting
+    discipline to :func:`~repro.core.supervise.run_worker`.
     """
-    try:
-        fault = payload.get("fault")
-        if fault == "crash":
-            os._exit(INJECTED_CRASH_EXIT)
-        if fault == "hang":
-            time.sleep(float(payload["hang_s"]))
-        message = _execute_cell(
-            CampaignSpec.from_dict(payload["spec"]),  # type: ignore[arg-type]
-            CampaignCell.from_dict(payload["cell"]),  # type: ignore[arg-type]
-            str(payload["checkpoint"]),
+
+    def execute(p: Dict[str, object]) -> Dict[str, object]:
+        return _execute_cell(
+            CampaignSpec.from_dict(p["spec"]),  # type: ignore[arg-type]
+            CampaignCell.from_dict(p["cell"]),  # type: ignore[arg-type]
+            str(p["checkpoint"]),
         )
-    except BaseException as exc:  # noqa: BLE001 - the pipe is the report
-        try:
-            conn.send(  # type: ignore[attr-defined]
-                {
-                    "status": "error",
-                    "error": f"{type(exc).__name__}: {exc}",
-                }
-            )
-        finally:
-            os._exit(1)
-    conn.send(message)  # type: ignore[attr-defined]
-    conn.close()  # type: ignore[attr-defined]
+
+    run_worker(conn, payload, execute)
 
 
 # ----------------------------------------------------------------------
 # driver side
 # ----------------------------------------------------------------------
-@dataclass
-class _Running:
-    """Book-keeping for one in-flight cell attempt."""
-
-    process: mp.Process
-    conn: object
-    cell: CampaignCell
-    attempt: int
-    deadline: Optional[float]
-
-
 @dataclass
 class CampaignResult:
     """What a campaign run/resume produced."""
@@ -253,6 +285,7 @@ class CampaignRunner:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.metrics = metrics if metrics is not None else METRICS
         self.cells = expand_matrix(spec)
+        self._cells_by_id = {cell.cell_id: cell for cell in self.cells}
         # whole-cell retry backoff: one deterministic schedule shared by
         # every cell (delays never reach the report, so sharing is safe)
         self._delays = RetryPolicy(
@@ -294,7 +327,9 @@ class CampaignRunner:
         return manifest
 
     # -- scheduling -----------------------------------------------------
-    def _launch(self, cell: CampaignCell, attempt: int) -> _Running:
+    def _launch(
+        self, supervisor: ProcessSupervisor, cell: CampaignCell, attempt: int
+    ) -> None:
         fault = self.cell_faults.decide(cell.cell_id) if self.cell_faults \
             else None
         payload: Dict[str, object] = {
@@ -304,132 +339,68 @@ class CampaignRunner:
             "fault": fault,
             "hang_s": self.cell_faults.hang_s if self.cell_faults else 0.0,
         }
-        parent_conn, child_conn = mp.Pipe(duplex=False)
-        process = mp.Process(
-            target=_cell_entry,
-            args=(child_conn, payload),
-            name=f"repro-cell-{cell.cell_id}",
+        supervisor.launch(
+            cell.cell_id, payload, attempt,
+            timeout_s=self.spec.cell_timeout_s,
         )
-        process.start()
-        child_conn.close()
-        deadline = None
-        if self.spec.cell_timeout_s is not None:
-            deadline = time.monotonic() + self.spec.cell_timeout_s
         self.telemetry.emit(
             "campaign.cell_start",
             cell_id=cell.cell_id,
             attempt=attempt,
             fault=fault,
         )
-        return _Running(
-            process=process,
-            conn=parent_conn,
-            cell=cell,
-            attempt=attempt,
-            deadline=deadline,
-        )
-
-    def _reap(self, entry: _Running) -> Tuple[str, Dict[str, object]]:
-        """Classify a finished (or expired) attempt.
-
-        Returns ``("done", message)`` or ``("<failure kind>", info)``
-        where the failure kinds are ``hang`` (watchdog fired), ``crash``
-        (worker died without a message) and ``error`` (worker reported
-        an exception).  Failure messages are deterministic so quarantine
-        records survive the byte-identity comparison.
-        """
-        process, conn = entry.process, entry.conn
-        if entry.deadline is not None and process.is_alive() \
-                and time.monotonic() >= entry.deadline:
-            process.terminate()
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - stubborn worker
-                process.kill()
-                process.join()
-            conn.close()
-            self.metrics.inc("campaign.watchdog_kills")
-            self.telemetry.emit(
-                "campaign.watchdog_kill",
-                cell_id=entry.cell.cell_id,
-                attempt=entry.attempt,
-            )
-            return "hang", {
-                "error": (
-                    f"cell exceeded its {self.spec.cell_timeout_s}s "
-                    f"wall-clock watchdog"
-                )
-            }
-        if process.is_alive():
-            return "running", {}
-        process.join()
-        message: Optional[Dict[str, object]] = None
-        if conn.poll():
-            try:
-                message = conn.recv()
-            except EOFError:  # pragma: no cover - torn pipe
-                message = None
-        conn.close()
-        if message is None:
-            return "crash", {
-                "error": f"worker exited with code {process.exitcode}"
-            }
-        if message.get("status") == "done":
-            return "done", message
-        return "error", {"error": str(message.get("error", "unknown error"))}
 
     def _record_failure(
         self,
         manifest: CampaignManifest,
-        entry: _Running,
-        kind: str,
-        info: Dict[str, object],
+        cell: CampaignCell,
+        outcome: WorkerResult,
         waiting: List[Tuple[float, CampaignCell, int]],
     ) -> None:
         """Retry with backoff, or quarantine when the budget is spent."""
-        cell = entry.cell
-        if entry.attempt <= self.spec.cell_retries:
-            delay = self._delays[entry.attempt - 1]
+        if outcome.attempt <= self.spec.cell_retries:
+            delay = self._delays[outcome.attempt - 1]
             self.metrics.inc("campaign.cell_retries")
             self.telemetry.emit(
                 "campaign.cell_retry",
                 cell_id=cell.cell_id,
-                attempt=entry.attempt,
-                kind=kind,
+                attempt=outcome.attempt,
+                kind=outcome.status,
                 delay_s=delay,
-                error=info["error"],
+                error=outcome.error,
             )
             waiting.append(
-                (time.monotonic() + delay, cell, entry.attempt + 1)
+                (time.monotonic() + delay, cell, outcome.attempt + 1)
             )
             return
         manifest.record_quarantined(
             cell.cell_id,
-            kind=kind,
-            error=str(info["error"]),
-            attempts=entry.attempt,
+            kind=outcome.status,
+            error=outcome.error,
+            attempts=outcome.attempt,
         )
         manifest.save(self.directory, self.telemetry, self.metrics)
         self.metrics.inc("campaign.cells_quarantined")
         self.telemetry.emit(
             "campaign.cell_quarantined",
             cell_id=cell.cell_id,
-            kind=kind,
-            attempts=entry.attempt,
-            error=info["error"],
+            kind=outcome.status,
+            attempts=outcome.attempt,
+            error=outcome.error,
         )
 
     def _record_done(
         self,
         manifest: CampaignManifest,
-        entry: _Running,
-        message: Dict[str, object],
+        cell: CampaignCell,
+        outcome: WorkerResult,
     ) -> None:
-        resources = dict(message.get("resources") or {})
+        resources = dict(outcome.message.get("resources") or {})
         manifest.record_done(
-            entry.cell.cell_id,
-            result=dict(message["result"]),  # type: ignore[arg-type]
+            cell.cell_id,
+            result=dict(outcome.message["result"]),  # type: ignore[arg-type]
             resources=resources,
-            attempts=entry.attempt,
+            attempts=outcome.attempt,
         )
         manifest.save(self.directory, self.telemetry, self.metrics)
         self.metrics.inc("campaign.cells_completed")
@@ -447,8 +418,8 @@ class CampaignRunner:
             self.metrics.gauge("campaign.max_rss_kb", rss)
         self.telemetry.emit(
             "campaign.cell_done",
-            cell_id=entry.cell.cell_id,
-            attempt=entry.attempt,
+            cell_id=cell.cell_id,
+            attempt=outcome.attempt,
             wall_s=resources.get("wall_s"),
             max_rss_kb=resources.get("max_rss_kb"),
         )
@@ -460,9 +431,11 @@ class CampaignRunner:
         With ``resume=True`` an existing manifest is loaded and its
         terminal cells are replayed instead of re-run; without it, an
         existing manifest is a loud error (clobbering recorded progress
-        must be an explicit decision — pick a fresh directory).
+        must be an explicit decision — pick a fresh directory).  A
+        manifest caught mid-rotation (only ``.prev`` on disk after a
+        crash) counts as existing for both checks.
         """
-        has_manifest = manifest_path(self.directory).exists()
+        has_manifest = manifest_exists(self.directory)
         if resume:
             if not has_manifest:
                 raise CampaignError(
@@ -499,39 +472,55 @@ class CampaignRunner:
             chaos=self.cell_faults is not None,
         )
 
+        supervisor = ProcessSupervisor(
+            _cell_entry, unit="cell", name_prefix="repro-cell"
+        )
         pending: List[Tuple[CampaignCell, int]] = [(c, 1) for c in todo]
         waiting: List[Tuple[float, CampaignCell, int]] = []
-        running: Dict[str, _Running] = {}
         try:
-            while pending or waiting or running:
+            while pending or waiting or supervisor.n_running:
                 now = time.monotonic()
                 ready = [w for w in waiting if w[0] <= now]
                 if ready:
                     waiting = [w for w in waiting if w[0] > now]
-                    pending.extend((cell, attempt) for _, cell, attempt in ready)
-                while pending and len(running) < self.n_jobs:
+                    pending.extend(
+                        (cell, attempt) for _, cell, attempt in ready
+                    )
+                while pending and supervisor.n_running < self.n_jobs:
                     cell, attempt = pending.pop(0)
-                    running[cell.cell_id] = self._launch(cell, attempt)
-                finished: List[Tuple[_Running, str, Dict[str, object]]] = []
-                for entry in running.values():
-                    outcome, info = self._reap(entry)
-                    if outcome != "running":
-                        finished.append((entry, outcome, info))
-                for entry, outcome, info in finished:
-                    del running[entry.cell.cell_id]
-                    if outcome == "done":
-                        self._record_done(manifest, entry, info)
-                    else:
-                        self._record_failure(
-                            manifest, entry, outcome, info, waiting
+                    self._launch(supervisor, cell, attempt)
+                finished = supervisor.poll()
+                for outcome in finished:
+                    cell = self._cells_by_id[outcome.key]
+                    if outcome.status == OUTCOME_DONE:
+                        self._record_done(manifest, cell, outcome)
+                        continue
+                    if outcome.status == OUTCOME_SHUTDOWN:
+                        # the worker honoured a SIGTERM after flushing
+                        # its round checkpoint: the cell is unfinished,
+                        # not failed — relaunch at the same attempt so
+                        # no retry budget is spent and the next worker
+                        # resumes from that exact round
+                        self.telemetry.emit(
+                            "campaign.cell_checkpointed",
+                            cell_id=cell.cell_id,
+                            attempt=outcome.attempt,
                         )
+                        pending.append((cell, outcome.attempt))
+                        continue
+                    if outcome.status == OUTCOME_HANG:
+                        self.metrics.inc("campaign.watchdog_kills")
+                        self.telemetry.emit(
+                            "campaign.watchdog_kill",
+                            cell_id=cell.cell_id,
+                            attempt=outcome.attempt,
+                        )
+                    self._record_failure(manifest, cell, outcome, waiting)
                 if not finished:
                     time.sleep(_POLL_S)
         finally:
             # a dying driver must not leak cell processes
-            for entry in running.values():  # pragma: no cover - crash path
-                if entry.process.is_alive():
-                    entry.process.terminate()
+            supervisor.shutdown()
 
         report_paths = write_reports(self.directory, manifest, self.cells)
         self.telemetry.emit(
@@ -603,8 +592,9 @@ def resume_campaign(
 def campaign_status(directory: PathLike) -> Dict[str, object]:
     """The deterministic report of whatever the manifest records so far.
 
-    Works on live, killed and completed campaign directories alike —
-    the report shape is identical, with unfinished cells ``pending``.
+    Works on live, killed, completed *and mid-rotation* campaign
+    directories alike — the report shape is identical, with unfinished
+    cells ``pending``.
     """
     manifest = CampaignManifest.load(directory)
     spec = CampaignSpec.from_dict(manifest.spec)  # type: ignore[arg-type]

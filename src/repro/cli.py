@@ -12,7 +12,10 @@ writing Python:
 * ``profile``  — run a small exploration and print a phase-by-phase
   time/allocation breakdown;
 * ``campaign`` — run/resume/inspect a crash-safe study matrix declared
-  in a TOML spec (``repro campaign run|resume|status``).
+  in a TOML spec (``repro campaign run|resume|status``);
+* ``serve``    — run the long-lived multi-tenant exploration service
+  (JSON over HTTP: submit jobs, probe ``/healthz`` / ``/readyz``,
+  drain gracefully; see docs/architecture.md).
 
 Every subcommand accepts ``--telemetry-out PATH`` (full run document:
 events, per-phase wall-clock timings, metrics; Markdown if the path ends
@@ -494,6 +497,62 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the exploration service until signalled (or idle)."""
+    # imported here: the serve stack is only needed by this command
+    from .serve import AdmissionPolicy, ExplorationService, ServeError
+    from .serve.frontend import serve_forever
+
+    if args.fault_seed is not None and not args.inject_job_faults:
+        raise SystemExit(
+            "--fault-seed only makes sense with --inject-job-faults SPEC"
+        )
+    try:
+        faults = None
+        if args.inject_job_faults:
+            faults = CellFaultPlan.parse(
+                args.inject_job_faults, seed=args.fault_seed or 0
+            )
+        policy = AdmissionPolicy(
+            max_depth=args.max_depth,
+            max_inflight=args.max_inflight,
+            rss_budget_kb=args.rss_budget_mb * 1024,
+            tenant_max_depth=args.tenant_max_depth,
+        )
+        service = ExplorationService(
+            args.dir,
+            policy=policy,
+            job_retries=args.job_retries,
+            watchdog_grace_s=args.watchdog_grace,
+            job_timeout_s=args.job_timeout,
+            job_faults=faults,
+            telemetry=args.telemetry,
+            metrics=args.metrics,
+        )
+    except (ServeError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+
+    def announce(host: str, port: int) -> None:
+        # the ephemeral-port contract: with --port 0 this line is how
+        # callers (tests, the chaos smoke) learn where to connect
+        print(f"repro-serve listening on http://{host}:{port}", flush=True)
+
+    serve_forever(
+        service,
+        args.host,
+        args.port,
+        drain_on_idle=args.drain_on_idle,
+        ready=announce,
+    )
+    counts = service.registry.counts()
+    print(
+        f"serve: {counts['done']} done, "
+        f"{counts['quarantined']} quarantined, "
+        f"{counts['accepted'] + counts['running']} unfinished"
+    )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Write the paper-vs-measured EXPERIMENTS.md report."""
     benchmarks = _parse_benchmarks(args.benchmarks)
@@ -714,6 +773,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full deterministic report document as JSON",
     )
     campaign_status_p.set_defaults(func=cmd_campaign_status)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant exploration service"
+    )
+    serve.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="service working directory (job registry, per-job "
+        "checkpoints); reopening a directory resumes its accepted jobs",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral; the bound port is "
+        "announced on stdout)",
+    )
+    serve.add_argument(
+        "--max-depth", type=int, default=16, metavar="N",
+        help="admission bound on accepted-but-unfinished jobs; "
+        "submissions past it are rejected with reason 'queue-full'",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=2, metavar="N",
+        help="concurrent job worker processes",
+    )
+    serve.add_argument(
+        "--rss-budget-mb", type=int, default=4096, metavar="MB",
+        help="admission bound on the summed RSS estimates of "
+        "unfinished jobs (reason 'rss-budget')",
+    )
+    serve.add_argument(
+        "--tenant-max-depth", type=int, default=None, metavar="N",
+        help="per-tenant bound on unfinished jobs (reason "
+        "'tenant-quota'; default: no quota)",
+    )
+    serve.add_argument(
+        "--job-retries", type=int, default=2, metavar="N",
+        help="attempts a failed job gets after its first, before "
+        "quarantine (retried attempts resume from the job checkpoint)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog wall-clock bound per attempt for jobs that set "
+        "no deadline_s (default: unbounded)",
+    )
+    serve.add_argument(
+        "--watchdog-grace", type=float, default=30.0, metavar="SECONDS",
+        help="slack past a job's soft deadline_s before the watchdog "
+        "kills its worker",
+    )
+    serve.add_argument(
+        "--drain-on-idle", action="store_true",
+        help="exit (gracefully) once every admitted job is terminal — "
+        "for batch-style use and the chaos smoke",
+    )
+    serve.add_argument(
+        "--inject-job-faults", metavar="SPEC", default=None,
+        help="service chaos harness: deterministically crash/hang a "
+        "fraction of jobs, e.g. 'crash=0.3' (kinds: crash, hang; "
+        "decisions are a pure function of the fault seed and job id)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="seed for the per-job fault decisions (requires "
+        "--inject-job-faults, defaults to 0 when it is given)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     for subparser in sub.choices.values():
         if subparser is campaign:

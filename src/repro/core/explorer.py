@@ -42,6 +42,7 @@ from .backend import EvaluationBackend, as_backend
 from .context import RunContext, resolve_context
 from .crossval import DEFAULT_FOLDS
 from .encoding import ParameterEncoder
+from .supervise import poll_shutdown
 from .training import TrainingConfig
 
 __all__ = [
@@ -260,6 +261,13 @@ class DesignSpaceExplorer:
                 break
             round_ = env.step(configs)
             env.save(agent)
+            # the cooperative-shutdown safe point: the round just
+            # completed and its checkpoint is on disk, so honouring a
+            # SIGTERM here (campaign/serve workers install the handler)
+            # loses nothing — the relaunched attempt resumes from this
+            # exact round
+            if not env.done:
+                poll_shutdown()
             round_elapsed = time.perf_counter() - round_start
             self.metrics.observe("explore.round", round_elapsed)
             telemetry.emit(

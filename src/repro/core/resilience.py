@@ -54,6 +54,20 @@ class EvaluationTimeout(EvaluationError):
     """A single evaluation exceeded the configured wall-clock budget."""
 
 
+class DeadlineExceeded(RuntimeError):
+    """The enclosing job's wall-clock deadline expired mid-evaluation.
+
+    Deliberately **not** an :class:`~repro.core.backend.EvaluationError`
+    (and therefore not retryable): a per-evaluation timeout is worth
+    another attempt, but no number of retries can beat an absolute
+    deadline that has already passed.  It propagates straight out of
+    ``evaluate`` so the worker fails fast; the service classifies the
+    failure as ``deadline`` and — because the exploration checkpoint
+    survives — a retried attempt resumes from the last completed round
+    with a fresh deadline instead of starting over.
+    """
+
+
 @dataclass
 class RetryPolicy:
     """When and how to retry a failed evaluation.
@@ -232,6 +246,14 @@ class ResilientBackend(_BaseBackend):
         if the inner backend exposes ``terminate()`` (as
         :class:`~repro.core.backend.ProcessPoolBackend` does) — kills
         the hung workers so the next attempt starts on a fresh pool.
+    deadline:
+        Optional **absolute** ``time.monotonic()`` deadline for the
+        whole exploration this backend serves (how the service
+        propagates per-job deadlines down to evaluations).  Each inner
+        call's effective timeout is clipped to the time remaining;
+        once the deadline passes, evaluations raise
+        :class:`DeadlineExceeded` — which is *not* retryable — instead
+        of consuming simulator time nobody is waiting for.
     telemetry / metrics:
         Observability hooks; every retry, recovery, rebuild and
         exhausted budget is emitted as a ``retry.*`` event and counted
@@ -257,20 +279,37 @@ class ResilientBackend(_BaseBackend):
         timeout_s: Optional[float] = None,
         telemetry: Optional[RunTelemetry] = None,
         metrics: Optional[MetricsRegistry] = None,
+        deadline: Optional[float] = None,
     ):
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
         self.inner = as_backend(inner)
         self.policy = policy or RetryPolicy()
         self.timeout_s = timeout_s
+        self.deadline = deadline
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.metrics = metrics if metrics is not None else METRICS
         self.failures: List[FailedEvaluation] = []
 
     # -- low-level call plumbing ---------------------------------------
+    def _deadline_exceeded(self, n_configs: int) -> DeadlineExceeded:
+        """Note and build the (deterministic-message) deadline failure."""
+        self.telemetry.emit("retry.deadline_exceeded", n_configs=n_configs)
+        self.metrics.inc("retry.deadline_exceeded")
+        return DeadlineExceeded(
+            f"job deadline expired with {n_configs} configuration(s) "
+            f"unevaluated"
+        )
+
     def _call_inner(self, configs: Sequence[Config]) -> np.ndarray:
         """One ``inner.evaluate`` call, wall-clock-bounded if configured."""
-        if self.timeout_s is None:
+        timeout = self.timeout_s
+        if self.deadline is not None:
+            remaining = self.deadline - time.monotonic()
+            if remaining <= 0:
+                raise self._deadline_exceeded(len(configs))
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        if timeout is None:
             return self.inner.evaluate(configs)
         outcome = _AttemptOutcome()
 
@@ -288,8 +327,14 @@ class ResilientBackend(_BaseBackend):
             target=run, name="repro-eval-watchdog", daemon=True
         )
         thread.start()
-        thread.join(self.timeout_s)
+        thread.join(timeout)
         if not outcome.done:
+            # the watchdog fired: the job deadline when it was the
+            # binding bound (or has passed), the per-eval budget else
+            if self.deadline is not None and (
+                self.timeout_s is None or time.monotonic() >= self.deadline
+            ):
+                raise self._deadline_exceeded(len(configs))
             raise EvaluationTimeout(
                 f"evaluation of {len(configs)} configuration(s) exceeded "
                 f"{self.timeout_s}s"

@@ -1,0 +1,64 @@
+"""Health and readiness payloads for the service's probe endpoints.
+
+``/healthz`` answers "is the process alive and coherent" — it is 200
+for as long as the event loop can serve it, including while draining
+(a draining service is healthy, just not accepting).  ``/readyz``
+answers "should a client send work here now": it goes 503 the moment
+the service stops admitting (draining) or admission control would shed
+an average submission anyway (queue at depth), so load balancers stop
+routing before rejections start piling up.
+
+The ``/readyz`` body is a versioned, schema-checked document (the
+``serve-status`` kind of ``scripts/check_bench_schema.py``): CI treats
+the endpoint shape as an interface, not an implementation detail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: bump when the serve-status payload shape changes incompatibly
+SERVE_STATUS_SCHEMA = 1
+
+#: the kind marker check_bench_schema.py validates this payload as
+SERVE_STATUS_KIND = "serve-status"
+
+
+def healthz_payload(service: object) -> Dict[str, object]:
+    """The liveness body: minimal, always 200 while the loop runs."""
+    status = service.status()  # type: ignore[attr-defined]
+    return {
+        "status": "ok",
+        "draining": bool(status["draining"]),
+    }
+
+
+def readyz_payload(service: object) -> Tuple[int, Dict[str, object]]:
+    """The readiness (HTTP status, body) pair.
+
+    Ready means: not draining, and at least one more job would be
+    admitted at current depth.  The body carries the full accounting
+    snapshot either way, so an unready service still explains itself.
+    """
+    status = service.status()  # type: ignore[attr-defined]
+    policy = service.policy  # type: ignore[attr-defined]
+    draining = bool(status["draining"])
+    queue_depth = int(status["queue_depth"])
+    inflight = int(status["inflight"])
+    depth = queue_depth + inflight
+    ready = not draining and depth < policy.max_depth
+    payload: Dict[str, object] = {
+        "schema": SERVE_STATUS_SCHEMA,
+        "kind": SERVE_STATUS_KIND,
+        "ready": ready,
+        "draining": draining,
+        "queue_depth": queue_depth,
+        "inflight": inflight,
+        "rss_committed_kb": int(status["rss_committed_kb"]),
+        "jobs": dict(status["jobs"]),
+        "submitted": int(status["submitted"]),
+        "rejected": int(status["rejected"]),
+        "rejected_by_reason": dict(status["rejected_by_reason"]),
+        "tenants": dict(status["tenants"]),
+    }
+    return (200 if ready else 503), payload

@@ -1,0 +1,499 @@
+"""The exploration service core: admission → queue → supervised workers.
+
+:class:`ExplorationService` is the long-lived engine behind ``repro
+serve`` (the asyncio front end in :mod:`repro.serve.frontend` is a thin
+I/O shell around it).  One instance owns a service directory and drives
+the full job lifecycle:
+
+* **submit** — validate the spec, consult admission control
+  (:mod:`repro.serve.queue`); a shed submission costs one counter and
+  one event, an admitted one is durable in the registry *before* the
+  caller hears "accepted";
+* **poll** — the pump: launch queued jobs up to ``max_inflight``
+  workers, reap terminal attempts, retry failures with seeded backoff
+  (requeued attempts resume from the job's exploration checkpoint), and
+  quarantine jobs that exhaust the budget — one poisoned study costs
+  exactly one quarantine record, never the service;
+* **drain / shutdown** — stop admitting (``draining`` rejections),
+  SIGTERM in-flight workers so they exit at their next round-checkpoint
+  boundary, demote whatever is still unfinished back to ``accepted``,
+  and rewrite the registry atomically.  A SIGKILL'd service skips all
+  of that and *still* recovers: :meth:`open` replays the registry,
+  demotes ``running`` jobs and re-enqueues every accepted one.
+
+Determinism: a job's result is a pure function of its spec (and the
+seeded fault plan, under chaos) — never of queue order, worker count,
+retries, restarts or which service instance ran it.  The registry's
+:meth:`~repro.serve.registry.StudyRegistry.report` exposes exactly the
+deterministic subset, which the chaos smoke byte-compares across a
+fault-free run and a crashed-and-restarted one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.faults import CellFaultPlan
+from ..core.resilience import RetryPolicy
+from ..core.supervise import (
+    OUTCOME_DONE,
+    OUTCOME_ERROR,
+    OUTCOME_HANG,
+    OUTCOME_SHUTDOWN,
+    WorkerResult,
+)
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.telemetry import NULL_TELEMETRY, RunTelemetry
+from .queue import (
+    AdmissionPolicy,
+    JobQueue,
+    Rejection,
+    TenantAccounting,
+    check_admission,
+)
+from .registry import (
+    STATUS_ACCEPTED,
+    STATUS_RUNNING,
+    JobSpec,
+    JobSpecError,
+    StudyRegistry,
+)
+from .supervisor import JobSupervisor
+
+PathLike = Union[str, Path]
+
+#: pump poll interval used by the synchronous drive loops
+_POLL_S = 0.02
+
+#: quarantine kind for jobs whose ResilientBackend deadline expired
+KIND_DEADLINE = "deadline"
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """What one submission attempt came back with."""
+
+    accepted: bool
+    job_id: Optional[str] = None
+    rejection: Optional[Rejection] = None
+
+
+class ExplorationService:
+    """The service engine: one instance per service directory.
+
+    Parameters
+    ----------
+    directory:
+        Service working directory: the registry, per-job checkpoints
+        under ``jobs/``.
+    policy:
+        :class:`~repro.serve.queue.AdmissionPolicy` (depth, in-flight
+        worker and RSS bounds; per-tenant quota).
+    job_retries:
+        Attempts a failed job gets after its first, before quarantine.
+    retry_base_delay_s / retry_seed:
+        Seeded-jitter backoff between attempts (same
+        :class:`~repro.core.resilience.RetryPolicy` schedule discipline
+        as campaign cells: prefix-stable, replayable).
+    watchdog_grace_s:
+        Supervisor-side slack past a job's soft ``deadline_s`` before
+        the watchdog kills the worker.
+    job_timeout_s:
+        Watchdog bound for jobs that set no deadline (``None`` = no
+        bound).
+    job_faults:
+        Optional seeded chaos plan keyed by job id (the chaos smoke's
+        crash/hang injection).
+    telemetry / metrics:
+        Observability hooks for the ``serve.*`` vocabulary.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        policy: Optional[AdmissionPolicy] = None,
+        job_retries: int = 2,
+        retry_base_delay_s: float = 0.05,
+        retry_seed: int = 0,
+        watchdog_grace_s: float = 30.0,
+        job_timeout_s: Optional[float] = None,
+        job_faults: Optional[CellFaultPlan] = None,
+        telemetry: Optional[RunTelemetry] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if job_retries < 0:
+            raise ValueError(
+                f"job_retries must be non-negative, got {job_retries}"
+            )
+        self.directory = Path(directory)
+        self.policy = policy or AdmissionPolicy()
+        self.job_retries = job_retries
+        self.job_faults = job_faults
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.metrics = metrics if metrics is not None else METRICS
+        self.draining = False
+        self.n_submitted = 0
+        self.n_rejected = 0
+        self.rejected_by_reason: Dict[str, int] = {}
+        self.tenants = TenantAccounting()
+        self.queue = JobQueue()
+        self.registry = StudyRegistry.open(
+            self.directory, self.telemetry, self.metrics
+        )
+        self.supervisor = JobSupervisor(
+            self.registry,
+            job_faults=job_faults,
+            watchdog_grace_s=watchdog_grace_s,
+            default_timeout_s=job_timeout_s,
+        )
+        self._attempts: Dict[str, int] = {}
+        self._waiting: List[Tuple[float, str]] = []
+        # one deterministic backoff schedule shared by every job, like
+        # the campaign runner's (delays never reach the report)
+        self._delays = RetryPolicy(
+            max_retries=job_retries,
+            base_delay_s=retry_base_delay_s,
+            jitter=0.1 if retry_base_delay_s > 0 else 0.0,
+            seed=retry_seed,
+        ).schedule(job_retries)
+        self._recover()
+
+    # -- recovery -------------------------------------------------------
+    def _recover(self) -> None:
+        """Re-enqueue the registry's unfinished jobs after (re)open."""
+        demoted = self.registry.recover()
+        if demoted:
+            self.metrics.inc("serve.jobs_recovered", len(demoted))
+        for record in self.registry.by_status(STATUS_ACCEPTED):
+            self.queue.push(record.job_id)
+        self.telemetry.emit(
+            "serve.start",
+            directory=str(self.directory),
+            n_jobs=len(self.registry.jobs),
+            n_recovered=len(demoted),
+            n_queued=len(self.queue),
+            chaos=self.job_faults is not None,
+        )
+        self._update_gauges()
+
+    # -- accounting helpers ---------------------------------------------
+    def _unfinished(self) -> List[str]:
+        counts_from = (STATUS_ACCEPTED, STATUS_RUNNING)
+        return [
+            record.job_id
+            for status in counts_from
+            for record in self.registry.by_status(status)
+        ]
+
+    def _depth(self) -> int:
+        """Accepted-but-unfinished jobs (queued, waiting and running)."""
+        return len(self._unfinished())
+
+    def _committed_rss_kb(self) -> int:
+        """Summed RSS estimates of every unfinished job."""
+        total = 0
+        for job_id in self._unfinished():
+            spec = self.registry.jobs[job_id].spec
+            total += int(spec.get("rss_estimate_kb", 0))
+        return total
+
+    def _tenant_depth(self, tenant: str) -> int:
+        return sum(
+            1 for job_id in self._unfinished()
+            if self.registry.jobs[job_id].tenant == tenant
+        )
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge(
+            "serve.queue_depth", float(len(self.queue) + len(self._waiting))
+        )
+        self.metrics.gauge("serve.inflight", float(self.supervisor.n_running))
+        self.metrics.gauge(
+            "serve.rss_committed_kb", float(self._committed_rss_kb())
+        )
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict[str, object]],
+        tenant: str = "anonymous",
+    ) -> SubmitResult:
+        """Admit or shed one submission; admitted jobs are durable.
+
+        Raises :class:`~repro.serve.registry.JobSpecError` for a
+        malformed spec or tenant (the front end's 400); resource
+        rejections come back as a non-accepted :class:`SubmitResult`
+        (the front end's 429/503) with ``serve.rejected`` accounting.
+        """
+        if not isinstance(spec, JobSpec):
+            spec = JobSpec.from_dict(spec)
+        if not isinstance(tenant, str) or not tenant:
+            raise JobSpecError(
+                f"tenant must be a non-empty string, got {tenant!r}"
+            )
+        rejection = check_admission(
+            self.policy,
+            draining=self.draining,
+            depth=self._depth(),
+            inflight_rss_kb=self._committed_rss_kb(),
+            job_rss_kb=spec.rss_estimate_kb,
+            tenant=tenant,
+            tenant_depth=self._tenant_depth(tenant),
+        )
+        if rejection is not None:
+            self.n_rejected += 1
+            self.rejected_by_reason[rejection.reason] = (
+                self.rejected_by_reason.get(rejection.reason, 0) + 1
+            )
+            self.tenants.note_rejected(tenant)
+            self.metrics.inc("serve.rejected")
+            self.metrics.inc(f"serve.rejected.{rejection.reason}")
+            self.telemetry.emit(
+                "serve.rejected",
+                tenant=tenant,
+                reason=rejection.reason,
+                detail=rejection.detail,
+            )
+            return SubmitResult(accepted=False, rejection=rejection)
+        record = self.registry.admit(spec, tenant)
+        self.queue.push(record.job_id)
+        self.n_submitted += 1
+        self.tenants.note_accepted(tenant)
+        self.metrics.inc("serve.submitted")
+        self.telemetry.emit(
+            "serve.submit",
+            job_id=record.job_id,
+            tenant=tenant,
+            study=spec.study,
+            workload=spec.workload,
+        )
+        self._update_gauges()
+        return SubmitResult(accepted=True, job_id=record.job_id)
+
+    # -- the pump -------------------------------------------------------
+    def _launch_ready(self) -> bool:
+        progressed = False
+        now = time.monotonic()
+        ready = [w for w in self._waiting if w[0] <= now]
+        if ready:
+            self._waiting = [w for w in self._waiting if w[0] > now]
+            for _, job_id in ready:
+                self.queue.push_front(job_id)
+        while len(self.queue) \
+                and self.supervisor.n_running < self.policy.max_inflight:
+            job_id = self.queue.pop()
+            record = self.registry.jobs[job_id]
+            spec = JobSpec.from_dict(record.spec)
+            attempt = self._attempts.get(job_id, 0) + 1
+            self._attempts[job_id] = attempt
+            self.registry.mark_running(job_id, attempt)
+            self.supervisor.launch_job(job_id, spec, attempt)
+            self.telemetry.emit(
+                "serve.job_start",
+                job_id=job_id,
+                tenant=record.tenant,
+                attempt=attempt,
+            )
+            progressed = True
+        return progressed
+
+    def _classify_kind(self, outcome: WorkerResult) -> str:
+        """The failure kind recorded for a non-done outcome.
+
+        A worker-reported ``DeadlineExceeded`` is the job outliving its
+        own budget, not an infrastructure error — it gets its own kind
+        so the taxonomy (and quarantine records) distinguish the two.
+        """
+        if outcome.status == OUTCOME_ERROR \
+                and outcome.error.startswith("DeadlineExceeded"):
+            return KIND_DEADLINE
+        return outcome.status
+
+    def _record_failure(self, outcome: WorkerResult) -> None:
+        """Retry with backoff, or quarantine when the budget is spent."""
+        kind = self._classify_kind(outcome)
+        if outcome.attempt <= self.job_retries:
+            delay = self._delays[outcome.attempt - 1]
+            self.metrics.inc("serve.job_retries")
+            self.telemetry.emit(
+                "serve.job_retry",
+                job_id=outcome.key,
+                attempt=outcome.attempt,
+                kind=kind,
+                delay_s=delay,
+                error=outcome.error,
+            )
+            self.registry.mark_accepted(outcome.key)
+            self._waiting.append((time.monotonic() + delay, outcome.key))
+            return
+        self.registry.mark_quarantined(
+            outcome.key,
+            kind=kind,
+            error=outcome.error,
+            attempts=outcome.attempt,
+        )
+        self.metrics.inc("serve.jobs_quarantined")
+        self.telemetry.emit(
+            "serve.job_quarantined",
+            job_id=outcome.key,
+            kind=kind,
+            attempts=outcome.attempt,
+            error=outcome.error,
+        )
+
+    def _record_done(self, outcome: WorkerResult) -> None:
+        resources = dict(outcome.message.get("resources") or {})
+        self.registry.mark_done(
+            outcome.key,
+            result=dict(outcome.message["result"]),  # type: ignore[arg-type]
+            resources=resources,
+            attempts=outcome.attempt,
+        )
+        self.metrics.inc("serve.jobs_completed")
+        self.metrics.observe(
+            "serve.job_wall_s", float(resources.get("wall_s", 0.0))
+        )
+        self.telemetry.emit(
+            "serve.job_done",
+            job_id=outcome.key,
+            attempt=outcome.attempt,
+            wall_s=resources.get("wall_s"),
+            max_rss_kb=resources.get("max_rss_kb"),
+        )
+
+    def poll(self) -> bool:
+        """One pump iteration: launch ready work, reap terminal workers.
+
+        Returns whether anything progressed (the async front end sleeps
+        when nothing did).  Never blocks.
+        """
+        progressed = self._launch_ready()
+        for outcome in self.supervisor.poll():
+            progressed = True
+            if outcome.status == OUTCOME_DONE:
+                self._record_done(outcome)
+            elif outcome.status == OUTCOME_SHUTDOWN:
+                # the worker flushed its round checkpoint and exited on
+                # request; the job is simply unfinished — requeue it
+                # without consuming retry budget (durable first)
+                self.registry.mark_accepted(outcome.key)
+                self.telemetry.emit(
+                    "serve.job_checkpointed",
+                    job_id=outcome.key,
+                    attempt=outcome.attempt,
+                )
+                if not self.draining:
+                    self.queue.push_front(outcome.key)
+            else:
+                if outcome.status == OUTCOME_HANG:
+                    self.metrics.inc("serve.watchdog_kills")
+                    self.telemetry.emit(
+                        "serve.watchdog_kill",
+                        job_id=outcome.key,
+                        attempt=outcome.attempt,
+                    )
+                self._record_failure(outcome)
+        if progressed:
+            self._update_gauges()
+        return progressed
+
+    @property
+    def idle(self) -> bool:
+        """No queued, waiting or running work."""
+        return not self.queue.snapshot() and not self._waiting \
+            and self.supervisor.n_running == 0
+
+    def run_until_idle(self, poll_s: float = _POLL_S) -> None:
+        """Synchronously pump until every admitted job is terminal.
+
+        The test/smoke drive loop; the asyncio front end uses
+        :meth:`poll` directly instead.
+        """
+        while not self.idle:
+            if not self.poll():
+                time.sleep(poll_s)
+
+    # -- drain / shutdown -----------------------------------------------
+    def drain(self) -> None:
+        """Stop admitting; everything already accepted keeps running."""
+        if not self.draining:
+            self.draining = True
+            self.metrics.inc("serve.drains")
+            self.telemetry.emit(
+                "serve.drain",
+                n_queued=len(self.queue) + len(self._waiting),
+                n_running=self.supervisor.n_running,
+            )
+
+    def shutdown(self, grace_s: float = 10.0, finish_jobs: bool = False) -> None:
+        """Graceful stop: drain, checkpoint (or finish) in-flight work.
+
+        With ``finish_jobs=False`` (the SIGTERM path) in-flight workers
+        are asked to exit at their next round-checkpoint boundary and
+        unfinished jobs are demoted to ``accepted``; a restarted
+        service resumes each from its checkpoint, bit-identically.
+        With ``finish_jobs=True`` the pump runs until every admitted
+        job is terminal first (``grace_s`` is ignored).  Either way the
+        registry on disk is consistent when this returns.
+        """
+        self.drain()
+        if finish_jobs:
+            self.run_until_idle()
+        else:
+            self.supervisor.signal_all()
+            deadline = time.monotonic() + grace_s
+            while self.supervisor.n_running \
+                    and time.monotonic() < deadline:
+                if not self.poll():
+                    time.sleep(_POLL_S)
+        # force-kill stragglers, then demote anything the force-kill
+        # left marked running — the same recovery a SIGKILL'd service
+        # performs on reopen, done eagerly here
+        self.supervisor.shutdown()
+        self.registry.recover()
+        self._update_gauges()
+        self.telemetry.emit(
+            "serve.stop",
+            n_done=self.registry.counts()["done"],
+            n_quarantined=self.registry.counts()["quarantined"],
+            n_unfinished=self._depth(),
+        )
+
+    # -- introspection --------------------------------------------------
+    def job_status(self, job_id: str) -> Optional[Dict[str, object]]:
+        """One job's public status record (``None`` for unknown ids)."""
+        record = self.registry.jobs.get(job_id)
+        if record is None:
+            return None
+        payload = record.to_payload()
+        # live worker pid, for operators (and the chaos smoke's aim):
+        # explicitly non-deterministic, never part of the report
+        pid = self.supervisor.pids().get(job_id)
+        if pid is not None:
+            payload["worker_pid"] = pid
+        return payload
+
+    def status(self) -> Dict[str, object]:
+        """The service-level status snapshot feeding ``/healthz``."""
+        return {
+            "draining": self.draining,
+            "queue_depth": len(self.queue) + len(self._waiting),
+            "inflight": self.supervisor.n_running,
+            "rss_committed_kb": self._committed_rss_kb(),
+            "jobs": self.registry.counts(),
+            "submitted": self.n_submitted,
+            "rejected": self.n_rejected,
+            "rejected_by_reason": dict(sorted(
+                self.rejected_by_reason.items()
+            )),
+            "tenants": self.tenants.to_dict(),
+            "worker_pids": dict(sorted(self.supervisor.pids().items())),
+        }
+
+    def report(self) -> Dict[str, object]:
+        """The deterministic per-job outcome map (see the registry)."""
+        return self.registry.report()

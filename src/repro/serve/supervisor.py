@@ -1,0 +1,121 @@
+"""Job-level supervision: one fault-isolated worker per job attempt.
+
+This is the campaign runner's watchdog/retry/quarantine machinery
+(:mod:`repro.core.supervise`) applied to service jobs.  Each attempt of
+each job runs in its own worker process executing
+:func:`repro.campaign.runner.execute_exploration` — the same unit of
+work as a campaign cell, plus the per-job deadline propagated down to
+the :class:`~repro.core.resilience.ResilientBackend` as an absolute
+monotonic deadline.  The supervisor side enforces a harder bound on
+top: the watchdog kills any worker that outlives ``deadline_s`` plus a
+grace period, so even an evaluation stuck in foreign code cannot pin a
+worker slot.
+
+Workers inherit the full worker discipline: injected faults for the
+chaos harness, error reporting over the pipe, and the SIGTERM
+checkpoint-flush handler — a drained or ``kill``-ed worker exits after
+completing its in-flight round, and the next attempt resumes from that
+exact round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.faults import CellFaultPlan
+from ..core.supervise import ProcessSupervisor, run_worker
+from .registry import JobSpec, StudyRegistry
+
+
+def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one job's exploration; returns the pipe message payload."""
+    from ..campaign.runner import execute_exploration
+
+    spec = JobSpec.from_dict(payload["spec"])
+    return execute_exploration(
+        study=spec.study,
+        workload=spec.workload,
+        agent=spec.agent,
+        seed=spec.seed,
+        budget=spec.budget,
+        target_error=spec.target_error,
+        batch_size=spec.batch_size,
+        training=spec.training,
+        k=spec.k,
+        min_folds=spec.min_folds,
+        max_retries=spec.max_retries,
+        eval_timeout_s=spec.eval_timeout_s,
+        checkpoint=str(payload["checkpoint"]),
+        deadline_s=spec.deadline_s,
+    )
+
+
+def _job_entry(conn: object, payload: Dict[str, object]) -> None:
+    """Child-process entry point for one job attempt."""
+    run_worker(conn, payload, _execute_job)
+
+
+class JobSupervisor(ProcessSupervisor):
+    """A :class:`~repro.core.supervise.ProcessSupervisor` for jobs.
+
+    Parameters
+    ----------
+    registry:
+        The service's job ledger — consulted for per-job checkpoint
+        paths, so retried and recovered attempts resume.
+    job_faults:
+        Optional seeded chaos plan
+        (:class:`~repro.core.faults.CellFaultPlan`, keyed by job id):
+        a pure function of ``(seed, job_id)``, so a faulted job fails
+        on every attempt of every service instance — which is what
+        makes a killed-and-restarted service's quarantine set (and
+        therefore its report) byte-identical.
+    watchdog_grace_s:
+        How long past its soft deadline a worker may live before the
+        watchdog kills it.
+    default_timeout_s:
+        Watchdog bound for jobs that set no ``deadline_s``.
+    """
+
+    def __init__(
+        self,
+        registry: StudyRegistry,
+        *,
+        job_faults: Optional[CellFaultPlan] = None,
+        watchdog_grace_s: float = 30.0,
+        default_timeout_s: Optional[float] = None,
+    ):
+        super().__init__(_job_entry, unit="job", name_prefix="repro-job")
+        if watchdog_grace_s <= 0:
+            raise ValueError(
+                f"watchdog_grace_s must be positive, got {watchdog_grace_s}"
+            )
+        if default_timeout_s is not None and default_timeout_s <= 0:
+            raise ValueError(
+                f"default_timeout_s must be positive, got {default_timeout_s}"
+            )
+        self.registry = registry
+        self.job_faults = job_faults
+        self.watchdog_grace_s = watchdog_grace_s
+        self.default_timeout_s = default_timeout_s
+
+    def watchdog_for(self, spec: JobSpec) -> Optional[float]:
+        """The supervisor-side wall-clock bound for one attempt."""
+        if spec.deadline_s is not None:
+            return spec.deadline_s + self.watchdog_grace_s
+        return self.default_timeout_s
+
+    def launch_job(self, job_id: str, spec: JobSpec, attempt: int) -> None:
+        """Start one worker attempt for ``job_id``."""
+        fault = (
+            self.job_faults.decide(job_id) if self.job_faults else None
+        )
+        payload: Dict[str, object] = {
+            "spec": spec.to_dict(),
+            "checkpoint": str(self.registry.checkpoint_for(job_id)),
+            "fault": fault,
+            "hang_s": self.job_faults.hang_s if self.job_faults else 0.0,
+        }
+        self.launch(
+            job_id, payload, attempt, timeout_s=self.watchdog_for(spec)
+        )

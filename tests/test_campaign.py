@@ -5,6 +5,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -397,3 +398,81 @@ class TestDriverKill:
         assert resumed.n_replayed >= 1
         assert (tmp_path / "clean" / "report.json").read_bytes() == \
             (killed_dir / "report.json").read_bytes()
+
+
+class TestMidRotationManifest:
+    """A crash between rotation and write leaves only ``MANIFEST.json.prev``
+    on disk; every entry point must treat that as an existing manifest."""
+
+    def _rotate_away(self, directory):
+        path = manifest_path(directory)
+        os.replace(path, str(path) + ".prev")
+
+    def test_status_falls_back_to_prev(self, tmp_path):
+        run_campaign(tiny_spec(seeds=(0,)), tmp_path)
+        self._rotate_away(tmp_path)
+        report = campaign_status(tmp_path)
+        assert report["summary"]["n_completed"] == 1
+
+    def test_resume_falls_back_to_prev(self, tmp_path):
+        run_campaign(tiny_spec(seeds=(0,)), tmp_path)
+        self._rotate_away(tmp_path)
+        resumed = resume_campaign(tmp_path)
+        assert resumed.n_replayed == 1
+
+    def test_fresh_run_refuses_with_only_prev(self, tmp_path):
+        """A mid-rotation manifest still counts as recorded progress; a
+        fresh run must not silently clobber it."""
+        run_campaign(tiny_spec(seeds=(0,)), tmp_path)
+        self._rotate_away(tmp_path)
+        with pytest.raises(CampaignError, match="already has a manifest"):
+            run_campaign(tiny_spec(seeds=(0,)), tmp_path)
+
+
+class TestWorkerSigterm:
+    def test_sigterm_cell_worker_resumes_bit_identically(self, tmp_path):
+        """``kill <pid>`` on a cell worker: the round checkpoint is
+        flushed, the cell relaunches at the same attempt (no retry
+        budget spent -- with cell_retries=0 a crash classification would
+        quarantine), and the report matches an undisturbed run."""
+        spec = tiny_spec(seeds=(0,), cell_retries=0)
+        run_campaign(spec, tmp_path / "clean")
+
+        me = os.getpid()
+        my_cmdline = Path(f"/proc/{me}/cmdline").read_bytes()
+        killed = []
+        stop = threading.Event()
+
+        def kill_first_cell_worker():
+            # forked cell workers share the parent's cmdline; other
+            # children (e.g. the mp resource tracker) do not
+            while not stop.is_set():
+                try:
+                    children = Path(
+                        f"/proc/{me}/task/{me}/children"
+                    ).read_text().split()
+                except OSError:
+                    return
+                for pid in map(int, children):
+                    try:
+                        cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+                    except OSError:
+                        continue
+                    if cmdline == my_cmdline:
+                        os.kill(pid, signal.SIGTERM)
+                        killed.append(pid)
+                        return
+                time.sleep(0.01)
+
+        killer = threading.Thread(target=kill_first_cell_worker, daemon=True)
+        killer.start()
+        telemetry = RunTelemetry()
+        result = run_campaign(spec, tmp_path / "killed", telemetry=telemetry)
+        stop.set()
+        killer.join(timeout=10)
+        assert killed, "no cell worker was SIGTERM'd"
+        assert result.n_completed == 1
+        assert result.n_quarantined == 0
+        assert telemetry.events_named("campaign.cell_checkpointed")
+        assert (tmp_path / "clean" / "report.json").read_bytes() == \
+            (tmp_path / "killed" / "report.json").read_bytes()

@@ -262,3 +262,86 @@ class TestAgentProposalProperties:
             assert not set(indices) & set(sampled)
             sampled.extend(indices)
             targets.extend(0.5 + (i % 97) / 100.0 for i in indices)
+
+
+# ----------------------------------------------------------------------
+# JSON-checkpoint envelope: round-trip, corruption, canonical form
+# ----------------------------------------------------------------------
+json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20)
+)
+json_payloads = st.recursive(
+    json_scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestJsonCheckpointEnvelopeProperties:
+    @given(json_payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_payloads_round_trip(self, payload):
+        import tempfile
+        from pathlib import Path
+
+        from repro.core.checkpoint import (
+            canonical_json,
+            load_json_checkpoint,
+            save_json_checkpoint,
+        )
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "state.json"
+            save_json_checkpoint(path, payload)
+            loaded = load_json_checkpoint(path, strict=True)
+            assert canonical_json(loaded) == canonical_json(payload)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_single_byte_corruption_yields_intact_or_previous(self, data):
+        """Flip any one byte of the primary file: the load must return
+        either the primary payload (the corruption was benign — e.g. it
+        hit insignificant whitespace) or the rotated ``.prev`` payload,
+        and must never raise or return garbage."""
+        import tempfile
+        from pathlib import Path
+
+        from repro.core.checkpoint import (
+            canonical_json,
+            load_json_checkpoint,
+            save_json_checkpoint,
+        )
+
+        older = data.draw(json_payloads, label="older")
+        newer = data.draw(json_payloads, label="newer")
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "state.json"
+            save_json_checkpoint(path, older)
+            save_json_checkpoint(path, newer)  # rotates older to .prev
+            raw = bytearray(path.read_bytes())
+            position = data.draw(
+                st.integers(min_value=0, max_value=len(raw) - 1),
+                label="position",
+            )
+            raw[position] = data.draw(
+                st.integers(min_value=0, max_value=255), label="byte"
+            )
+            path.write_bytes(bytes(raw))
+            loaded = load_json_checkpoint(path, strict=True)
+            assert canonical_json(loaded) in (
+                canonical_json(newer),
+                canonical_json(older),
+            )
+
+    @given(st.dictionaries(st.text(max_size=8), json_scalars, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_json_is_insertion_order_insensitive(self, payload):
+        from repro.core.checkpoint import canonical_json
+
+        reordered = dict(reversed(list(payload.items())))
+        assert canonical_json(reordered) == canonical_json(payload)

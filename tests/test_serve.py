@@ -1,0 +1,657 @@
+"""Tests for the long-lived exploration service (repro.serve)."""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.checkpoint import canonical_json
+from repro.core.faults import CellFaultPlan
+from repro.core.supervise import (
+    WorkerShutdown,
+    install_sigterm_flush_handler,
+    poll_shutdown,
+    reset_shutdown,
+    shutdown_requested,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry
+from repro.serve import (
+    AdmissionPolicy,
+    ExplorationService,
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    ServeFrontend,
+    StudyRegistry,
+)
+from repro.serve.health import readyz_payload
+from repro.serve.queue import (
+    REJECT_DRAINING,
+    REJECT_QUEUE_FULL,
+    REJECT_RSS_BUDGET,
+    REJECT_TENANT_QUOTA,
+    TenantAccounting,
+    check_admission,
+)
+from repro.serve.registry import (
+    STATUS_ACCEPTED,
+    STATUS_DONE,
+    STATUS_QUARANTINED,
+    STATUS_RUNNING,
+    registry_path,
+)
+from repro.serve.service import KIND_DEADLINE
+
+
+def fast_spec(**overrides):
+    """A real exploration job cheap enough for unit tests (~1s)."""
+    kwargs = dict(
+        study="memory-system",
+        workload="mcf",
+        seed=0,
+        budget=40,
+        target_error=1.0,
+        batch_size=20,
+        training="fast",
+        max_retries=0,
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def make_service(directory, **overrides):
+    kwargs = dict(
+        policy=AdmissionPolicy(max_depth=4, max_inflight=2),
+        job_retries=0,
+        retry_base_delay_s=0.0,
+        telemetry=RunTelemetry(),
+        metrics=MetricsRegistry(enabled=True),
+    )
+    kwargs.update(overrides)
+    return ExplorationService(directory, **kwargs)
+
+
+class TestJobSpec:
+    def test_dict_round_trip(self):
+        spec = fast_spec(deadline_s=5.0, k=8)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = fast_spec().to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(JobSpecError, match="bogus"):
+            JobSpec.from_dict(payload)
+
+    def test_from_dict_requires_study_and_workload(self):
+        with pytest.raises(JobSpecError, match="workload"):
+            JobSpec.from_dict({"study": "memory-system"})
+        with pytest.raises(JobSpecError, match="must be an object"):
+            JobSpec.from_dict(["memory-system"])
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("study", ""),
+            ("workload", 3),
+            ("seed", -1),
+            ("seed", True),
+            ("budget", 0),
+            ("batch_size", 0),
+            ("target_error", 0.0),
+            ("k", 1),
+            ("min_folds", 1),
+            ("max_retries", -1),
+            ("eval_timeout_s", -1.0),
+            ("deadline_s", 0.0),
+            ("rss_estimate_kb", 0),
+        ],
+    )
+    def test_invalid_fields_are_named(self, field, value):
+        payload = fast_spec().to_dict()
+        payload[field] = value
+        with pytest.raises(JobSpecError, match=field):
+            JobSpec.from_dict(payload)
+
+
+class TestAdmission:
+    def admit(self, policy, **overrides):
+        kwargs = dict(
+            draining=False,
+            depth=0,
+            inflight_rss_kb=0,
+            job_rss_kb=1024,
+            tenant="t",
+            tenant_depth=0,
+        )
+        kwargs.update(overrides)
+        return check_admission(policy, **kwargs)
+
+    def test_admits_within_bounds(self):
+        assert self.admit(AdmissionPolicy()) is None
+
+    def test_draining_wins_over_everything(self):
+        policy = AdmissionPolicy(max_depth=1)
+        rejection = self.admit(policy, draining=True, depth=99)
+        assert rejection.reason == REJECT_DRAINING
+
+    def test_queue_full(self):
+        rejection = self.admit(AdmissionPolicy(max_depth=2), depth=2)
+        assert rejection.reason == REJECT_QUEUE_FULL
+        assert "2" in rejection.detail
+
+    def test_rss_budget(self):
+        policy = AdmissionPolicy(rss_budget_kb=1000)
+        rejection = self.admit(policy, inflight_rss_kb=500, job_rss_kb=501)
+        assert rejection.reason == REJECT_RSS_BUDGET
+        assert self.admit(policy, inflight_rss_kb=0, job_rss_kb=1000) is None
+
+    def test_tenant_quota(self):
+        policy = AdmissionPolicy(tenant_max_depth=1)
+        rejection = self.admit(policy, tenant_depth=1)
+        assert rejection.reason == REJECT_TENANT_QUOTA
+        assert self.admit(policy, tenant_depth=0) is None
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            AdmissionPolicy(max_depth=0)
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionPolicy(max_inflight=0)
+        with pytest.raises(ValueError, match="tenant_max_depth"):
+            AdmissionPolicy(tenant_max_depth=0)
+
+    def test_queue_fifo_and_requeue(self):
+        queue = JobQueue()
+        queue.push("a")
+        queue.push("b")
+        queue.push_front("c")
+        assert queue.snapshot() == ["c", "a", "b"]
+        assert "a" in queue and "z" not in queue
+        assert [queue.pop() for _ in range(4)] == ["c", "a", "b", None]
+
+    def test_tenant_accounting(self):
+        accounting = TenantAccounting()
+        accounting.note_accepted("a")
+        accounting.note_rejected("a")
+        accounting.note_rejected("b")
+        assert accounting.to_dict() == {
+            "a": {"accepted": 1, "rejected": 1},
+            "b": {"accepted": 0, "rejected": 1},
+        }
+
+
+class TestRegistry:
+    def test_admission_is_durable_before_it_returns(self, tmp_path):
+        registry = StudyRegistry.open(tmp_path)
+        record = registry.admit(fast_spec(), "alice")
+        assert record.job_id == "j000001-alice"
+        reopened = StudyRegistry.open(tmp_path)
+        assert reopened.jobs[record.job_id].spec == fast_spec().to_dict()
+        assert reopened.next_seq == 2
+
+    def test_transitions_persist(self, tmp_path):
+        registry = StudyRegistry.open(tmp_path)
+        job = registry.admit(fast_spec(), "t").job_id
+        registry.mark_running(job, attempt=1)
+        registry.mark_done(job, result={"n": 1}, resources={}, attempts=1)
+        reopened = StudyRegistry.open(tmp_path)
+        record = reopened.jobs[job]
+        assert record.status == STATUS_DONE
+        assert record.result == {"n": 1}
+
+    def test_recover_demotes_running_jobs_in_seq_order(self, tmp_path):
+        registry = StudyRegistry.open(tmp_path)
+        first = registry.admit(fast_spec(seed=0), "t").job_id
+        second = registry.admit(fast_spec(seed=1), "t").job_id
+        registry.mark_running(second, attempt=1)
+        registry.mark_running(first, attempt=1)
+        reopened = StudyRegistry.open(tmp_path)
+        assert reopened.recover() == [first, second]
+        assert all(
+            r.status == STATUS_ACCEPTED for r in reopened.jobs.values()
+        )
+
+    def test_mid_rotation_registry_still_opens(self, tmp_path):
+        """SIGKILL between rotation and write leaves only ``.prev``."""
+        registry = StudyRegistry.open(tmp_path)
+        job = registry.admit(fast_spec(), "t").job_id
+        path = registry_path(tmp_path)
+        os.replace(path, str(path) + ".prev")
+        reopened = StudyRegistry.open(tmp_path)
+        assert job in reopened.jobs
+
+    def test_rejects_bad_tenant(self, tmp_path):
+        registry = StudyRegistry.open(tmp_path)
+        with pytest.raises(JobSpecError, match="tenant"):
+            registry.admit(fast_spec(), "../escape")
+
+    def test_report_holds_only_deterministic_fields(self, tmp_path):
+        registry = StudyRegistry.open(tmp_path)
+        done = registry.admit(fast_spec(seed=0), "t").job_id
+        bad = registry.admit(fast_spec(seed=1), "t").job_id
+        registry.mark_done(
+            done, result={"n": 1}, resources={"wall_s": 9.9}, attempts=3
+        )
+        registry.mark_quarantined(bad, kind="crash", error="boom", attempts=2)
+        report = registry.report()
+        assert report[done]["result"] == {"n": 1}
+        assert "resources" not in report[done]
+        assert "attempts" not in report[done]
+        assert report[bad]["kind"] == "crash"
+        assert report[bad]["error"] == "boom"
+
+
+class TestServiceLifecycle:
+    def test_jobs_run_to_done(self, tmp_path):
+        service = make_service(tmp_path)
+        first = service.submit(fast_spec(seed=0), tenant="a")
+        second = service.submit(fast_spec(seed=1), tenant="b")
+        assert first.accepted and second.accepted
+        service.run_until_idle()
+        counts = service.registry.counts()
+        assert counts["done"] == 2 and counts["quarantined"] == 0
+        report = service.report()
+        for entry in report.values():
+            assert entry["status"] == STATUS_DONE
+            assert entry["result"]["n_simulations"] == 40
+            assert entry["result"]["error_mean"] > 0
+        assert service.metrics.counter("serve.submitted") == 2
+        assert service.metrics.counter("serve.jobs_completed") == 2
+        assert service.idle
+        status = service.status()
+        assert status["queue_depth"] == 0 and status["inflight"] == 0
+        assert status["jobs"]["done"] == 2
+
+    def test_report_identical_across_instances(self, tmp_path):
+        for name in ("a", "b"):
+            service = make_service(tmp_path / name)
+            service.submit(fast_spec(seed=0), tenant="t")
+            service.submit(fast_spec(seed=1), tenant="t")
+            service.run_until_idle()
+        report_a = make_service(tmp_path / "a").report()
+        report_b = make_service(tmp_path / "b").report()
+        assert canonical_json(report_a) == canonical_json(report_b)
+
+    def test_queue_full_rejection_is_accounted_not_recorded(self, tmp_path):
+        service = make_service(
+            tmp_path, policy=AdmissionPolicy(max_depth=1, max_inflight=1)
+        )
+        assert service.submit(fast_spec(seed=0), tenant="t").accepted
+        shed = service.submit(fast_spec(seed=1), tenant="t")
+        assert not shed.accepted
+        assert shed.rejection.reason == REJECT_QUEUE_FULL
+        # shedding load must not add load: no registry write happened
+        assert len(service.registry.jobs) == 1
+        assert service.metrics.counter("serve.rejected") == 1
+        assert service.metrics.counter("serve.rejected.queue-full") == 1
+        events = service.telemetry.events_named("serve.rejected")
+        assert events and events[0].payload["reason"] == REJECT_QUEUE_FULL
+        assert service.tenants.to_dict()["t"]["rejected"] == 1
+        # capacity frees up once the accepted job finishes
+        service.run_until_idle()
+        assert service.submit(fast_spec(seed=1), tenant="t").accepted
+
+    def test_rss_budget_rejection(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            policy=AdmissionPolicy(max_depth=8, rss_budget_kb=1000),
+        )
+        assert service.submit(
+            fast_spec(seed=0, rss_estimate_kb=800), tenant="t"
+        ).accepted
+        shed = service.submit(
+            fast_spec(seed=1, rss_estimate_kb=300), tenant="t"
+        )
+        assert shed.rejection.reason == REJECT_RSS_BUDGET
+
+    def test_tenant_quota_rejection(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            policy=AdmissionPolicy(max_depth=8, tenant_max_depth=1),
+        )
+        assert service.submit(fast_spec(seed=0), tenant="noisy").accepted
+        shed = service.submit(fast_spec(seed=1), tenant="noisy")
+        assert shed.rejection.reason == REJECT_TENANT_QUOTA
+        # one noisy tenant must not starve the rest
+        assert service.submit(fast_spec(seed=1), tenant="quiet").accepted
+
+    def test_draining_rejects_submissions(self, tmp_path):
+        service = make_service(tmp_path)
+        service.drain()
+        shed = service.submit(fast_spec(), tenant="t")
+        assert shed.rejection.reason == REJECT_DRAINING
+        assert service.metrics.counter("serve.drains") == 1
+
+    def test_malformed_tenant_raises(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(JobSpecError, match="tenant"):
+            service.submit(fast_spec(), tenant="")
+
+
+class TestServiceChaos:
+    def test_crashing_job_is_quarantined_with_reason(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            job_retries=1,
+            job_faults=CellFaultPlan(crash=1.0, seed=0),
+        )
+        job = service.submit(fast_spec(), tenant="t").job_id
+        service.run_until_idle()
+        record = service.registry.jobs[job]
+        assert record.status == STATUS_QUARANTINED
+        assert record.kind == "crash"
+        assert "exited with code 13" in record.error
+        assert record.attempts == 2  # first try + one retry
+        assert service.metrics.counter("serve.jobs_quarantined") == 1
+        assert service.metrics.counter("serve.job_retries") == 1
+        assert service.telemetry.events_named("serve.job_quarantined")
+
+    def test_hanging_job_is_killed_by_watchdog(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            job_timeout_s=0.3,
+            job_faults=CellFaultPlan(hang=1.0, hang_s=120.0),
+        )
+        job = service.submit(fast_spec(), tenant="t").job_id
+        start = time.monotonic()
+        service.run_until_idle()
+        assert time.monotonic() - start < 30.0, "watchdog never fired"
+        record = service.registry.jobs[job]
+        assert record.status == STATUS_QUARANTINED
+        assert record.kind == "hang"
+        assert "watchdog" in record.error
+        assert service.metrics.counter("serve.watchdog_kills") == 1
+
+    def test_deadline_exceeded_gets_its_own_kind(self, tmp_path):
+        service = make_service(tmp_path)
+        job = service.submit(
+            fast_spec(deadline_s=0.005, max_retries=2), tenant="t"
+        ).job_id
+        service.run_until_idle()
+        record = service.registry.jobs[job]
+        assert record.status == STATUS_QUARANTINED
+        assert record.kind == KIND_DEADLINE
+        assert "deadline expired" in record.error
+
+    def test_chaos_report_is_deterministic(self, tmp_path):
+        faults = CellFaultPlan(crash=0.5, seed=0)
+        for name in ("a", "b"):
+            service = make_service(
+                tmp_path / name, job_retries=1, job_faults=faults
+            )
+            for seed in range(3):
+                service.submit(fast_spec(seed=seed), tenant="t")
+            service.run_until_idle()
+        report_a = make_service(tmp_path / "a").report()
+        report_b = make_service(tmp_path / "b").report()
+        assert canonical_json(report_a) == canonical_json(report_b)
+
+
+class TestServiceRecovery:
+    def test_reopened_service_finishes_accepted_jobs(self, tmp_path):
+        clean = make_service(tmp_path / "clean")
+        clean.submit(fast_spec(seed=0), tenant="t")
+        clean.submit(fast_spec(seed=1), tenant="t")
+        clean.run_until_idle()
+
+        # accept the same jobs, then die before/while running them: one
+        # job is left marked running, exactly what a SIGKILL leaves
+        dying = make_service(tmp_path / "killed")
+        first = dying.submit(fast_spec(seed=0), tenant="t").job_id
+        dying.submit(fast_spec(seed=1), tenant="t")
+        dying.registry.mark_running(first, attempt=1)
+        del dying
+
+        restarted = make_service(tmp_path / "killed")
+        assert restarted.metrics.counter("serve.jobs_recovered") == 1
+        restarted.run_until_idle()
+        assert canonical_json(restarted.report()) == \
+            canonical_json(clean.report())
+
+    def test_worker_sigkill_mid_flight_still_completes(self, tmp_path):
+        clean = make_service(tmp_path / "clean")
+        clean.submit(fast_spec(seed=0), tenant="t")
+        clean.run_until_idle()
+
+        service = make_service(tmp_path / "chaos", job_retries=1)
+        job = service.submit(fast_spec(seed=0), tenant="t").job_id
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            service.poll()
+            pid = service.supervisor.pids().get(job)
+            if pid is not None:
+                os.kill(pid, signal.SIGKILL)
+                break
+            time.sleep(0.005)
+        else:
+            pytest.fail("worker never launched")
+        service.run_until_idle()
+        record = service.registry.jobs[job]
+        assert record.status == STATUS_DONE
+        assert canonical_json(service.report()) == \
+            canonical_json(clean.report())
+
+    def test_shutdown_checkpoints_inflight_jobs(self, tmp_path):
+        """SIGTERM-style shutdown: the worker flushes its round
+        checkpoint and the restarted service resumes bit-identically."""
+        clean = make_service(tmp_path / "clean")
+        clean.submit(fast_spec(seed=0, budget=60), tenant="t")
+        clean.run_until_idle()
+
+        service = make_service(tmp_path / "stopped")
+        job = service.submit(fast_spec(seed=0, budget=60), tenant="t").job_id
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            service.poll()
+            if service.supervisor.is_running(job):
+                break
+            time.sleep(0.005)
+        service.shutdown(grace_s=60.0)
+        record = service.registry.jobs[job]
+        assert record.status in (STATUS_ACCEPTED, STATUS_DONE)
+        assert record.status != STATUS_RUNNING
+
+        restarted = make_service(tmp_path / "stopped")
+        restarted.run_until_idle()
+        assert restarted.registry.jobs[job].status == STATUS_DONE
+        assert canonical_json(restarted.report()) == \
+            canonical_json(clean.report())
+
+
+class TestSigtermFlushHandler:
+    def test_sigterm_sets_flag_and_poll_raises(self):
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            install_sigterm_flush_handler()
+            assert not shutdown_requested()
+            poll_shutdown()  # no request yet: must be a no-op
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert shutdown_requested()
+            with pytest.raises(WorkerShutdown):
+                poll_shutdown()
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+            reset_shutdown()
+
+    def test_worker_shutdown_is_not_an_exception(self):
+        # recovery code that swallows Exception must not eat the
+        # cooperative-shutdown request
+        assert not issubclass(WorkerShutdown, Exception)
+
+
+class TestHealth:
+    def test_readyz_reflects_saturation(self, tmp_path):
+        service = make_service(
+            tmp_path, policy=AdmissionPolicy(max_depth=1, max_inflight=1)
+        )
+        code, payload = readyz_payload(service)
+        assert code == 200 and payload["ready"] is True
+        service.submit(fast_spec(), tenant="t")
+        code, payload = readyz_payload(service)
+        assert code == 503 and payload["ready"] is False
+        assert payload["kind"] == "serve-status"
+        service.run_until_idle()
+        code, _ = readyz_payload(service)
+        assert code == 200
+
+    def test_readyz_passes_the_schema_checker(self, tmp_path):
+        import subprocess
+        import sys
+
+        service = make_service(tmp_path / "svc")
+        service.submit(fast_spec(), tenant="t")
+        service.drain()
+        _, payload = readyz_payload(service)
+        doc = tmp_path / "serve_status.json"
+        doc.write_text(json.dumps(payload))
+        script = (
+            Path(__file__).resolve().parents[1]
+            / "scripts" / "check_bench_schema.py"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script), str(doc)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class FrontendHarness:
+    """A ServeFrontend on an ephemeral port, driven from a thread."""
+
+    def __init__(self, service):
+        self.frontend = ServeFrontend(service, poll_s=0.01)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        import asyncio
+
+        asyncio.run(self.frontend.run(ready=lambda host, port: (
+            self._ready.set()
+        )))
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "frontend never bound"
+        return self
+
+    def __exit__(self, *exc_info):
+        self.frontend.request_shutdown()
+        self._thread.join(timeout=60)
+        assert not self._thread.is_alive(), "frontend never stopped"
+
+    def request(self, method, path, payload=None):
+        url = f"http://{self.frontend.host}:{self.frontend.port}{path}"
+        data = None
+        if payload is not None:
+            data = payload if isinstance(payload, bytes) \
+                else json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(url, data=data, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+
+class TestFrontend:
+    def test_submit_probe_and_report_round_trip(self, tmp_path):
+        service = make_service(tmp_path)
+        with FrontendHarness(service) as http:
+            code, body = http.request("GET", "/healthz")
+            assert code == 200 and body["status"] == "ok"
+            code, body = http.request("GET", "/readyz")
+            assert code == 200 and body["kind"] == "serve-status"
+
+            code, body = http.request(
+                "POST", "/jobs",
+                {"tenant": "alice", "spec": fast_spec().to_dict()},
+            )
+            assert code == 202 and body["accepted"] is True
+            job_id = body["job_id"]
+
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                code, body = http.request("GET", f"/jobs/{job_id}")
+                assert code == 200
+                if body["status"] in (STATUS_DONE, STATUS_QUARANTINED):
+                    break
+                time.sleep(0.05)
+            assert body["status"] == STATUS_DONE
+            assert body["result"]["n_simulations"] == 40
+
+            code, body = http.request("GET", "/jobs")
+            assert body["jobs"][job_id]["tenant"] == "alice"
+            code, body = http.request("GET", "/report")
+            assert body["jobs"][job_id]["status"] == STATUS_DONE
+
+    def test_error_statuses(self, tmp_path):
+        service = make_service(tmp_path)
+        with FrontendHarness(service) as http:
+            code, body = http.request("POST", "/jobs", b"not json")
+            assert code == 400 and "JSON" in body["error"]
+            code, body = http.request("POST", "/jobs", {"tenant": "t"})
+            assert code == 400 and "spec" in body["error"]
+            code, body = http.request(
+                "POST", "/jobs",
+                {"spec": {"study": "memory-system"}},
+            )
+            assert code == 400 and "workload" in body["error"]
+            code, body = http.request("GET", "/jobs/j999999-nope")
+            assert code == 404
+            code, body = http.request("DELETE", "/jobs")
+            assert code == 405
+            code, body = http.request("GET", "/no-such-endpoint")
+            assert code == 404
+
+    def test_drain_stops_admission(self, tmp_path):
+        service = make_service(tmp_path)
+        with FrontendHarness(service) as http:
+            code, body = http.request("POST", "/drain")
+            assert code == 200 and body["draining"] is True
+            code, body = http.request("GET", "/readyz")
+            assert code == 503 and body["draining"] is True
+            code, body = http.request(
+                "POST", "/jobs", {"spec": fast_spec().to_dict()}
+            )
+            assert code == 503 and body["reason"] == REJECT_DRAINING
+
+    def test_drain_on_idle_waits_for_a_first_job(self, tmp_path):
+        # an empty service with drain_on_idle must NOT exit the moment
+        # it binds — it has to stay up long enough to take a first
+        # submission, then exit once that work completes
+        import asyncio
+
+        service = make_service(tmp_path)
+        frontend = ServeFrontend(service, poll_s=0.01)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(frontend.run(
+                drain_on_idle=True,
+                ready=lambda host, port: ready.set(),
+            )),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=30), "frontend never bound"
+        time.sleep(0.3)
+        assert thread.is_alive(), (
+            "drain_on_idle exited before any job was ever submitted"
+        )
+        url = f"http://{frontend.host}:{frontend.port}/jobs"
+        req = urllib.request.Request(
+            url,
+            data=json.dumps({"spec": fast_spec().to_dict()}).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert resp.status == 202
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "frontend never drained on idle"
+        assert service.registry.counts()["done"] == 1
