@@ -10,8 +10,9 @@ Four document kinds are understood:
   (``BENCH_explore_*.json``: the ``repro.obs.report`` shape with
   ``summary``/``iterations``/``telemetry``);
 * ``strategies`` — the ``BENCH_strategies.json`` shootout written by
-  ``benchmarks/test_bench_strategies.py`` (schema 1: per-study
-  simulations-to-threshold for every search agent, plus the gate);
+  ``benchmarks/test_bench_strategies.py`` (schema 2: per-study
+  simulations-to-threshold for every search agent, a per-target error
+  breakdown for multi-target studies, plus the gate);
 * ``campaign`` — the deterministic ``report.json`` a campaign
   directory ends with (schema 1, ``kind: campaign-report``:
   ``summary`` counts plus one row per cell, done/quarantined/pending);
@@ -43,7 +44,7 @@ from typing import Any, Dict, List
 
 KERNELS_SCHEMA = 2
 EXPLORE_SCHEMA = 1
-STRATEGIES_SCHEMA = 1
+STRATEGIES_SCHEMA = 2
 CAMPAIGN_SCHEMA = 1
 CAMPAIGN_KIND = "campaign-report"
 SERVE_STATUS_SCHEMA = 1
@@ -69,10 +70,16 @@ GATE_KEYS = ("tolerance", "predict_floor", "ensemble_fit_floor")
 
 #: required studies in a strategies document, and the minimum number of
 #: competing agents each must report
-STRATEGY_STUDIES = ("memory-system", "processor")
+STRATEGY_STUDIES = ("memory-system", "processor", "cache-policy")
 STRATEGY_MIN_AGENTS = 5
 #: required numeric fields per agent row in a strategies document
 STRATEGY_AGENT_KEYS = ("n_simulations", "rounds", "final_error_mean")
+#: multi-target studies must break the error estimate down per target;
+#: hardcoded (this script is stdlib-only and runs before the package
+#: is importable) and cross-checked by tests/test_cachepolicy.py
+STRATEGY_MULTI_TARGET_STUDIES = {
+    "cache-policy": ("energy_nj", "hit_rate", "ipc"),
+}
 
 #: required count fields in a campaign report's summary block
 CAMPAIGN_SUMMARY_KEYS = (
@@ -216,9 +223,12 @@ def check_strategies(doc: Dict[str, Any], check: Checker) -> None:
             f"expected {STRATEGIES_SCHEMA}, got {doc.get('schema')!r}",
         )
     check.require(doc, "$", "seed", int)
-    check.require(doc, "$", "benchmark", str)
     check.number(doc, "$", "batch_size")
     check.number(doc, "$", "max_simulations")
+    benchmarks = check.require(doc, "$", "benchmarks", dict)
+    if benchmarks is not None:
+        for study in STRATEGY_STUDIES:
+            check.require(benchmarks, "benchmarks", study, str)
 
     studies = check.require(doc, "$", "studies", dict) or {}
     for study in STRATEGY_STUDIES:
@@ -226,7 +236,9 @@ def check_strategies(doc: Dict[str, Any], check: Checker) -> None:
         if block is None:
             continue
         path = f"studies.{study}"
+        check.require(block, path, "benchmark", str)
         check.number(block, path, "target_error")
+        targets = STRATEGY_MULTI_TARGET_STUDIES.get(study)
         agents = check.require(block, path, "agents", dict)
         if agents is None:
             continue
@@ -240,9 +252,30 @@ def check_strategies(doc: Dict[str, Any], check: Checker) -> None:
             if not isinstance(row, dict):
                 check.fail(f"{path}.agents.{agent}", "expected an object")
                 continue
-            check.require(row, f"{path}.agents.{agent}", "converged", bool)
+            agent_path = f"{path}.agents.{agent}"
+            check.require(row, agent_path, "converged", bool)
             for key in STRATEGY_AGENT_KEYS:
-                check.number(row, f"{path}.agents.{agent}", key)
+                check.number(row, agent_path, key)
+            if targets is None:
+                continue
+            per_target = check.require(row, agent_path, "per_target_error", dict)
+            if per_target is None:
+                continue
+            for target in targets:
+                section = check.require(
+                    per_target, f"{agent_path}.per_target_error", target, dict
+                )
+                if section is None:
+                    continue
+                target_path = f"{agent_path}.per_target_error.{target}"
+                check.number(section, target_path, "mean")
+                check.number(section, target_path, "std")
+            for target in per_target:
+                if target not in targets:
+                    check.fail(
+                        f"{agent_path}.per_target_error.{target}",
+                        f"unknown target (expected {targets})",
+                    )
 
     gate = check.require(doc, "$", "gate", dict)
     if gate is not None:

@@ -62,7 +62,12 @@ from .core.fitting import FitOutcome, fit_cv_round
 from .core.kernels import DEFAULT_PREDICT_CHUNK
 from .core.training import TrainingConfig
 from .designspace.space import DesignSpace
-from .experiments.studies import get_study, make_simulate_fn
+from .experiments.studies import (
+    StudyInfo,
+    get_study,
+    list_studies,
+    make_simulate_fn,
+)
 from .search import (
     AGENTS,
     Agent,
@@ -113,6 +118,7 @@ __all__ = [
     "RunContext",
     "ServeError",
     "SimulatedAnnealingAgent",
+    "StudyInfo",
     "StudyRegistry",
     "SubmitResult",
     "TrainingConfig",
@@ -121,6 +127,7 @@ __all__ = [
     "explore",
     "fit_ensemble",
     "get_study",
+    "list_studies",
     "load_campaign_spec",
     "load_checkpoint",
     "make_agent",
@@ -145,9 +152,11 @@ def _resolve(seed: Optional[int], context: Optional[RunContext]) -> RunContext:
 
 
 def explore(
-    space: DesignSpace,
-    simulate: object,
+    space: Optional[DesignSpace] = None,
+    simulate: object = None,
     *,
+    study: Optional[str] = None,
+    workload: Optional[str] = None,
     target_error: float,
     max_simulations: int,
     batch_size: int = DEFAULT_BATCH_SIZE,
@@ -169,6 +178,13 @@ def explore(
     ``max_simulations`` is spent.  ``simulate`` may be a plain
     ``config -> float`` callable or any evaluation backend.
 
+    Instead of a ``(space, simulate)`` pair you can name a registered
+    study — ``explore(study="cache-policy", ...)`` — which resolves the
+    study's design space and simulator for ``workload`` (defaulting to
+    the study's first registered workload).  Multi-target studies
+    report a per-target error breakdown on every round's estimate and
+    the full target rows on the result.
+
     ``agent`` selects the search strategy proposing each round's batch:
     a name from :data:`AGENTS` (``"random"``, ``"committee"``,
     ``"evolutionary"``, ``"annealing"``, ``"bayesopt"``), an agent
@@ -182,6 +198,27 @@ def explore(
     ``checkpoint``, completed rounds persist to that path and a killed
     run resumes bit-identically (including the agent's own state).
     """
+    if study is not None:
+        if space is not None or simulate is not None:
+            raise ValueError(
+                "pass either a (space, simulate) pair or study=, not both"
+            )
+        study_obj = get_study(study)
+        if workload is None:
+            if not study_obj.workloads:
+                raise ValueError(
+                    f"study {study_obj.name!r} declares no workloads; "
+                    "pass workload= explicitly"
+                )
+            workload = study_obj.workloads[0]
+        space = study_obj.space
+        simulate = make_simulate_fn(study_obj, workload)
+    elif workload is not None:
+        raise ValueError("workload= requires study=")
+    if space is None or simulate is None:
+        raise TypeError(
+            "explore() needs a (space, simulate) pair or a study= name"
+        )
     explorer = DesignSpaceExplorer(
         space,
         simulate,
@@ -211,12 +248,17 @@ def fit_ensemble(
     context: Optional[RunContext] = None,
     min_folds: Optional[int] = None,
     engine: Optional[str] = None,
+    target_names: tuple = (),
 ) -> FitOutcome:
     """Fit one k-fold cross-validation ensemble on encoded samples.
 
     ``x`` is a feature matrix (e.g. rows of :func:`predict_space`'s
     design matrix), ``y`` the raw simulated targets; rows with
     non-finite targets are masked out and reported on the estimate.
+    A 2-D ``y`` with matching ``target_names`` fits a multitask
+    ensemble whose estimate carries a per-target breakdown
+    (``estimate.for_target(name)``); the first column is the primary
+    target.
     Returns a :class:`FitOutcome` whose ``ensemble.predictor`` is the
     trained :class:`EnsemblePredictor` and whose ``estimate`` is the
     cross-validation :class:`ErrorEstimate`.
@@ -235,6 +277,7 @@ def fit_ensemble(
         min_folds=min_folds,
         engine=engine,
         context=_resolve(seed, context),
+        target_names=tuple(target_names),
     )
 
 

@@ -148,24 +148,37 @@ def execute_exploration(
         best_index = int(predictions.argmax())
         estimate = result.final_estimate
     n_failed = len(getattr(backend, "failures", ()))
+    cell_result: Dict[str, object] = {
+        "converged": bool(result.converged),
+        "n_simulations": int(result.n_simulations),
+        "n_rounds": len(result.rounds),
+        "error_mean": float(estimate.mean),
+        "error_std": float(estimate.std),
+        "coverage": float(estimate.coverage),
+        "fold_coverage": float(estimate.fold_coverage),
+        "n_failed_evals": n_failed,
+        "best_index": best_index,
+        "best_ipc": float(predictions[best_index]),
+        "rounds": [
+            {"n_samples": r.n_samples, "error_mean": float(r.estimate.mean)}
+            for r in result.rounds
+        ],
+    }
+    if estimate.target_names:
+        # only multi-target studies grow these keys, so scalar cells'
+        # result dicts — and the byte-compared reports built from them —
+        # are unchanged
+        cell_result["target_names"] = list(estimate.target_names)
+        cell_result["per_target_error"] = {
+            name: {
+                "mean": float(estimate.for_target(name).mean),
+                "std": float(estimate.for_target(name).std),
+            }
+            for name in estimate.target_names
+        }
     return {
         "status": "done",
-        "result": {
-            "converged": bool(result.converged),
-            "n_simulations": int(result.n_simulations),
-            "n_rounds": len(result.rounds),
-            "error_mean": float(estimate.mean),
-            "error_std": float(estimate.std),
-            "coverage": float(estimate.coverage),
-            "fold_coverage": float(estimate.fold_coverage),
-            "n_failed_evals": n_failed,
-            "best_index": best_index,
-            "best_ipc": float(predictions[best_index]),
-            "rounds": [
-                {"n_samples": r.n_samples, "error_mean": float(r.estimate.mean)}
-                for r in result.rounds
-            ],
-        },
+        "result": cell_result,
         "resources": meter.usage.to_dict(),
     }
 

@@ -56,7 +56,12 @@ from typing import Dict, Optional, Tuple, Union
 from ..core.training import TrainingConfig
 from ..experiments.studies import STUDY_NAMES
 from ..search import AGENTS
+from ..workloads.phased import PHASED_BENCHMARKS
 from ..workloads.spec import SPEC_WORKLOADS
+
+#: every workload a campaign cell may name (SPEC traces plus the
+#: synthetic phased workloads the cache-policy study registers)
+CAMPAIGN_WORKLOADS = tuple(SPEC_WORKLOADS) + tuple(PHASED_BENCHMARKS)
 
 PathLike = Union[str, Path]
 
@@ -120,10 +125,10 @@ class CampaignSpec:
                     f"choices: {', '.join(STUDY_NAMES)}"
                 )
         for workload in self.workloads:
-            if workload not in SPEC_WORKLOADS:
+            if workload not in CAMPAIGN_WORKLOADS:
                 raise CampaignSpecError(
                     f"unknown workload {workload!r} in matrix.workloads; "
-                    f"choices: {', '.join(sorted(SPEC_WORKLOADS))}"
+                    f"choices: {', '.join(sorted(CAMPAIGN_WORKLOADS))}"
                 )
         for agent in self.agents:
             if agent not in AGENTS:

@@ -3,6 +3,8 @@
 ``repro <command> ...`` exposes the library's main workflows without
 writing Python:
 
+* ``studies``  — list the registered studies (space size, targets,
+  workloads; ``--json`` for machine consumption);
 * ``explore``  — run the incremental modeling loop on one benchmark;
 * ``simulate`` — evaluate a single design point (either engine);
 * ``rank``     — Plackett-Burman parameter ranking for a study;
@@ -75,7 +77,11 @@ from .experiments import (
 )
 from .experiments.reporting import format_table
 from .experiments.summary import generate_experiments_md
-from .experiments.studies import STUDY_NAMES
+from .experiments.studies import (
+    SCALAR_STUDY_NAMES,
+    STUDY_NAMES,
+    list_studies,
+)
 from .obs import (
     METRICS,
     NULL_TELEMETRY,
@@ -114,6 +120,20 @@ def _parse_benchmarks(raw: Optional[str]) -> Optional[List[str]]:
     return names
 
 
+def _resolve_benchmark(study, benchmark: Optional[str]) -> str:
+    """Default the workload to something the study can actually run.
+
+    The scalar studies keep their historical ``mcf`` default; studies
+    with their own workload registry (e.g. ``cache-policy``) default to
+    their first registered workload.
+    """
+    if benchmark:
+        return benchmark
+    if study.is_multi_target and study.workloads:
+        return study.workloads[0]
+    return "mcf"
+
+
 def _run_context(args: argparse.Namespace) -> RunContext:
     """The RunContext a subcommand threads through every layer."""
     return RunContext(
@@ -137,7 +157,7 @@ def _evaluation_backend(args: argparse.Namespace, context: RunContext):
     even when the run raises.
     """
     study = get_study(args.study)
-    simulate = make_simulate_fn(study, args.benchmark)
+    simulate = make_simulate_fn(study, _resolve_benchmark(study, args.benchmark))
     if context.n_jobs > 1:
         backend = ProcessPoolBackend(simulate, n_jobs=context.n_jobs)
     else:
@@ -253,6 +273,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
         )
     status = "converged" if result.converged else "budget exhausted"
     print(f"{status} after {result.n_simulations} simulations")
+    if result.final_estimate.target_names:
+        print("per-target cross-validation error:")
+        for name in result.final_estimate.target_names:
+            per = result.final_estimate.for_target(name)
+            print(f"  {name:<12} {per.mean:.2f}% +/- {per.std:.2f}%")
     if failures:
         print(
             f"WARNING: {len(failures)} evaluation(s) failed after retries "
@@ -269,9 +294,37 @@ def cmd_explore(args: argparse.Namespace) -> int:
         )
     predictions = result.predict_space()
     best = int(np.argmax(predictions))
-    print(f"predicted-best IPC {predictions[best]:.3f} at point {best}:")
+    label = study.primary_target if study.is_multi_target else "IPC"
+    print(f"predicted-best {label} {predictions[best]:.3f} at point {best}:")
     for key, value in study.space.config_at(best).items():
         print(f"  {key} = {value}")
+    return 0
+
+
+def cmd_studies(args: argparse.Namespace) -> int:
+    """List the registered studies and their declared targets."""
+    import json
+
+    infos = [info.to_dict() for info in list_studies()]
+    if args.json:
+        print(json.dumps(infos, indent=2, sort_keys=True))
+        return 0
+    print(
+        format_table(
+            ["Study", "Points", "Params", "Targets", "Workloads"],
+            [
+                [
+                    info["name"],
+                    f"{info['n_points']:,}",
+                    info["n_parameters"],
+                    ", ".join(info["targets"]),
+                    ", ".join(info["workloads"]),
+                ]
+                for info in infos
+            ],
+            title="Registered studies",
+        )
+    )
     return 0
 
 
@@ -316,7 +369,7 @@ def cmd_rank(args: argparse.Namespace) -> int:
 def cmd_table51(args: argparse.Namespace) -> int:
     """Regenerate Table 5.1 for one or both studies."""
     benchmarks = _parse_benchmarks(args.benchmarks)
-    studies = STUDY_NAMES if args.study == "both" else (args.study,)
+    studies = SCALAR_STUDY_NAMES if args.study == "both" else (args.study,)
     for study_name in studies:
         table = build_table51(study_name, benchmarks=benchmarks, seed=args.seed)
         print(render_table51(table))
@@ -589,9 +642,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    studies_p = sub.add_parser(
+        "studies", help="list registered studies and their targets"
+    )
+    studies_p.add_argument(
+        "--json", action="store_true",
+        help="print the registry as JSON (name, space size, targets, "
+        "workloads)",
+    )
+    studies_p.set_defaults(func=cmd_studies)
+
     explore = sub.add_parser("explore", help="run the incremental loop")
     explore.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
-    explore.add_argument("--benchmark", default="mcf")
+    explore.add_argument(
+        "--benchmark", default=None,
+        help="workload to model (default: mcf for the scalar studies, "
+        "the study's first registered workload otherwise)",
+    )
     explore.add_argument("--target-error", type=float, default=2.0)
     explore.add_argument("--max-simulations", type=int, default=1000)
     explore.add_argument("--batch-size", type=int, default=50)
@@ -662,7 +729,8 @@ def build_parser() -> argparse.ArgumentParser:
     explore.set_defaults(func=cmd_explore)
 
     simulate = sub.add_parser("simulate", help="evaluate one design point")
-    simulate.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
+    simulate.add_argument("--study", choices=SCALAR_STUDY_NAMES,
+                          default="memory-system")
     simulate.add_argument("--benchmark", default="mcf")
     simulate.add_argument("--index", type=int, required=True)
     simulate.add_argument("--engine", choices=("interval", "cycle"),
@@ -670,12 +738,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(func=cmd_simulate)
 
     rank = sub.add_parser("rank", help="Plackett-Burman parameter ranking")
-    rank.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
+    rank.add_argument("--study", choices=SCALAR_STUDY_NAMES,
+                      default="memory-system")
     rank.add_argument("--benchmark", default="gzip")
     rank.set_defaults(func=cmd_rank)
 
     table = sub.add_parser("table51", help="regenerate Table 5.1")
-    table.add_argument("--study", choices=STUDY_NAMES + ("both",),
+    table.add_argument("--study", choices=SCALAR_STUDY_NAMES + ("both",),
                        default="both")
     table.add_argument("--benchmarks", default="")
     table.add_argument("--seed", type=int, default=0)
@@ -698,7 +767,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile", help="phase-by-phase time/allocation breakdown"
     )
-    profile.add_argument("--study", choices=STUDY_NAMES, default="memory-system")
+    profile.add_argument("--study", choices=SCALAR_STUDY_NAMES,
+                         default="memory-system")
     profile.add_argument("--benchmark", default="mcf")
     profile.add_argument("--target-error", type=float, default=2.0)
     profile.add_argument("--max-simulations", type=int, default=100)

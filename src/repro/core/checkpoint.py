@@ -110,6 +110,10 @@ class ExplorerCheckpoint:
     converged: bool = False
     agent: str = "random"
     agent_state: Optional[Dict[str, object]] = None
+    #: full per-point target vectors of a multi-target run (``targets``
+    #: above always holds the primary column); ``None`` for scalar runs
+    #: and for checkpoints written before multi-target studies existed
+    target_rows: Optional[List[tuple]] = None
 
     @property
     def round_number(self) -> int:

@@ -42,6 +42,8 @@ __all__ = [
     "ENGINES",
     "CrossValidationEnsemble",
     "FoldResult",
+    "MultiTaskCrossValidationEnsemble",
+    "MultiTaskEnsemblePredictor",
     "default_n_jobs",
     "make_folds",
 ]
@@ -457,6 +459,266 @@ class CrossValidationEnsemble:
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Ensemble prediction (average of members, denormalized)."""
+        if self.predictor is None:
+            raise RuntimeError("fit() must be called before predict()")
+        return self.predictor.predict(x)
+
+
+# ----------------------------------------------------------------------
+# multi-target cross validation
+# ----------------------------------------------------------------------
+@dataclass
+class MultiTaskEnsemblePredictor:
+    """The trained members of a multi-target k-fold ensemble.
+
+    Exposes the same surface model-guided agents consume from the
+    scalar :class:`~repro.core.ensemble.EnsemblePredictor` — ``predict``
+    (mean of the members' *primary* head) and ``prediction_variance``
+    (member disagreement on the primary head) — so committee and
+    Bayesian-optimization acquisitions work unchanged over a
+    multi-target study.  ``predict_all`` adds the full per-target
+    prediction matrix.
+    """
+
+    members: "List"
+    target_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("an ensemble needs at least one member")
+        if len(self.target_names) < 2:
+            raise ValueError(
+                "MultiTaskEnsemblePredictor is for multi-target fits; "
+                f"got targets {self.target_names!r}"
+            )
+
+    @property
+    def ensemble_size(self) -> int:
+        return len(self.members)
+
+    @staticmethod
+    def _chunks(x: np.ndarray, chunk_size: Optional[int]):
+        if chunk_size is None or len(x) <= chunk_size:
+            yield x
+        else:
+            for start in range(0, len(x), chunk_size):
+                yield x[start:start + chunk_size]
+
+    def predict_all(
+        self, x: np.ndarray, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Mean denormalized prediction per target; shape ``(n, n_targets)``."""
+        x = np.asarray(x, dtype=np.float64)
+        out = [
+            np.stack([m.predict_all(chunk) for m in self.members]).mean(axis=0)
+            for chunk in self._chunks(x, chunk_size)
+        ]
+        return np.concatenate(out) if len(out) > 1 else out[0]
+
+    def member_predictions(
+        self, x: np.ndarray, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Primary-target prediction of each member; shape ``(k, n)``."""
+        x = np.asarray(x, dtype=np.float64)
+        out = [
+            np.stack([m.predict_primary(chunk) for m in self.members])
+            for chunk in self._chunks(x, chunk_size)
+        ]
+        return np.concatenate(out, axis=1) if len(out) > 1 else out[0]
+
+    def predict(
+        self, x: np.ndarray, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Mean primary-target prediction; shape ``(n,)``."""
+        return self.member_predictions(x, chunk_size).mean(axis=0)
+
+    def prediction_variance(
+        self, x: np.ndarray, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Member disagreement on the primary target; shape ``(n,)``."""
+        return self.member_predictions(x, chunk_size).var(axis=0, ddof=0)
+
+
+class MultiTaskCrossValidationEnsemble:
+    """K-fold ensemble of shared-hidden multitask networks.
+
+    The multi-target counterpart of :class:`CrossValidationEnsemble`:
+    the same Figure 3.3 fold layout and rng discipline (fold shuffle,
+    then one seed draw per fold), but each fold trains a
+    :class:`~repro.core.multitask.MultiTaskNetwork` on the full target
+    matrix and is tested per target on its held-out fold.  The returned
+    estimate describes the *primary* target (column 0) and carries the
+    per-target breakdown in ``estimate.per_target``.
+
+    Fold training is serial; a fold whose training diverges is
+    quarantined exactly like the scalar path.
+    """
+
+    def __init__(
+        self,
+        k: int = DEFAULT_FOLDS,
+        training: Optional[TrainingConfig] = None,
+        context: Optional[RunContext] = None,
+        min_folds: Optional[int] = None,
+        target_names: Tuple[str, ...] = (),
+    ):
+        if len(target_names) < 2:
+            raise ValueError(
+                "multi-task cross validation needs >= 2 target names, "
+                f"got {target_names!r}"
+            )
+        self.k = k
+        self.training = training or TrainingConfig()
+        self.min_folds = DEFAULT_MIN_FOLDS if min_folds is None else min_folds
+        if not 1 <= self.min_folds <= k:
+            raise ValueError(
+                f"min_folds must be in [1, k={k}], got {self.min_folds}"
+            )
+        self.target_names = tuple(target_names)
+        self.context = resolve_context(
+            context, owner="MultiTaskCrossValidationEnsemble"
+        )
+        self.predictor: Optional[MultiTaskEnsemblePredictor] = None
+        self.estimate: Optional[ErrorEstimate] = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.context.rng
+
+    @property
+    def telemetry(self) -> RunTelemetry:
+        return self.context.telemetry
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.context.metrics
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> ErrorEstimate:
+        """Train the ensemble on an ``(n, n_targets)`` target matrix."""
+        from .multitask import MultiTaskNetwork
+
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 2 or y.shape[1] != len(self.target_names):
+            raise ValueError(
+                f"targets must have shape (n, {len(self.target_names)}), "
+                f"got {y.shape}"
+            )
+        if len(x) != len(y):
+            raise ValueError("x and y must have equal length")
+        if np.any(y == 0):
+            raise ValueError(
+                "percentage error is undefined for zero targets; every "
+                "declared target must be nonzero at every sampled point"
+            )
+        n = len(x)
+        n_tasks = y.shape[1]
+        folds = make_folds(n, self.k, self.rng)
+        seeds = self.rng.integers(0, 2**63 - 1, size=self.k)
+        fit_start = time.perf_counter()
+
+        members = []
+        fold_errors: List[List[np.ndarray]] = []  # surviving folds x targets
+        quarantined = 0
+        for i in range(self.k):
+            es = (i + self.k - 2) % self.k
+            test = (i + self.k - 1) % self.k
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.k) if j not in (es, test)]
+            )
+            member = MultiTaskNetwork(
+                n_inputs=x.shape[1],
+                n_tasks=n_tasks,
+                training=self.training,
+                rng=np.random.default_rng(int(seeds[i])),
+            )
+            try:
+                member.fit(
+                    x[train_idx], y[train_idx], x[folds[es]], y[folds[es]]
+                )
+            except TrainingDiverged as exc:
+                quarantined += 1
+                self.metrics.inc("crossval.quarantined")
+                self.telemetry.emit(
+                    "crossval.quarantine",
+                    fold=i,
+                    error=f"{exc.reason}: {exc}",
+                    n_test=len(folds[test]),
+                )
+                continue
+            predictions = member.predict_all(x[folds[test]])
+            fold_errors.append(
+                [
+                    percentage_errors(predictions[:, t], y[folds[test], t])
+                    for t in range(n_tasks)
+                ]
+            )
+            members.append(member)
+        wall_s = time.perf_counter() - fit_start
+        self.metrics.observe("crossval.ensemble_fit", wall_s)
+
+        if len(members) < self.min_folds:
+            raise TrainingDiverged(
+                f"only {len(members)} of {self.k} folds survived training "
+                f"(min_folds={self.min_folds}); the sampled targets are "
+                "numerically hostile — check for near-zero or huge target "
+                "values in the training set",
+                reason="min_folds",
+            )
+        if quarantined:
+            warnings.warn(
+                f"{quarantined} of {self.k} folds diverged and were "
+                "quarantined; the ensemble and error estimate use the "
+                f"surviving {len(members)} folds",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+        per_target = tuple(
+            (
+                name,
+                ErrorEstimate.from_fold_errors(
+                    [errors[t] for errors in fold_errors],
+                    n_training=n,
+                    n_folds=self.k,
+                ),
+            )
+            for t, name in enumerate(self.target_names)
+        )
+        primary = per_target[0][1]
+        self.estimate = ErrorEstimate(
+            mean=primary.mean,
+            std=primary.std,
+            n_training=primary.n_training,
+            n_failed=primary.n_failed,
+            n_folds_used=primary.n_folds_used,
+            n_folds=primary.n_folds,
+            per_target=per_target,
+        )
+        self.predictor = MultiTaskEnsemblePredictor(
+            members=members, target_names=self.target_names
+        )
+        self.metrics.inc("crossval.fits")
+        self.telemetry.emit(
+            "crossval.fit",
+            k=self.k,
+            n_points=n,
+            engine="multitask",
+            n_workers=1,
+            n_tasks=n_tasks,
+            n_folds_used=len(members),
+            fold_coverage=self.estimate.fold_coverage,
+            wall_s=wall_s,
+            error_mean=self.estimate.mean,
+            error_std=self.estimate.std,
+            per_target_error={
+                name: est.mean for name, est in per_target
+            },
+        )
+        return self.estimate
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Primary-target ensemble prediction."""
         if self.predictor is None:
             raise RuntimeError("fit() must be called before predict()")
         return self.predictor.predict(x)

@@ -10,6 +10,7 @@ it against the :class:`ErrorStatistics` measured on the full design space.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -75,6 +76,12 @@ class ErrorEstimate:
     training exhausted its restart budget is *quarantined* (see
     :mod:`repro.core.crossval`) — excluded from the ensemble and from
     this estimate — and shows up as :attr:`fold_coverage` < 1.
+
+    Multi-target fits attach ``per_target``: one named sub-estimate per
+    declared target, primary first.  The top-level mean/std always
+    describe the *primary* target, so every scalar consumer (the
+    stopping rule, telemetry, reports) reads a multi-target estimate
+    unchanged.  Scalar fits leave ``per_target`` unset.
     """
 
     mean: float
@@ -83,6 +90,28 @@ class ErrorEstimate:
     n_failed: int = 0
     n_folds_used: int = 0
     n_folds: int = 0
+    per_target: Optional[Tuple[Tuple[str, "ErrorEstimate"], ...]] = None
+
+    @property
+    def target_names(self) -> Tuple[str, ...]:
+        """Declared target names, primary first; empty for scalar fits."""
+        if not self.per_target:
+            return ()
+        return tuple(name for name, _ in self.per_target)
+
+    def for_target(self, name: str) -> "ErrorEstimate":
+        """The sub-estimate of one declared target of a multi-target fit."""
+        if not self.per_target:
+            raise KeyError(
+                f"estimate carries no per-target breakdown; cannot look up "
+                f"{name!r}"
+            )
+        for target, estimate in self.per_target:
+            if target == name:
+                return estimate
+        raise KeyError(
+            f"unknown target {name!r}; targets: {list(self.target_names)}"
+        )
 
     @property
     def coverage(self) -> float:

@@ -21,15 +21,16 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..designspace.space import Config
 from .backend import EvaluationBackend
 from .context import RunContext
-from .crossval import CrossValidationEnsemble
+from .crossval import CrossValidationEnsemble, MultiTaskCrossValidationEnsemble
 from .error import ErrorEstimate
 from .training import TrainingConfig
 
@@ -60,7 +61,7 @@ def evaluate_batch(
 class FitOutcome:
     """One trained ensemble plus its estimate and measured cost."""
 
-    ensemble: CrossValidationEnsemble
+    ensemble: Union[CrossValidationEnsemble, MultiTaskCrossValidationEnsemble]
     estimate: ErrorEstimate
     wall_s: float
 
@@ -74,6 +75,7 @@ def fit_cv_round(
     min_folds: Optional[int] = None,
     engine: Optional[str] = None,
     context: RunContext,
+    target_names: Tuple[str, ...] = (),
 ) -> FitOutcome:
     """Train one cross-validation ensemble under ``context``.
 
@@ -98,10 +100,57 @@ def fit_cv_round(
     by the ensemble (see :mod:`repro.core.crossval`); ``min_folds``
     bounds how many must survive before the round raises instead of
     degrading.
+
+    A two-dimensional ``y`` with several columns is a *multi-target*
+    round: pass the declared ``target_names`` (primary first) and the
+    round trains a
+    :class:`~repro.core.crossval.MultiTaskCrossValidationEnsemble`,
+    masking rows where *any* target is non-finite and returning an
+    estimate whose ``per_target`` carries the per-target breakdown.
+    A two-dimensional single-column ``y`` is a deprecated scalar
+    spelling: it warns and is flattened (the silent flatten it used to
+    get hid genuinely multi-column mistakes).
     """
     started = time.perf_counter()
     x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim == 2 and y.shape[1] == 1:
+        warnings.warn(
+            "passing a 2-D single-column y to fit_cv_round is deprecated; "
+            "pass a 1-D scalar target vector instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        y = y.reshape(-1)
+    if y.ndim == 2:
+        if len(target_names) != y.shape[1]:
+            raise ValueError(
+                f"y has {y.shape[1]} target columns but target_names "
+                f"declares {len(target_names)} ({target_names!r})"
+            )
+        finite = np.isfinite(y).all(axis=1)
+        n_failed = int(len(y) - finite.sum())
+        if n_failed:
+            context.telemetry.emit(
+                "fit.masked", n_failed=n_failed, n_total=len(y)
+            )
+            context.metrics.inc("fit.masked_rows", n_failed)
+            x, y = x[finite], y[finite]
+        kwargs = {} if k is None else {"k": k}
+        multitask = MultiTaskCrossValidationEnsemble(
+            training=training, context=context, min_folds=min_folds,
+            target_names=tuple(target_names), **kwargs,
+        )
+        estimate = multitask.fit(x, y)
+        if n_failed:
+            estimate = dataclasses.replace(estimate, n_failed=n_failed)
+            multitask.estimate = estimate
+        return FitOutcome(
+            ensemble=multitask,
+            estimate=estimate,
+            wall_s=time.perf_counter() - started,
+        )
+    y = y.reshape(-1)
     finite = np.isfinite(y)
     n_failed = int(len(y) - finite.sum())
     if n_failed:

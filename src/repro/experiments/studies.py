@@ -151,11 +151,19 @@ def processor_machine(point: Config) -> MachineConfig:
 
 @dataclass(frozen=True)
 class Study:
-    """One sensitivity study: its space, machine mapping and milestones.
+    """One sensitivity study: its space, targets, simulator and milestones.
 
     ``table51_samples`` are the training-set sizes behind Table 5.1's
     ~1%/2%/4% columns (training data accumulates in batches of 50, so the
     percentages are approximate, exactly as in the paper).
+
+    ``targets`` declares the study's prediction vector, primary target
+    first.  The paper's scalar-IPC studies are the 1-tuple special case
+    ``("ipc",)``; studies declaring more than one target are fitted with
+    multitask ensembles and report per-target cross-validation error.
+    ``workloads`` names the benchmarks the study is defined over, and
+    ``simulator_factory`` (when set) replaces the default interval-engine
+    ``SIM(p, A)`` construction in :func:`make_simulate_fn`.
     """
 
     name: str
@@ -163,6 +171,18 @@ class Study:
     to_machine: Callable[[Config], MachineConfig]
     table51_samples: Tuple[int, int, int]
     table51_labels: Tuple[str, str, str]
+    targets: Tuple[str, ...] = ("ipc",)
+    workloads: Tuple[str, ...] = ()
+    simulator_factory: Optional[Callable[[str], Callable[[Config], float]]] = None
+
+    @property
+    def primary_target(self) -> str:
+        """The target that drives convergence and best-point selection."""
+        return self.targets[0]
+
+    @property
+    def is_multi_target(self) -> bool:
+        return len(self.targets) > 1
 
     def sample_fraction(self, n_samples: int) -> float:
         """Training-set size as a fraction of the full space."""
@@ -182,6 +202,7 @@ def memory_system_study() -> Study:
         to_machine=memory_system_machine,
         table51_samples=(250, 500, 950),  # 1.08%, 2.17%, 4.12% of 23,040
         table51_labels=("1.08% Sample", "2.17% Sample", "4.12% Sample"),
+        workloads=tuple(SPEC_WORKLOADS),
     )
 
 
@@ -194,28 +215,102 @@ def processor_study() -> Study:
         to_machine=processor_machine,
         table51_samples=(200, 400, 850),  # 0.96%, 1.93%, 4.10% of 20,736
         table51_labels=("0.96% Sample", "1.93% Sample", "4.10% Sample"),
+        workloads=tuple(SPEC_WORKLOADS),
+    )
+
+
+def _no_machine_mapping(point: Config) -> MachineConfig:
+    raise TypeError(
+        "cache-policy design points describe a cache and a replacement "
+        "policy, not a full machine; the study has no MachineConfig mapping"
+    )
+
+
+def cache_policy_study() -> Study:
+    """Construct the cache-replacement study (multi-target)."""
+    from .cachepolicy import (
+        CACHE_POLICY_TARGETS,
+        CACHE_POLICY_WORKLOADS,
+        build_cache_policy_space,
+        make_cache_policy_simulate_fn,
+    )
+
+    space = build_cache_policy_space()
+    return Study(
+        name="cache-policy",
+        space=space,
+        to_machine=_no_machine_mapping,
+        table51_samples=(50, 100, 200),  # 8.3%, 16.7%, 33.3% of 600
+        table51_labels=("8.3% Sample", "16.7% Sample", "33.3% Sample"),
+        targets=CACHE_POLICY_TARGETS,
+        workloads=CACHE_POLICY_WORKLOADS,
+        simulator_factory=make_cache_policy_simulate_fn,
     )
 
 
 _STUDIES: Dict[str, Study] = {}
 
+_STUDY_BUILDERS: Dict[str, Callable[[], Study]] = {
+    "memory-system": memory_system_study,
+    "processor": processor_study,
+    "cache-policy": cache_policy_study,
+}
+
 
 def get_study(name: str) -> Study:
     """Look up (and cache) a study by name."""
     if name not in _STUDIES:
-        builders = {
-            "memory-system": memory_system_study,
-            "processor": processor_study,
-        }
-        if name not in builders:
+        if name not in _STUDY_BUILDERS:
             raise KeyError(
-                f"unknown study {name!r}; choices: {sorted(builders)}"
+                f"unknown study {name!r}; choices: {sorted(_STUDY_BUILDERS)}"
             )
-        _STUDIES[name] = builders[name]()
+        _STUDIES[name] = _STUDY_BUILDERS[name]()
     return _STUDIES[name]
 
 
-STUDY_NAMES = ("memory-system", "processor")
+STUDY_NAMES = ("memory-system", "processor", "cache-policy")
+
+#: the paper's original scalar-IPC studies (Tables 4.1/4.2); the
+#: figure/table harnesses that reproduce Chapter 5 are defined over these
+SCALAR_STUDY_NAMES = ("memory-system", "processor")
+
+
+@dataclass(frozen=True)
+class StudyInfo:
+    """Introspection record for one registered study (see ``list_studies``)."""
+
+    name: str
+    n_points: int
+    n_parameters: int
+    targets: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (``repro studies --json`` rows)."""
+        return {
+            "name": self.name,
+            "n_points": self.n_points,
+            "n_parameters": self.n_parameters,
+            "targets": list(self.targets),
+            "workloads": list(self.workloads),
+        }
+
+
+def list_studies() -> Tuple[StudyInfo, ...]:
+    """Describe every registered study: name, space size, targets, workloads."""
+    infos = []
+    for name in STUDY_NAMES:
+        study = get_study(name)
+        infos.append(
+            StudyInfo(
+                name=study.name,
+                n_points=len(study.space),
+                n_parameters=len(study.space.parameters),
+                targets=study.targets,
+                workloads=study.workloads,
+            )
+        )
+    return tuple(infos)
 
 
 # ----------------------------------------------------------------------
@@ -270,9 +365,18 @@ def make_simulate_fn(
 
     The returned callable is picklable, so it can back a
     :class:`~repro.core.backend.ProcessPoolBackend` directly.
+
+    Studies that register a ``simulator_factory`` (the multi-target
+    cache-policy study) construct their simulator through it; the
+    default is the interval-engine :class:`StudySimulator`.
     """
+    if study.simulator_factory is not None:
+        return study.simulator_factory(benchmark)
     if benchmark not in SPEC_WORKLOADS:
-        raise KeyError(f"unknown benchmark {benchmark!r}")
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; choices: "
+            f"{sorted(SPEC_WORKLOADS)}"
+        )
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choices: {ENGINES}")
     return StudySimulator(study.name, benchmark, engine)
@@ -288,6 +392,11 @@ def full_space_ground_truth(study: Study, benchmark: str) -> np.ndarray:
     (a few seconds per study/benchmark pair on first use; the paper spent
     cluster-months on the equivalent 23K/20.7K detailed simulations).
     """
+    if study.is_multi_target:
+        raise ValueError(
+            f"study {study.name!r} declares targets {study.targets}; "
+            "full-space ground truth is defined for scalar-IPC studies only"
+        )
     key = (study.name, benchmark)
     if key in _TRUTH_CACHE:
         return _TRUTH_CACHE[key]

@@ -25,6 +25,21 @@ _L2_SIZE_NS_PER_DOUBLING = 0.50
 _L2_ASSOC_NS = 0.15
 _L2_BLOCK_NS = 0.05
 
+#: dynamic read energy calibration (nanojoules) for first-level arrays;
+#: calibrated so a 32 KB 2-way read costs ~0.10 nJ at 90 nm, growing with
+#: capacity and linearly with the number of ways probed per access
+_L1_BASE_NJ = 0.030
+_L1_SIZE_NJ_PER_DOUBLING = 0.012
+_L1_ASSOC_NJ_PER_WAY = 0.008
+_L1_BLOCK_NJ = 0.004
+
+#: energy of servicing a miss from the next level (nanojoules)
+_MISS_ENERGY_NJ = 1.8
+
+#: area calibration (mm^2 at 90 nm): ~0.35 mm^2 for a 32 KB 2-way array
+_AREA_MM2_PER_KB = 0.0105
+_AREA_ASSOC_OVERHEAD_PER_WAY = 0.015
+
 
 def _validate(size_bytes: int, block_bytes: int, associativity: int) -> None:
     if size_bytes <= 0:
@@ -65,6 +80,42 @@ def l2_access_time_ns(
         + _L2_SIZE_NS_PER_DOUBLING * math.log2(max(size_kb / 256.0, 1.0))
         + _L2_ASSOC_NS * math.sqrt(associativity)
         + _L2_BLOCK_NS * math.log2(block_bytes / 64.0 + 1.0)
+    )
+
+
+def l1_access_energy_nj(
+    size_bytes: int, block_bytes: int = 32, associativity: int = 1
+) -> float:
+    """Dynamic energy of one first-level cache read in nanojoules.
+
+    Follows the CACTI trend: energy grows with capacity (longer bit
+    lines), linearly with associativity (every way's data array is
+    probed in a parallel-access set-associative cache) and mildly with
+    block size (wider output mux).
+    """
+    _validate(size_bytes, block_bytes, associativity)
+    size_kb = size_bytes / 1024.0
+    return (
+        _L1_BASE_NJ
+        + _L1_SIZE_NJ_PER_DOUBLING * math.log2(max(size_kb, 1.0))
+        + _L1_ASSOC_NJ_PER_WAY * associativity
+        + _L1_BLOCK_NJ * math.log2(block_bytes / 32.0 + 1.0)
+    )
+
+
+def miss_energy_nj() -> float:
+    """Energy of servicing a miss from the next memory level."""
+    return _MISS_ENERGY_NJ
+
+
+def cache_area_mm2(
+    size_bytes: int, block_bytes: int = 32, associativity: int = 1
+) -> float:
+    """Die area of an SRAM array in mm^2 at the paper's 90 nm node."""
+    _validate(size_bytes, block_bytes, associativity)
+    size_kb = size_bytes / 1024.0
+    return size_kb * _AREA_MM2_PER_KB * (
+        1.0 + _AREA_ASSOC_OVERHEAD_PER_WAY * (associativity - 1)
     )
 
 

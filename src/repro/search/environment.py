@@ -53,6 +53,40 @@ from .protocol import (
 from .result import ExplorationResult, ExplorationRound
 
 
+def resolve_multi_target_simulator(backend: object) -> Optional[object]:
+    """Find a multi-target simulator inside a composed backend chain.
+
+    Walks the wrapper chain every backend composition uses —
+    ``ResilientBackend.inner`` / ``FaultInjectingBackend.inner`` /
+    ``CachingBackend.inner``, then ``SerialBackend.fn`` /
+    ``ProcessPoolBackend.fn`` — looking for an object that declares
+    ``target_names`` (more than one) and a ``targets_at`` accessor, the
+    duck-typed contract of a multi-target ``SIM(p, A)`` such as
+    :class:`repro.experiments.cachepolicy.CachePolicySimulator`.
+    Returns ``None`` for scalar simulate fns, which keeps the scalar
+    path byte-identical to the pre-multi-target code.
+    """
+    seen = set()
+    obj: Optional[object] = backend
+    while obj is not None and id(obj) not in seen:
+        seen.add(id(obj))
+        names = getattr(obj, "target_names", None)
+        if (
+            names
+            and len(names) > 1
+            and callable(getattr(obj, "targets_at", None))
+        ):
+            return obj
+        for attr in ("inner", "fn"):
+            nxt = getattr(obj, attr, None)
+            if nxt is not None:
+                obj = nxt
+                break
+        else:
+            obj = None
+    return None
+
+
 class Environment:
     """One exploration run's state machine (sample → simulate → fit).
 
@@ -111,6 +145,19 @@ class Environment:
         self.converged = False
         #: set when the agent could not reach any more unsampled points
         self.exhausted = False
+        #: multi-target plumbing: ``targets`` above always holds the
+        #: primary target (agents, checkpoints and observations are
+        #: untouched); when the backend chain exposes a multi-target
+        #: simulator, the full declared vector per sampled point
+        #: accumulates in ``target_rows`` and the round fit goes through
+        #: the multitask ensemble
+        self.multi_simulator = resolve_multi_target_simulator(self.backend)
+        self.target_names: tuple = (
+            tuple(self.multi_simulator.target_names)
+            if self.multi_simulator is not None
+            else ()
+        )
+        self.target_rows: List[tuple] = []
 
     # -- context accessors ---------------------------------------------
     @property
@@ -194,6 +241,24 @@ class Environment:
             )
             self.sampled.extend(indices)
             self.targets.extend(float(v) for v in values)
+            if self.multi_simulator is not None:
+                n_aux = len(self.target_names) - 1
+                for config, value in zip(configs, values):
+                    primary = float(value)
+                    if np.isfinite(primary):
+                        # the backend's value stays the primary target
+                        # (it carries retry/fault semantics); auxiliary
+                        # targets come from the memoized simulation
+                        aux = self.multi_simulator.targets_at(config)[1:]
+                        self.target_rows.append(
+                            (primary, *(float(a) for a in aux))
+                        )
+                    else:
+                        # a permanently failed evaluation fails the
+                        # whole row; the fit masks it per target-row
+                        self.target_rows.append(
+                            (primary,) + (float("nan"),) * n_aux
+                        )
         if not self.sampled:
             raise SearchError("cannot train a round with no samples")
         with self.telemetry.phase("explore.train"):
@@ -203,11 +268,19 @@ class Environment:
             x = self.encoder.encode_space()[
                 np.asarray(self.sampled, dtype=np.intp)
             ]
-            y = np.asarray(self.targets)
-            outcome = fit_cv_round(
-                x, y, k=self.k, training=self.training,
-                min_folds=self.min_folds, context=self.context,
-            )
+            if self.multi_simulator is not None:
+                y = np.asarray(self.target_rows, dtype=np.float64)
+                outcome = fit_cv_round(
+                    x, y, k=self.k, training=self.training,
+                    min_folds=self.min_folds, context=self.context,
+                    target_names=self.target_names,
+                )
+            else:
+                y = np.asarray(self.targets)
+                outcome = fit_cv_round(
+                    x, y, k=self.k, training=self.training,
+                    min_folds=self.min_folds, context=self.context,
+                )
         self.predictor = outcome.ensemble.predictor
         round_ = ExplorationRound(len(self.sampled), outcome.estimate)
         self.rounds.append(round_)
@@ -236,6 +309,11 @@ class Environment:
                 "version": AGENT_STATE_VERSION,
                 "state": agent.state_dict(),
             },
+            target_rows=(
+                list(self.target_rows)
+                if self.multi_simulator is not None
+                else None
+            ),
         )
 
     def save(self, agent: Agent) -> None:
@@ -297,6 +375,15 @@ class Environment:
         self._validate_checkpoint(state, agent)
         self.sampled = list(state.sampled_indices)
         self.targets = list(state.targets)
+        rows = getattr(state, "target_rows", None)
+        if self.multi_simulator is not None:
+            if rows is None and state.sampled_indices:
+                raise CheckpointError(
+                    f"checkpoint {self.checkpoint_path} was written by a "
+                    "scalar-target run and cannot resume a multi-target "
+                    "exploration"
+                )
+            self.target_rows = [tuple(row) for row in rows or []]
         self.rounds = list(state.rounds)
         self.predictor = state.predictor
         self.converged = state.converged
@@ -329,9 +416,15 @@ class Environment:
         return ExplorationResult(
             space=self.space,
             sampled_indices=self.sampled,
-            targets=self.targets,
+            primary_targets=self.targets,
             rounds=self.rounds,
             predictor=self.predictor,
             encoder=self.encoder,
             converged=self.converged,
+            target_names=self.target_names,
+            target_rows=(
+                list(self.target_rows)
+                if self.multi_simulator is not None
+                else None
+            ),
         )

@@ -10,8 +10,9 @@ the predictor/encoder/estimate it holds are duck-typed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,8 +42,10 @@ class ExplorationResult:
         The explored design space.
     sampled_indices:
         Design-space indices of every simulated point, in sampling order.
-    targets:
-        Simulated results for those points.
+    primary_targets:
+        Simulated primary-target values for those points (the scalar the
+        stopping rule and best-point selection operate on; IPC for every
+        registered study).
     rounds:
         Error-estimate trajectory, one entry per training round.
     predictor:
@@ -51,16 +54,35 @@ class ExplorationResult:
         Encoder used for all feature vectors.
     converged:
         Whether the stopping criterion was met (vs budget exhaustion).
+    target_names:
+        The study's declared target vector for multi-target runs
+        (primary first); empty for scalar runs.
+    target_rows:
+        Full per-point target vectors aligned with ``sampled_indices``;
+        ``None`` for scalar runs.
     """
 
     space: DesignSpace
     sampled_indices: List[int]
-    targets: List[float]
+    primary_targets: List[float]
     rounds: List[ExplorationRound]
     predictor: "EnsemblePredictor"
     encoder: "ParameterEncoder"
     converged: bool
     extra: Dict[str, object] = field(default_factory=dict)
+    target_names: Tuple[str, ...] = ()
+    target_rows: Optional[List[tuple]] = None
+
+    @property
+    def targets(self) -> List[float]:
+        """Deprecated alias of :attr:`primary_targets`."""
+        warnings.warn(
+            "ExplorationResult.targets is deprecated; use "
+            "primary_targets instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.primary_targets
 
     @property
     def n_simulations(self) -> int:

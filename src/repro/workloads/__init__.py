@@ -2,6 +2,11 @@
 
 from .characteristics import PhaseProfile, WorkloadCharacteristics
 from .generator import SyntheticTraceGenerator, clear_trace_cache, generate_trace
+from .phased import (
+    PHASED_BENCHMARKS,
+    PHASED_WORKLOADS,
+    oscillating_workload,
+)
 from .spec import (
     CFP_BENCHMARKS,
     CINT_BENCHMARKS,
@@ -17,6 +22,8 @@ __all__ = [
     "CINT_BENCHMARKS",
     "FIGURE_BENCHMARKS",
     "OpClass",
+    "PHASED_BENCHMARKS",
+    "PHASED_WORKLOADS",
     "PhaseProfile",
     "SIMPOINT_BENCHMARKS",
     "SPEC_WORKLOADS",
@@ -26,4 +33,5 @@ __all__ = [
     "clear_trace_cache",
     "generate_trace",
     "get_workload",
+    "oscillating_workload",
 ]

@@ -142,7 +142,7 @@ class WorkloadCharacteristics:
             )
         if self.total_dynamic_instructions <= 0:
             raise ValueError("total_dynamic_instructions must be positive")
-        if self.suite not in ("CINT2000", "CFP2000"):
+        if self.suite not in ("CINT2000", "CFP2000", "SYNTH"):
             raise ValueError(f"unknown suite {self.suite!r}")
 
     @property

@@ -1,0 +1,151 @@
+"""Phased / oscillating synthetic workloads for the cache-policy study.
+
+The SPEC-like profiles in :mod:`repro.workloads.spec` model whole
+benchmarks; replacement policies, however, are separated by *temporal
+pattern* — working sets that oscillate, scans that pollute an LRU
+stack, loops slightly larger than the cache.  This module builds
+:class:`WorkloadCharacteristics` records whose phase lists interleave
+two (or more) profiles (A, B, A, B, ...), so the generated trace keeps
+switching locality regimes and the choice of replacement policy
+actually matters.
+
+These workloads use the ``"SYNTH"`` suite tag and are resolved by
+:func:`repro.workloads.get_workload` alongside the SPEC profiles, which
+makes them reachable from every simulate-fn factory and trace cache
+without special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from .characteristics import PhaseProfile, WorkloadCharacteristics
+
+#: trace length for the phased workloads: long enough for a few full
+#: oscillation periods, short enough that a 600-point policy study stays
+#: interactive
+PHASED_TRACE_LENGTH = 24_000
+
+
+def _mix(
+    load: float, store: float, branch: float, **rest: float
+) -> Mapping[str, float]:
+    mix = {"load": load, "store": store, "branch": branch, **rest}
+    mix["int_alu"] = 1.0 - sum(mix.values())
+    return mix
+
+
+def _phase(
+    *,
+    weight: float,
+    working_set_blocks: int,
+    secondary_ws_blocks: int,
+    secondary_fraction: float = 0.1,
+    streaming_fraction: float = 0.0,
+    pointer_fraction: float = 0.0,
+    spatial_locality: float = 0.5,
+    load: float = 0.32,
+    store: float = 0.10,
+) -> PhaseProfile:
+    return PhaseProfile(
+        weight=weight,
+        mix=_mix(load=load, store=store, branch=0.15),
+        working_set_blocks=working_set_blocks,
+        secondary_ws_blocks=secondary_ws_blocks,
+        secondary_fraction=secondary_fraction,
+        streaming_fraction=streaming_fraction,
+        pointer_fraction=pointer_fraction,
+        spatial_locality=spatial_locality,
+        branch_bias_concentration=8.0,
+        loop_branch_fraction=0.5,
+        loop_trip_mean=12.0,
+        n_static_blocks=60,
+        block_len_mean=6,
+        dep_distance_mean=3.0,
+    )
+
+
+def oscillating_workload(
+    name: str,
+    phase_a: PhaseProfile,
+    phase_b: PhaseProfile,
+    *,
+    periods: int = 3,
+    seed: int = 977,
+    description: str = "",
+    trace_length: int = PHASED_TRACE_LENGTH,
+) -> WorkloadCharacteristics:
+    """Interleave two phase profiles ``periods`` times (A, B, A, B, ...).
+
+    The generator walks phases in temporal order, so the resulting trace
+    oscillates between the two locality regimes — the canonical setting
+    where adaptive policies (ARC, 2Q) and frequency-based policies part
+    ways from plain LRU.
+    """
+    if periods < 1:
+        raise ValueError(f"periods must be >= 1, got {periods}")
+    phases: Tuple[PhaseProfile, ...] = (phase_a, phase_b) * periods
+    return WorkloadCharacteristics(
+        name=name,
+        suite="SYNTH",
+        description=description or f"oscillating synthetic workload {name}",
+        total_dynamic_instructions=100_000_000,
+        trace_length=trace_length,
+        seed=seed,
+        phases=phases,
+    )
+
+
+def _osc_tight() -> WorkloadCharacteristics:
+    """Small hot set alternating with a medium set: classic LRU terrain."""
+    return oscillating_workload(
+        "osc-tight",
+        _phase(weight=1.0, working_set_blocks=48, secondary_ws_blocks=2_000),
+        _phase(weight=1.0, working_set_blocks=400, secondary_ws_blocks=4_000),
+        seed=911,
+        description="oscillation between a tiny and a mid-size working set",
+    )
+
+
+def _osc_scan() -> WorkloadCharacteristics:
+    """Reuse phases separated by streaming scans that flush an LRU stack."""
+    return oscillating_workload(
+        "osc-scan",
+        _phase(weight=1.2, working_set_blocks=96, secondary_ws_blocks=3_000),
+        _phase(
+            weight=0.8,
+            working_set_blocks=64,
+            secondary_ws_blocks=20_000,
+            streaming_fraction=0.85,
+            spatial_locality=0.9,
+        ),
+        seed=929,
+        description="hot-loop reuse interrupted by cache-hostile scans",
+    )
+
+
+def _osc_pointer() -> WorkloadCharacteristics:
+    """Pointer-chasing over a large set alternating with dense loops."""
+    return oscillating_workload(
+        "osc-pointer",
+        _phase(
+            weight=1.0,
+            working_set_blocks=128,
+            secondary_ws_blocks=12_000,
+            secondary_fraction=0.35,
+            pointer_fraction=0.5,
+            load=0.40,
+        ),
+        _phase(weight=1.0, working_set_blocks=200, secondary_ws_blocks=2_500),
+        seed=941,
+        description="pointer chasing alternating with dense loop reuse",
+    )
+
+
+#: phased workloads by name, resolved by ``get_workload`` after SPEC
+PHASED_WORKLOADS: Dict[str, WorkloadCharacteristics] = {
+    w.name: w for w in (_osc_tight(), _osc_scan(), _osc_pointer())
+}
+
+#: listing order for CLI/docs
+PHASED_BENCHMARKS: Tuple[str, ...] = tuple(PHASED_WORKLOADS)

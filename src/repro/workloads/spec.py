@@ -453,11 +453,19 @@ FIGURE_BENCHMARKS: Tuple[str, ...] = ("mesa", "equake", "mcf", "crafty")
 
 
 def get_workload(name: str) -> WorkloadCharacteristics:
-    """Look up a benchmark profile by name."""
-    try:
+    """Look up a benchmark profile by name.
+
+    Resolves the eight SPEC profiles first, then the phased synthetic
+    workloads of :mod:`repro.workloads.phased` (imported lazily so the
+    two registries stay import-independent).
+    """
+    if name in SPEC_WORKLOADS:
         return SPEC_WORKLOADS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: "
-            f"{sorted(SPEC_WORKLOADS)}"
-        ) from None
+    from .phased import PHASED_WORKLOADS
+
+    if name in PHASED_WORKLOADS:
+        return PHASED_WORKLOADS[name]
+    raise KeyError(
+        f"unknown workload {name!r}; available: "
+        f"{sorted(SPEC_WORKLOADS) + sorted(PHASED_WORKLOADS)}"
+    )

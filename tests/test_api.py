@@ -108,7 +108,7 @@ def test_explore_end_to_end_matches_explorer(
     )
     direct = explorer.explore(target_error=100.0, max_simulations=24)
     assert direct.sampled_indices == result.sampled_indices
-    assert direct.targets == result.targets
+    assert direct.primary_targets == result.primary_targets
     np.testing.assert_array_equal(
         predict_space(direct.predictor, tiny_space),
         predict_space(result.predictor, tiny_space),
@@ -168,7 +168,7 @@ def test_explore_agent_name_matches_default(
     default = explore(tiny_space, simulate, seed=7, **kwargs)
     named = explore(tiny_space, simulate, seed=7, agent="random", **kwargs)
     assert named.sampled_indices == default.sampled_indices
-    assert named.targets == default.targets
+    assert named.primary_targets == default.primary_targets
 
 
 def test_explore_sampler_kwarg_warns(tiny_space, fast_training):

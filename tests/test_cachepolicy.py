@@ -1,0 +1,644 @@
+"""The cache-replacement study: policies, phased workloads, multi-target API.
+
+Three layers under test:
+
+* :mod:`repro.memory.policies` — per-set replacement-policy state
+  machines, held against hand-computed hit/miss sequences and the
+  Belady OPT oracle bound;
+* the phased synthetic workloads and the ``cache-policy`` design space
+  (config/index round-trips, one-hot encoding bounds under a
+  policy-dominated space);
+* the redesigned multi-target ``Study`` surface: ``explore(study=...)``
+  end-to-end with every registered agent, per-target error estimates,
+  the scalar-deprecation shims, and the bit-identity lock on the two
+  pre-existing scalar studies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.core import ParameterEncoder
+from repro.core.context import RunContext
+from repro.core.fitting import fit_cv_round
+from repro.core.training import TrainingConfig
+from repro.experiments import (
+    CACHE_POLICY_TARGETS,
+    build_cache_policy_space,
+    energy_delay,
+    energy_delay_squared,
+    evaluate_cache_policy,
+    get_study,
+    make_simulate_fn,
+)
+from repro.memory.policies import (
+    ORACLE_POLICY,
+    POLICY_NAMES,
+    cache_hit_rate,
+    simulate_policy,
+)
+from repro.search import AGENTS
+from repro.workloads import PHASED_BENCHMARKS, generate_trace, get_workload
+
+
+def _fast():
+    return TrainingConfig(
+        hidden_layers=(8,),
+        max_epochs=200,
+        patience=6,
+        check_interval=10,
+        batch_size=32,
+    )
+
+
+# ----------------------------------------------------------------------
+# replacement policies vs hand-computed sequences
+# ----------------------------------------------------------------------
+class TestPoliciesByHand:
+    def test_lru_sequence(self):
+        # 1m 2m 1h 3m(evicts 2) 2m -> 1 hit of 5
+        rate = simulate_policy(
+            np.array([1, 2, 1, 3, 2]), n_sets=1, n_ways=2, policy="lru"
+        )
+        assert rate == pytest.approx(1 / 5)
+
+    def test_fifo_does_not_refresh_on_hit(self):
+        # 1m 2m 1h 3m(evicts 1, the oldest *insertion*) 2h -> 2 hits
+        rate = simulate_policy(
+            np.array([1, 2, 1, 3, 2]), n_sets=1, n_ways=2, policy="fifo"
+        )
+        assert rate == pytest.approx(2 / 5)
+
+    def test_lfu_keeps_frequent_blocks(self):
+        # 1m 1h 2m 3m(evicts 2: freq 1 < freq 2) 3h 1h -> 3 hits of 6
+        rate = simulate_policy(
+            np.array([1, 1, 2, 3, 3, 1]), n_sets=1, n_ways=2, policy="lfu"
+        )
+        assert rate == pytest.approx(3 / 6)
+
+    def test_lfu_tie_breaks_by_insertion_order(self):
+        # 1m 2m 3m(freq tie: evicts 1, inserted first) 2h -> 1 hit
+        rate = simulate_policy(
+            np.array([1, 2, 3, 2]), n_sets=1, n_ways=2, policy="lfu"
+        )
+        assert rate == pytest.approx(1 / 4)
+
+    def test_twoq_probation_hit(self):
+        # both blocks sit in the A1in probation FIFO; re-touching one
+        # hits without promoting it
+        rate = simulate_policy(
+            np.array([1, 2, 1]), n_sets=1, n_ways=2, policy="2q"
+        )
+        assert rate == pytest.approx(1 / 3)
+
+    def test_twoq_ghost_promotion(self):
+        # ways=4 (kin=1): block 1 falls out of A1in into the ghost
+        # queue, its next miss promotes it to Am, the touch after hits
+        rate = simulate_policy(
+            np.array([1, 2, 3, 4, 5, 1, 1]), n_sets=1, n_ways=4, policy="2q"
+        )
+        assert rate == pytest.approx(1 / 7)
+
+    def test_arc_promotes_on_reuse(self):
+        # 1m 1h(t1->t2) 2m 3m(evicts 2 from t1, 1 survives in t2) 1h
+        rate = simulate_policy(
+            np.array([1, 1, 2, 3, 1]), n_sets=1, n_ways=2, policy="arc"
+        )
+        assert rate == pytest.approx(2 / 5)
+
+    def test_opt_beats_lru_on_cyclic_scan(self):
+        # the classic LRU-pathological loop: 1 2 3 1 2 3 with 2 ways
+        stream = np.array([1, 2, 3, 1, 2, 3])
+        lru = simulate_policy(stream, n_sets=1, n_ways=2, policy="lru")
+        opt = simulate_policy(stream, n_sets=1, n_ways=2, policy="opt")
+        assert lru == 0.0
+        assert opt == pytest.approx(2 / 6)
+
+    def test_set_index_mapping(self):
+        # with 2 sets, even/odd blocks land in different sets; a single
+        # repeated block per set hits on every re-reference
+        rate = simulate_policy(
+            np.array([0, 1, 0, 1]), n_sets=2, n_ways=1, policy="lru"
+        )
+        assert rate == pytest.approx(0.5)
+        # conflicting even blocks in a 1-way set never hit
+        rate = simulate_policy(
+            np.array([0, 2, 0, 2]), n_sets=2, n_ways=1, policy="lru"
+        )
+        assert rate == 0.0
+
+    def test_unknown_policy_names_choices(self):
+        with pytest.raises(ValueError, match="arc"):
+            simulate_policy(
+                np.array([1]), n_sets=1, n_ways=1, policy="random"
+            )
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            simulate_policy(np.array([1]), n_sets=3, n_ways=1, policy="lru")
+
+    def test_empty_stream(self):
+        assert simulate_policy(
+            np.array([], dtype=np.uint64), n_sets=1, n_ways=1, policy="lru"
+        ) == 0.0
+
+
+class TestOracleBound:
+    @given(
+        blocks=st.lists(st.integers(0, 15), min_size=1, max_size=200),
+        n_sets=st.sampled_from((1, 2, 4)),
+        n_ways=st.sampled_from((1, 2, 4)),
+        policy=st.sampled_from(POLICY_NAMES),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_no_policy_beats_opt(self, blocks, n_sets, n_ways, policy):
+        """Belady's OPT is optimal: every realizable policy is bounded
+        by the oracle's hit rate on any reference stream."""
+        stream = np.asarray(blocks, dtype=np.uint64)
+        realized = simulate_policy(
+            stream, n_sets=n_sets, n_ways=n_ways, policy=policy
+        )
+        oracle = simulate_policy(
+            stream, n_sets=n_sets, n_ways=n_ways, policy=ORACLE_POLICY
+        )
+        assert realized <= oracle + 1e-12
+
+    @given(
+        blocks=st.lists(st.integers(0, 31), min_size=1, max_size=120),
+        policy=st.sampled_from(POLICY_NAMES + (ORACLE_POLICY,)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hit_rate_in_unit_interval(self, blocks, policy):
+        rate = simulate_policy(
+            np.asarray(blocks, dtype=np.uint64),
+            n_sets=2, n_ways=2, policy=policy,
+        )
+        assert 0.0 <= rate <= 1.0
+
+
+class TestCacheHitRateOnTraces:
+    def test_oracle_dominates_on_real_trace(self):
+        trace = generate_trace("osc-scan", 4000)
+        rates = {
+            policy: cache_hit_rate(
+                trace,
+                size_bytes=8 * 1024,
+                block_bytes=64,
+                associativity=4,
+                policy=policy,
+            )
+            for policy in POLICY_NAMES + (ORACLE_POLICY,)
+        }
+        for policy in POLICY_NAMES:
+            assert rates[policy] <= rates[ORACLE_POLICY] + 1e-12
+        # the stream has genuine locality: policies actually differ
+        assert len({round(r, 6) for r in rates.values()}) > 1
+
+    def test_more_ways_never_validates_bad_geometry(self):
+        trace = generate_trace("osc-tight", 2000)
+        with pytest.raises(ValueError):
+            cache_hit_rate(
+                trace,
+                size_bytes=48 * 1024,  # not a power of two
+                block_bytes=64,
+                associativity=4,
+                policy="lru",
+            )
+
+
+# ----------------------------------------------------------------------
+# phased workloads
+# ----------------------------------------------------------------------
+class TestPhasedWorkloads:
+    def test_registered_and_resolvable(self):
+        assert PHASED_BENCHMARKS == ("osc-tight", "osc-scan", "osc-pointer")
+        for name in PHASED_BENCHMARKS:
+            workload = get_workload(name)
+            assert workload.suite == "SYNTH"
+
+    def test_unknown_workload_names_union(self):
+        with pytest.raises(KeyError, match="osc-tight"):
+            get_workload("osc-bogus")
+
+    def test_traces_deterministic(self):
+        from repro.workloads.generator import SyntheticTraceGenerator
+
+        characteristics = get_workload("osc-tight")
+        a = SyntheticTraceGenerator(
+            characteristics, trace_length=3000
+        ).generate()
+        b = SyntheticTraceGenerator(
+            characteristics, trace_length=3000
+        ).generate()
+        np.testing.assert_array_equal(a.addr, b.addr)
+        np.testing.assert_array_equal(a.op, b.op)
+
+    def test_phases_change_locality(self):
+        """The oscillation is real: per-phase hit rates differ."""
+        trace = generate_trace("osc-scan", 6000)
+        blocks = trace.block_addresses(64)
+        half = len(blocks) // 2
+        first = simulate_policy(
+            blocks[:half], n_sets=32, n_ways=4, policy="lru"
+        )
+        second = simulate_policy(
+            blocks[half:], n_sets=32, n_ways=4, policy="lru"
+        )
+        assert abs(first - second) > 0.01
+
+
+# ----------------------------------------------------------------------
+# the cache-policy design space and its targets
+# ----------------------------------------------------------------------
+class TestCachePolicySpace:
+    def setup_method(self):
+        self.space = build_cache_policy_space()
+
+    def test_size_and_axes(self):
+        assert len(self.space) == 600
+        assert self.space.parameter("policy").values == POLICY_NAMES
+        assert self.space.parameter("size_kb").values == (
+            4, 8, 16, 32, 64, 128
+        )
+        assert self.space.parameter("associativity").values == (1, 2, 4, 8, 16)
+        assert self.space.parameter("block").values == (16, 32, 64, 128)
+
+    @given(st.integers(0, 599))
+    @settings(max_examples=80, deadline=None)
+    def test_config_index_round_trip(self, index):
+        config = self.space.config_at(index)
+        assert self.space.index_of(config) == index
+
+    @given(st.integers(0, 599))
+    @settings(max_examples=80, deadline=None)
+    def test_one_hot_encoding_bounds(self, index):
+        """The wide nominal policy axis one-hot encodes cleanly: every
+        feature is in [0, 1] and the policy block is exactly one-hot."""
+        encoder = ParameterEncoder(self.space)
+        row = encoder.encode(self.space.config_at(index))
+        assert row.shape == (encoder.n_features,)
+        assert np.all(np.isfinite(row))
+        assert np.all(row >= 0.0) and np.all(row <= 1.0)
+        # the nominal axis contributes exactly one hot feature
+        policy_block = row[: len(POLICY_NAMES)]
+        assert policy_block.sum() == pytest.approx(1.0)
+        assert set(np.round(policy_block, 12)) <= {0.0, 1.0}
+
+    def test_targets_positive_and_consistent(self):
+        ipc, hit_rate, energy = evaluate_cache_policy(
+            "osc-tight", self.space.config_at(123)
+        )
+        assert 0.0 < ipc
+        assert 0.0 < hit_rate <= 1.0
+        assert 0.0 < energy
+        assert energy_delay(ipc, energy) == pytest.approx(energy / ipc)
+        assert energy_delay_squared(ipc, energy) == pytest.approx(
+            energy / ipc**2
+        )
+
+    def test_geometry_improves_hit_rate(self):
+        """Within one policy, the biggest cache beats the smallest."""
+        base = {"policy": "lru", "associativity": 4, "block": 64}
+        _, small, _ = evaluate_cache_policy(
+            "osc-tight", {**base, "size_kb": 4}
+        )
+        _, large, _ = evaluate_cache_policy(
+            "osc-tight", {**base, "size_kb": 128}
+        )
+        assert large > small
+
+
+# ----------------------------------------------------------------------
+# the multi-target study end to end
+# ----------------------------------------------------------------------
+class TestMultiTargetExplore:
+    @pytest.mark.parametrize("agent", sorted(AGENTS))
+    def test_every_agent_reports_per_target_errors(self, agent):
+        result = api.explore(
+            study="cache-policy",
+            workload="osc-tight",
+            target_error=0.5,
+            max_simulations=24,
+            batch_size=12,
+            k=4,
+            seed=11,
+            training=_fast(),
+            agent=agent,
+        )
+        assert result.n_simulations == 24
+        assert result.target_names == CACHE_POLICY_TARGETS
+        assert len(result.target_rows) == 24
+        assert all(len(row) == 3 for row in result.target_rows)
+        estimate = result.final_estimate
+        assert estimate.target_names == CACHE_POLICY_TARGETS
+        for name in CACHE_POLICY_TARGETS:
+            per = estimate.for_target(name)
+            assert per.mean > 0.0
+        # the primary target's breakdown IS the headline estimate
+        assert estimate.for_target("ipc").mean == pytest.approx(estimate.mean)
+        with pytest.raises(KeyError):
+            estimate.for_target("power")
+
+    def test_default_workload_is_first_registered(self):
+        explicit = api.explore(
+            study="cache-policy",
+            workload="osc-tight",
+            target_error=0.5,
+            max_simulations=12,
+            batch_size=6,
+            k=4,
+            seed=5,
+            training=_fast(),
+        )
+        defaulted = api.explore(
+            study="cache-policy",
+            target_error=0.5,
+            max_simulations=12,
+            batch_size=6,
+            k=4,
+            seed=5,
+            training=_fast(),
+        )
+        assert defaulted.sampled_indices == explicit.sampled_indices
+        assert defaulted.target_rows == explicit.target_rows
+
+    def test_deterministic_across_runs(self):
+        runs = [
+            api.explore(
+                study="cache-policy",
+                workload="osc-scan",
+                target_error=0.5,
+                max_simulations=24,
+                batch_size=12,
+                k=4,
+                seed=3,
+                training=_fast(),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].sampled_indices == runs[1].sampled_indices
+        assert runs[0].target_rows == runs[1].target_rows
+        assert runs[0].final_estimate.mean == runs[1].final_estimate.mean
+        for name in CACHE_POLICY_TARGETS:
+            assert (
+                runs[0].final_estimate.for_target(name).mean
+                == runs[1].final_estimate.for_target(name).mean
+            )
+
+    def test_study_and_space_are_exclusive(self):
+        study = get_study("cache-policy")
+        with pytest.raises(ValueError, match="not both"):
+            api.explore(
+                study.space,
+                lambda c: 1.0,
+                study="cache-policy",
+                target_error=1.0,
+                max_simulations=8,
+            )
+
+    def test_workload_requires_study(self):
+        with pytest.raises(ValueError, match="requires study"):
+            api.explore(
+                workload="osc-tight", target_error=1.0, max_simulations=8
+            )
+
+    def test_missing_everything_is_a_type_error(self):
+        with pytest.raises(TypeError):
+            api.explore(target_error=1.0, max_simulations=8)
+
+    def test_unknown_cache_policy_workload_names_choices(self):
+        study = get_study("cache-policy")
+        with pytest.raises(KeyError, match="osc-tight"):
+            make_simulate_fn(study, "povray")
+
+
+class TestMultiTargetFit:
+    def _data(self, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=(n, 3))
+        primary = 1.0 + x @ np.array([0.5, 0.3, 0.2])
+        aux = 2.0 + x @ np.array([0.1, 0.7, 0.2])
+        return x, np.column_stack([primary, aux])
+
+    def test_two_dee_y_gives_per_target_estimate(self):
+        x, y = self._data()
+        outcome = fit_cv_round(
+            x, y,
+            k=4,
+            training=_fast(),
+            context=RunContext.seeded(0),
+            target_names=("ipc", "hit_rate"),
+        )
+        estimate = outcome.estimate
+        assert estimate.target_names == ("ipc", "hit_rate")
+        assert estimate.for_target("ipc").mean == pytest.approx(estimate.mean)
+        predictor = outcome.ensemble.predictor
+        preds = predictor.predict(x)
+        assert preds.shape == (len(x),)
+        all_preds = predictor.predict_all(x)
+        assert all_preds.shape == (len(x), 2)
+        np.testing.assert_allclose(all_preds[:, 0], preds)
+        assert predictor.prediction_variance(x).shape == (len(x),)
+        # chunked prediction is the same prediction
+        np.testing.assert_array_equal(preds, predictor.predict(x, chunk_size=7))
+
+    def test_target_names_must_match_columns(self):
+        x, y = self._data()
+        with pytest.raises(ValueError):
+            fit_cv_round(
+                x, y,
+                k=4,
+                training=_fast(),
+                context=RunContext.seeded(0),
+                target_names=("ipc",),
+            )
+
+    def test_single_column_y_is_deprecated(self):
+        x, y = self._data()
+        with pytest.warns(DeprecationWarning, match="1-D scalar target"):
+            outcome = fit_cv_round(
+                x, y[:, :1],
+                k=4,
+                training=_fast(),
+                context=RunContext.seeded(0),
+            )
+        assert outcome.estimate.target_names == ()
+
+    def test_api_fit_ensemble_passes_target_names(self):
+        x, y = self._data()
+        outcome = api.fit_ensemble(
+            x, y,
+            k=4,
+            training=_fast(),
+            seed=0,
+            target_names=("ipc", "hit_rate"),
+        )
+        assert outcome.estimate.target_names == ("ipc", "hit_rate")
+
+
+class TestScalarDeprecations:
+    def test_result_targets_alias_warns(self, tiny_space, fast_training):
+        result = api.explore(
+            tiny_space,
+            lambda config: 1.0 + config["size"] / 64.0,
+            target_error=1.0,
+            max_simulations=12,
+            batch_size=6,
+            k=4,
+            seed=2,
+            training=fast_training,
+        )
+        with pytest.warns(DeprecationWarning, match="primary_targets"):
+            legacy = result.targets
+        assert legacy == result.primary_targets
+        # scalar runs carry no multi-target payload
+        assert result.target_names == ()
+        assert result.target_rows is None
+        assert result.final_estimate.target_names == ()
+
+
+# ----------------------------------------------------------------------
+# campaign / serve reachability
+# ----------------------------------------------------------------------
+class TestServiceReachability:
+    def test_execute_exploration_carries_per_target_errors(self, tmp_path):
+        """The shared campaign-cell / serve-job worker reports the
+        multi-target breakdown for the new study."""
+        from repro.campaign.runner import execute_exploration
+
+        message = execute_exploration(
+            study="cache-policy",
+            workload="osc-tight",
+            agent="random",
+            seed=0,
+            budget=24,
+            target_error=1.0,
+            batch_size=12,
+            training="fast",
+            k=4,
+            min_folds=None,
+            max_retries=0,
+            eval_timeout_s=None,
+            checkpoint=str(tmp_path / "cell.ckpt"),
+        )
+        result = message["result"]
+        assert result["n_simulations"] == 24
+        assert result["target_names"] == list(CACHE_POLICY_TARGETS)
+        per = result["per_target_error"]
+        assert set(per) == set(CACHE_POLICY_TARGETS)
+        assert per["ipc"]["mean"] == pytest.approx(result["error_mean"])
+
+    def test_campaign_spec_accepts_phased_workloads(self):
+        from repro.campaign import parse_campaign_spec
+
+        spec = parse_campaign_spec(
+            """
+            [campaign]
+            name = "cp"
+
+            [matrix]
+            studies   = ["cache-policy"]
+            workloads = ["osc-scan"]
+            budgets   = [24]
+
+            [cells]
+            training = "fast"
+            """
+        )
+        assert spec.workloads == ("osc-scan",)
+
+    def test_serve_runs_cache_policy_job(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.telemetry import RunTelemetry
+        from repro.serve import AdmissionPolicy, ExplorationService, JobSpec
+        from repro.serve.registry import STATUS_DONE
+
+        service = ExplorationService(
+            tmp_path,
+            policy=AdmissionPolicy(max_depth=4, max_inflight=1),
+            job_retries=0,
+            telemetry=RunTelemetry(),
+            metrics=MetricsRegistry(enabled=True),
+        )
+        submit = service.submit(
+            JobSpec(
+                study="cache-policy",
+                workload="osc-tight",
+                seed=0,
+                budget=24,
+                target_error=1.0,
+                batch_size=12,
+                training="fast",
+                max_retries=0,
+            ),
+            tenant="t",
+        )
+        assert submit.accepted
+        service.run_until_idle()
+        (entry,) = service.report().values()
+        assert entry["status"] == STATUS_DONE
+        assert entry["result"]["per_target_error"]["hit_rate"]["mean"] > 0
+
+
+# ----------------------------------------------------------------------
+# the scalar studies are bit-identical to before the redesign
+# ----------------------------------------------------------------------
+class TestScalarTrajectoryLock:
+    """Golden trajectories captured on the pre-redesign tree.
+
+    ``explore`` with these exact arguments must reproduce the recorded
+    sampling order and error trajectory bit-for-bit: the multi-target
+    redesign may not perturb the scalar studies in any way.
+    """
+
+    GOLDEN = {
+        ("memory-system", "mesa"): {
+            "sampled": [
+                6912, 21752, 14390, 15751, 11512, 5186, 18362, 1278, 10781,
+                6565, 18917, 21020, 2743, 121, 20657, 20119, 13315, 19196,
+                17860, 3027, 4429, 20068, 16295, 15207, 14815, 11693, 12460,
+                15800, 13778, 16735, 2107, 17076, 8321, 1365, 2493, 14726,
+                969, 10901, 14115, 5630,
+            ],
+            "targets3": [0.245861252392, 0.539844591568, 0.68129461507],
+            "mean": 29.290980029789,
+            "std": 24.659681292279,
+        },
+        ("processor", "mcf"): {
+            "sampled": [
+                6221, 19575, 12950, 14175, 10361, 4667, 16526, 1150, 9703,
+                5908, 17025, 18917, 2469, 109, 18590, 18107, 11982, 17275,
+                16073, 2725, 3986, 18060, 14664, 13686, 13333, 10523, 11213,
+                14219, 12400, 15060, 1896, 15367, 7489, 1229, 2243, 13252,
+                872, 9810, 12702, 5066,
+            ],
+            "targets3": [0.089321636257, 0.097380045312, 0.033080535081],
+            "mean": 42.857796183968,
+            "std": 30.789899077095,
+        },
+    }
+
+    @pytest.mark.parametrize("study_name,bench", sorted(GOLDEN))
+    def test_trajectory_matches_golden(self, study_name, bench):
+        golden = self.GOLDEN[(study_name, bench)]
+        study = get_study(study_name)
+        result = api.explore(
+            study.space,
+            make_simulate_fn(study, bench),
+            target_error=1.0,
+            max_simulations=40,
+            batch_size=20,
+            seed=7,
+            training=TrainingConfig.fast_settings(),
+        )
+        assert result.sampled_indices == golden["sampled"]
+        np.testing.assert_allclose(
+            result.primary_targets[:3], golden["targets3"], rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            [result.final_estimate.mean, result.final_estimate.std],
+            [golden["mean"], golden["std"]],
+            rtol=1e-9,
+        )

@@ -272,7 +272,7 @@ class TestExplorerCheckpointing:
         ).explore(target_error=1.0, max_simulations=30, checkpoint=path)
 
         assert resumed.sampled_indices == baseline.sampled_indices
-        assert resumed.targets == baseline.targets
+        assert resumed.primary_targets == baseline.primary_targets
         assert len(resumed.rounds) == len(baseline.rounds)
         assert [r.estimate.mean for r in resumed.rounds] == [
             r.estimate.mean for r in baseline.rounds
@@ -309,7 +309,7 @@ class TestExplorerCheckpointing:
         ).explore(target_error=1.0, max_simulations=30, checkpoint=path)
 
         assert resumed.sampled_indices == baseline.sampled_indices
-        assert resumed.targets == baseline.targets
+        assert resumed.primary_targets == baseline.primary_targets
         assert [r.estimate.mean for r in resumed.rounds] == [
             r.estimate.mean for r in baseline.rounds
         ]
@@ -339,7 +339,7 @@ class TestExplorerCheckpointing:
                 target_error=3.0,
                 max_simulations=30,
                 sampled_indices=list(baseline.sampled_indices),
-                targets=list(baseline.targets),
+                targets=list(baseline.primary_targets),
                 rounds=list(baseline.rounds),
                 rng_state=None,
                 predictor=baseline.predictor,

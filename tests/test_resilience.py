@@ -379,7 +379,7 @@ class TestChaosEquivalence:
         assert chaotic_backend.inner.injected > 0, "chaos run saw no faults"
         assert chaotic_backend.failures == []
         assert chaotic.sampled_indices == clean.sampled_indices
-        assert chaotic.targets == clean.targets
+        assert chaotic.primary_targets == clean.primary_targets
         assert chaotic.final_estimate.mean == clean.final_estimate.mean
         np.testing.assert_array_equal(
             chaotic.predict_space(), clean.predict_space()

@@ -115,7 +115,7 @@ class TestRefactorLock:
             max_simulations=32, seed=77,
         )
         assert result.sampled_indices == sampled
-        assert result.targets == targets
+        assert result.primary_targets == targets
         assert [r.estimate.mean for r in result.rounds] == means
         np.testing.assert_array_equal(
             result.predict_space(),
@@ -166,7 +166,7 @@ class TestRefactorLock:
             agent=CommitteeAgent(pool_size=12, exploration_fraction=0.25)
         )
         assert ported.sampled_indices == legacy.sampled_indices
-        assert ported.targets == legacy.targets
+        assert ported.primary_targets == legacy.primary_targets
         assert [r.estimate.mean for r in ported.rounds] == [
             r.estimate.mean for r in legacy.rounds
         ]
@@ -202,7 +202,7 @@ class TestAgentsEndToEnd:
 
         first, second = run(), run()
         assert first.sampled_indices == second.sampled_indices
-        assert first.targets == second.targets
+        assert first.primary_targets == second.primary_targets
 
     def test_agents_can_exhaust_the_space(self, tiny_space, fast_training):
         """Budget beyond the space size: the run stops gracefully once
@@ -285,7 +285,7 @@ class TestAgentState:
 
         resumed = run(smooth_simulator, seed=99, checkpoint=path)
         assert resumed.sampled_indices == baseline.sampled_indices
-        assert resumed.targets == baseline.targets
+        assert resumed.primary_targets == baseline.primary_targets
         assert [r.estimate.mean for r in resumed.rounds] == [
             r.estimate.mean for r in baseline.rounds
         ]

@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
+    SCALAR_STUDY_NAMES,
     STUDY_NAMES,
     full_space_ground_truth,
     get_study,
+    list_studies,
     make_simulate_fn,
     memory_system_machine,
     processor_machine,
@@ -113,7 +115,10 @@ class TestProcessorSpace:
 
 class TestStudyRegistry:
     def test_names(self):
-        assert set(STUDY_NAMES) == {"memory-system", "processor"}
+        assert set(STUDY_NAMES) == {
+            "memory-system", "processor", "cache-policy"
+        }
+        assert set(SCALAR_STUDY_NAMES) == {"memory-system", "processor"}
 
     def test_get_study_caches(self):
         assert get_study("processor") is get_study("processor")
@@ -122,10 +127,43 @@ class TestStudyRegistry:
         with pytest.raises(KeyError):
             get_study("network-on-chip")
 
+    def test_unknown_study_names_choices(self):
+        with pytest.raises(KeyError, match="cache-policy"):
+            get_study("network-on-chip")
+
     def test_machine_at(self):
         study = get_study("memory-system")
         cfg = study.machine_at(0)
         assert cfg.l1d_size == 8 * 1024
+
+    def test_scalar_studies_declare_single_ipc_target(self):
+        for name in SCALAR_STUDY_NAMES:
+            study = get_study(name)
+            assert study.targets == ("ipc",)
+            assert study.primary_target == "ipc"
+            assert not study.is_multi_target
+
+    def test_cache_policy_study_declares_target_vector(self):
+        study = get_study("cache-policy")
+        assert study.targets == ("ipc", "hit_rate", "energy_nj")
+        assert study.primary_target == "ipc"
+        assert study.is_multi_target
+        assert study.workloads == ("osc-tight", "osc-scan", "osc-pointer")
+
+    def test_list_studies(self):
+        infos = {info.name: info for info in list_studies()}
+        assert set(infos) == set(STUDY_NAMES)
+        mem = infos["memory-system"]
+        assert mem.n_points == 23_040
+        assert mem.n_parameters == 9
+        assert mem.targets == ("ipc",)
+        cp = infos["cache-policy"]
+        assert cp.n_points == 600
+        assert cp.n_parameters == 4
+        assert cp.targets == ("ipc", "hit_rate", "energy_nj")
+        row = cp.to_dict()
+        assert row["targets"] == ["ipc", "hit_rate", "energy_nj"]
+        assert row["workloads"] == ["osc-tight", "osc-scan", "osc-pointer"]
 
 
 class TestSimulationEndpoints:
